@@ -1,0 +1,68 @@
+// Ablation: cyclic-prefix length under multipath.
+//
+// The paper fixes Tg = 128 samples (2.9 ms) to exceed the speaker's
+// reverberation tail and cover indoor delay spread. This bench sweeps
+// the CP length against a body-blocked NLOS channel whose late
+// reflections arrive several ms after the (suppressed) direct path.
+#include <cstdio>
+
+#include "audio/medium.h"
+#include "bench_util.h"
+#include "modem/modem.h"
+#include "sim/rng.h"
+
+namespace {
+using namespace wearlock;
+
+double MeasureBer(std::size_t cp_samples, bool nlos, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  modem::FrameSpec spec;
+  spec.cyclic_prefix_samples = cp_samples;
+  modem::AcousticModem modem(spec);
+
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 0.3;
+  cfg.environment = audio::Environment::kQuietRoom;
+  cfg.propagation = nlos ? audio::PropagationSpec::BodyBlockedNlos()
+                         : audio::PropagationSpec::IndoorLos();
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  const double volume = cfg.speaker.VolumeForSpl(
+      modem::ProbeTxSpl(17.0, 18.0, 1.0, 0.1) + 15.0);
+
+  std::size_t errors = 0, total = 0;
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::uint8_t> bits(192);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+    const auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
+    const auto rx = channel.Transmit(tx.samples, volume);
+    const auto res =
+        modem.Demodulate(rx.recording, modem::Modulation::kQpsk, bits.size());
+    if (!res) {
+      errors += bits.size() / 2;
+      total += bits.size();
+      continue;
+    }
+    errors += modem::CountBitErrors(res->bits, bits);
+    total += bits.size();
+  }
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation: cyclic-prefix length vs multipath (QPSK, quiet room)");
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t cp : {8u, 32u, 64u, 128u, 192u}) {
+    rows.push_back({std::to_string(cp) + " (" + bench::Fmt(cp / 44.1, 2) + " ms)",
+                    bench::Fmt(MeasureBer(cp, false, 8001), 4),
+                    bench::Fmt(MeasureBer(cp, true, 8001), 4)});
+  }
+  bench::PrintTable({"CP length", "BER LOS", "BER body-blocked NLOS"}, rows);
+  std::printf(
+      "\nShort prefixes leave the speaker's ringing tail and the NLOS\n"
+      "reflections smearing into the FFT window (ISI); the paper's 128\n"
+      "samples (~2.9 ms) covers both with margin. Longer CPs only cost\n"
+      "airtime (rate = |D| log2 M / (Tg + Ts)).\n");
+  return 0;
+}

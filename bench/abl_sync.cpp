@@ -1,0 +1,74 @@
+// Ablation: cyclic-prefix fine synchronization.
+//
+// The paper's two-step sync (coarse chirp correlation + CP window
+// search, Eq. 2) exists because the coarse peak alone is off by the
+// fractional propagation delay and speaker group delay. This bench
+// disables the fine step (search range 0) and measures the BER penalty
+// across distances.
+#include <cstdio>
+
+#include "audio/medium.h"
+#include "bench_util.h"
+#include "modem/modem.h"
+#include "sim/rng.h"
+
+namespace {
+using namespace wearlock;
+
+double MeasureBer(long fine_range, double distance, bool blocked, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  modem::DemodConfig demod;
+  demod.fine_sync_range = fine_range;
+  modem::AcousticModem modem(modem::FrameSpec{}, demod);
+
+  audio::ChannelConfig cfg;
+  cfg.distance_m = distance;
+  cfg.environment = audio::Environment::kOffice;
+  // Mild multipath makes sync genuinely matter.
+  cfg.propagation = blocked ? audio::PropagationSpec::BodyBlockedNlos()
+                            : audio::PropagationSpec::IndoorLos();
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  const double volume = cfg.speaker.VolumeForSpl(
+      modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
+
+  std::size_t errors = 0, total = 0;
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::uint8_t> bits(192);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+    const auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
+    const auto rx = channel.Transmit(tx.samples, volume);
+    const auto res =
+        modem.Demodulate(rx.recording, modem::Modulation::kQpsk, bits.size());
+    if (!res) {
+      errors += bits.size() / 2;
+      total += bits.size();
+      continue;
+    }
+    errors += modem::CountBitErrors(res->bits, bits);
+    total += bits.size();
+  }
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation: CP fine synchronization (QPSK, office, LOS)");
+  std::vector<std::vector<std::string>> rows;
+  for (double d : {0.2, 0.5, 1.0}) {
+    rows.push_back({bench::Fmt(d, 1),
+                    bench::Fmt(MeasureBer(48, d, false, 4001), 4),
+                    bench::Fmt(MeasureBer(0, d, false, 4001), 4),
+                    bench::Fmt(MeasureBer(48, d, true, 4001), 4),
+                    bench::Fmt(MeasureBer(0, d, true, 4001), 4)});
+  }
+  bench::PrintTable({"distance(m)", "LOS fine", "LOS coarse", "blocked fine",
+                     "blocked coarse"},
+                    rows);
+  std::printf(
+      "\nIn clean LOS the coarse chirp peak plus a fixed back-off into the\n"
+      "CP is already near-optimal; the fine search earns its keep when the\n"
+      "direct path is blocked and the coarse peak locks onto a late\n"
+      "reflection tens of samples off.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wearlock::bench {
+
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  std::printf("|");
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace wearlock::bench

@@ -1,0 +1,22 @@
+// Shared helpers for the reproduction benches: aligned table printing and
+// common scenario setup. Each bench binary regenerates one paper
+// table/figure as text rows (shape reproduction, not absolute numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wearlock::bench {
+
+/// Print a fixed-width table: header row then data rows. Column widths
+/// adapt to the longest cell.
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Format a double with the given precision.
+std::string Fmt(double value, int precision = 3);
+
+/// Section banner for bench output.
+void Banner(const std::string& title);
+
+}  // namespace wearlock::bench

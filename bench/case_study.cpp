@@ -1,0 +1,106 @@
+// Section VI "A Case Study": five participants try WearLock in a
+// classroom, 10 attempts each, with the individual quirks the paper
+// observed scripted as channel conditions:
+//
+//   P1a: holds the phone's bottom tightly, covering the speaker
+//        (paper: 3/10 at BER<=0.1)
+//   P1b: same participant, relaxed grip (8/10 at 0.1, 10/10 at 0.15)
+//   P2:  phone in one hand, watch on the other (8/10 at 0.1)
+//   P3:  phone held by the watch hand - body-blocked NLOS (4/10 at 0.1,
+//        corrected to 7/10 once NLOS detection relaxes BER to 0.25)
+//   P4, P5: ordinary different-hand usage
+//
+// Paper headline: average success rate ~90% after NLOS correction.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "protocol/session.h"
+
+namespace {
+using namespace wearlock;
+using namespace wearlock::protocol;
+
+constexpr int kAttempts = 10;
+
+struct Participant {
+  const char* label;
+  double distance_m;
+  audio::PropagationSpec propagation;
+  bool relax_nlos;  // allow the NLOS-relaxed BER path
+};
+
+int RunParticipant(const Participant& p, std::uint64_t seed) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  config.seed = seed;
+  config.scene.environment = audio::Environment::kClassroom;
+  config.scene.distance_m = p.distance_m;
+  config.scene.propagation = p.propagation;
+  config.phone.nlos_policy =
+      p.relax_nlos ? NlosPolicy::kRelaxMaxBer : NlosPolicy::kAbort;
+
+  UnlockSession session(config);
+  int ok = 0;
+  for (int i = 0; i < kAttempts; ++i) {
+    session.keyguard().Relock();
+    // A locked-out keyguard would stall the rest of the participant's
+    // attempts; the study let participants retry, so clear lockouts.
+    if (!session.keyguard().CanAttemptWearlock()) {
+      session.keyguard().UnlockWithCredential();
+      session.keyguard().Relock();
+    }
+    if (session.Attempt().unlocked) ++ok;
+  }
+  return ok;
+}
+
+audio::PropagationSpec CoveredSpeaker() {
+  // Hand over the speaker: heavy direct-path attenuation, few reflections.
+  audio::PropagationSpec spec;
+  spec.direct_gain = 0.60;
+  spec.direct_lowpass_hz = 5200.0;  // palm over the port: ~5-10 dB, high band worst
+  spec.taps = {
+      {.extra_distance_m = 0.4, .gain = 0.15},
+      {.extra_distance_m = 1.0, .gain = 0.08},
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Case study: five participants, 10 attempts each (classroom)");
+
+  const std::vector<Participant> participants = {
+      {"P1a covered speaker", 0.25, CoveredSpeaker(), false},
+      {"P1b relaxed grip", 0.25, audio::PropagationSpec::IndoorLos(), false},
+      {"P2 different hands", 0.25, audio::PropagationSpec::IndoorLos(), false},
+      {"P3 same hand (NLOS, strict)", 0.15,
+       audio::PropagationSpec::BodyBlockedNlos(), false},
+      {"P3 same hand (NLOS relaxed)", 0.15,
+       audio::PropagationSpec::BodyBlockedNlos(), true},
+      {"P4 different hands", 0.3, audio::PropagationSpec::IndoorLos(), false},
+      {"P5 different hands", 0.25, audio::PropagationSpec::IndoorLos(), false},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  int final_total = 0, final_n = 0;
+  std::uint64_t seed = 5150;
+  for (const auto& p : participants) {
+    const int ok = RunParticipant(p, seed++);
+    rows.push_back({p.label, std::to_string(ok) + "/10"});
+    // The paper's final average counts P1b and the corrected P3.
+    const std::string label = p.label;
+    if (label.find("covered") == std::string::npos &&
+        label.find("strict") == std::string::npos) {
+      final_total += ok;
+      ++final_n;
+    }
+  }
+  bench::PrintTable({"participant", "success"}, rows);
+  std::printf(
+      "\naverage success rate (usable grips, NLOS-corrected): %.0f%%\n"
+      "Paper: covered speaker 3/10 -> relaxed 8/10; different hands 8/10;\n"
+      "same hand 4/10 -> 7/10 after NLOS relaxation; overall average 90%%.\n",
+      100.0 * final_total / (final_n * kAttempts));
+  return 0;
+}

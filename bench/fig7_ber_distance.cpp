@@ -1,0 +1,78 @@
+// Figure 7: BER vs. distance per transmission mode (near-ultrasound,
+// office room, LOS) - the communication-range experiment. The paper's
+// point: by constraining MaxBER, the signal is unusable past ~1 m.
+//
+// The near-ultrasound 15-20 kHz band models the phone-phone pair (the
+// watch's 7 kHz low-pass rules it out for phone-watch), so the receiver
+// here uses a full-band phone microphone.
+#include <cstdio>
+
+#include "audio/medium.h"
+#include "bench_util.h"
+#include "modem/modem.h"
+#include "sim/rng.h"
+
+namespace {
+using namespace wearlock;
+
+constexpr int kRounds = 10;
+constexpr std::size_t kBits = 192;
+
+double MeasureBer(modem::Modulation m, double distance, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  modem::FrameSpec spec;
+  spec.plan = modem::SubchannelPlan::NearUltrasound();
+  modem::AcousticModem modem(spec);
+
+  audio::ChannelConfig cfg;
+  cfg.distance_m = distance;
+  cfg.environment = audio::Environment::kOffice;
+  cfg.microphone = audio::MicrophoneModel::Phone();  // phone-phone pair
+  audio::AcousticChannel channel(cfg, rng.Fork());
+
+  // Fixed volume tuned for ~1 m delivery in an office (the paper holds
+  // settings constant across this sweep).
+  const double volume = cfg.speaker.VolumeForSpl(
+      modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
+
+  std::size_t errors = 0, total = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    std::vector<std::uint8_t> bits(kBits);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+    const auto tx = modem.Modulate(m, bits);
+    const auto rx = channel.Transmit(tx.samples, volume);
+    const auto res = modem.Demodulate(rx.recording, m, bits.size());
+    if (!res) {
+      errors += bits.size() / 2;  // lost frame ~ random bits
+      total += bits.size();
+      continue;
+    }
+    errors += modem::CountBitErrors(res->bits, bits);
+    total += bits.size();
+  }
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 7: BER vs distance per transmission mode (near-ultrasound)");
+  const std::vector<double> distances = {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+  std::vector<std::string> header = {"distance(m)"};
+  for (auto m : modem::WearlockModes()) header.push_back(ToString(m));
+
+  std::vector<std::vector<std::string>> rows;
+  for (double d : distances) {
+    std::vector<std::string> row = {bench::Fmt(d, 2)};
+    for (auto m : modem::WearlockModes()) {
+      row.push_back(bench::Fmt(MeasureBer(m, d, 555), 4));
+    }
+    rows.push_back(row);
+  }
+  bench::PrintTable(header, rows);
+  std::printf(
+      "\nPaper shape: BER grows with distance; higher-order modes (8PSK)\n"
+      "degrade first, so a MaxBER bound caps the usable range near 1 m.\n");
+  return 0;
+}

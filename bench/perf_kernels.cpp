@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks of the DSP kernels that dominate the
+// unlock pipeline - the performance-regression harness behind the
+// Fig. 6/10/12 compute-cost modeling (those figures scale *measured*
+// kernel times by device profiles, so kernel regressions shift them).
+#include <benchmark/benchmark.h>
+
+#include "audio/medium.h"
+#include "dsp/correlate.h"
+#include "dsp/fft.h"
+#include "modem/modem.h"
+#include "sensors/dtw.h"
+#include "sensors/motion_sim.h"
+#include "sim/rng.h"
+
+namespace {
+using namespace wearlock;
+
+void BM_Fft256(benchmark::State& state) {
+  sim::Rng rng(1);
+  dsp::ComplexVec x(256);
+  for (auto& c : x) c = dsp::Complex(rng.Gaussian(), rng.Gaussian());
+  for (auto _ : state) {
+    dsp::ComplexVec copy = x;
+    dsp::Fft(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft256);
+
+void BM_PreambleCorrelation(benchmark::State& state) {
+  // The sliding normalized correlator over a typical recording length -
+  // the paper's dominant watch-side cost.
+  sim::Rng rng(2);
+  const auto recording = rng.GaussianVector(static_cast<std::size_t>(state.range(0)));
+  const modem::FrameSpec spec;
+  const auto preamble = modem::MakePreamble(spec);
+  for (auto _ : state) {
+    auto scores = dsp::NormalizedCrossCorrelate(recording, preamble);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_PreambleCorrelation)->Arg(8192)->Arg(16384);
+
+void BM_FullDemodulation(benchmark::State& state) {
+  sim::Rng rng(3);
+  modem::AcousticModem modem;
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 0.3;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  std::vector<std::uint8_t> bits(32, 1);
+  const auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
+  const auto rx = channel.Transmit(tx.samples, 0.3);
+  for (auto _ : state) {
+    auto result = modem.Demodulate(rx.recording, modem::Modulation::kQpsk, 32);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullDemodulation);
+
+void BM_ProbeAnalysis(benchmark::State& state) {
+  sim::Rng rng(4);
+  modem::AcousticModem modem;
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 0.3;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  const auto rx = channel.Transmit(modem.MakeProbeFrame().samples, 0.3);
+  for (auto _ : state) {
+    auto probe = modem.AnalyzeProbe(rx.recording);
+    benchmark::DoNotOptimize(probe);
+  }
+}
+BENCHMARK(BM_ProbeAnalysis);
+
+void BM_DtwFilter(benchmark::State& state) {
+  sensors::MotionSimulator sim(sim::Rng(5));
+  const auto pair = sim.CoLocatedPair(sensors::Activity::kWalking,
+                                      static_cast<std::size_t>(state.range(0)));
+  const auto a = sensors::Preprocess(pair.phone);
+  const auto b = sensors::Preprocess(pair.watch);
+  for (auto _ : state) {
+    auto r = sensors::Dtw(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DtwFilter)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_Modulation(benchmark::State& state) {
+  sim::Rng rng(6);
+  modem::AcousticModem modem;
+  std::vector<std::uint8_t> bits(32);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  for (auto _ : state) {
+    auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
+    benchmark::DoNotOptimize(tx.samples.data());
+  }
+}
+BENCHMARK(BM_Modulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Security margin: legitimate receiver vs. eavesdropper BER.
+//
+// The paper's §VI adaptive-modulation argument: choosing the highest
+// mode the *legitimate* receiver supports "guarantees that an
+// eavesdropper located nearby will have a larger BER since a higher
+// order modulation is more vulnerable to noise and interference". This
+// bench puts a full-band eavesdropper at increasing distances while the
+// watch unlocks at 30 cm, and compares what each side can decode of the
+// same Phase-2 emission.
+#include <cstdio>
+
+#include "audio/scene.h"
+#include "bench_util.h"
+#include "modem/modem.h"
+#include "modem/snr.h"
+#include "sim/rng.h"
+
+namespace {
+using namespace wearlock;
+
+constexpr int kRounds = 10;
+
+}  // namespace
+
+int main() {
+  bench::Banner("Security: legitimate vs eavesdropper BER on the same "
+                "emission (office)");
+
+  sim::Rng rng(2718);
+  modem::AcousticModem modem;
+
+  audio::SceneConfig sc;
+  sc.distance_m = 0.3;
+  sc.environment = audio::Environment::kOffice;
+  audio::TwoMicScene scene(sc, rng.Fork());
+
+  // Volume per the probing rule (secure range 1 m).
+  const double volume = sc.phone_speaker.VolumeForSpl(
+      modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
+
+  // Adaptive mode from a real probe.
+  const auto probe_rx = scene.TransmitFromPhone(modem.MakeProbeFrame().samples,
+                                                volume);
+  const auto probe = modem.AnalyzeProbe(probe_rx.watch_recording);
+  if (!probe) {
+    std::printf("probe lost\n");
+    return 1;
+  }
+  const auto mode = modem::SelectModeFromSnr(modem.spec(), probe->pilot_snr_db);
+  if (!mode) {
+    std::printf("no mode fits\n");
+    return 1;
+  }
+  std::printf("adaptive mode for the 0.3 m watch: %s (pilot SNR %.1f dB)\n\n",
+              ToString(*mode).c_str(), probe->pilot_snr_db);
+
+  std::vector<std::vector<std::string>> rows;
+  for (double eaves_d : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    std::size_t legit_err = 0, eaves_err = 0, total = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      std::vector<std::uint8_t> bits(96);
+      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+      const auto tx = modem.Modulate(*mode, bits);
+      const auto rx = scene.TransmitFromPhone(tx.samples, volume);
+      const audio::Samples ear = scene.RecordAtDistance(
+          tx.samples, volume, eaves_d, audio::PropagationSpec::IndoorLos());
+
+      const auto legit = modem.Demodulate(rx.watch_recording, *mode, bits.size());
+      const auto eaves = modem.Demodulate(ear, *mode, bits.size());
+      legit_err += legit ? modem::CountBitErrors(legit->bits, bits)
+                         : bits.size() / 2;
+      eaves_err += eaves ? modem::CountBitErrors(eaves->bits, bits)
+                         : bits.size() / 2;
+      total += bits.size();
+    }
+    rows.push_back({bench::Fmt(eaves_d, 1),
+                    bench::Fmt(static_cast<double>(legit_err) / total, 4),
+                    bench::Fmt(static_cast<double>(eaves_err) / total, 4)});
+  }
+  bench::PrintTable({"eavesdropper distance(m)", "legit BER (0.3 m)",
+                     "eavesdropper BER"},
+                    rows);
+  std::printf(
+      "\nPaper shape: the legitimate receiver decodes cleanly while the\n"
+      "eavesdropper's BER climbs with distance; past the secure range the\n"
+      "captured token is too corrupted to replay within any BER bound.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Table I: field-test BER across locations (office, classroom, cafe,
+// grocery store), hand configurations (watch and phone on different
+// hands = LOS; same hand = body-blocked NLOS), and bands (audible
+// phone-watch pair vs. near-ultrasound phone-phone pair).
+//
+// Each cell runs full two-phase unlock sessions and reports the mean
+// Phase-2 token BER of delivered rounds plus the adaptive mode that was
+// chosen most often - mirroring the "(8PSK)/(QPSK)" annotations of the
+// paper's table. Paper headline: average BER around 0.08.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "protocol/session.h"
+
+namespace {
+using namespace wearlock;
+using namespace wearlock::protocol;
+
+constexpr int kRounds = 8;
+
+struct CellResult {
+  double mean_ber = 0.0;
+  std::string mode = "-";
+  int delivered = 0;
+};
+
+CellResult RunCell(audio::Environment env, bool same_hand, bool audible,
+                   std::uint64_t seed) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  config.seed = seed;
+  // Table I is a measurement campaign: the paper reports the BER of the
+  // transmission whether or not a deployment would have refused it.
+  config.phone.force_transmit = true;
+  config.scene.environment = env;
+  if (same_hand) {
+    // Watch wrist holds the phone: very close but body-blocked.
+    config.scene.distance_m = 0.15;
+    config.scene.propagation = audio::PropagationSpec::BodyBlockedNlos();
+  } else {
+    // Different hands: ~35 cm, line of sight.
+    config.scene.distance_m = 0.35;
+    config.scene.propagation = audio::PropagationSpec::IndoorLos();
+  }
+  if (!audible) {
+    // Near-ultrasound = emulated phone-phone pair: full-band receiver.
+    config.phone.frame.plan = modem::SubchannelPlan::NearUltrasound();
+    config.scene.watch_mic = audio::MicrophoneModel::Phone();
+  }
+
+  UnlockSession session(config);
+  CellResult cell;
+  double ber_acc = 0.0;
+  std::map<std::string, int> modes;
+  for (int i = 0; i < kRounds; ++i) {
+    session.keyguard().Relock();
+    const auto report = session.Attempt();
+    if (report.token_ber <= 1.0 && report.mode) {
+      ber_acc += report.token_ber;
+      ++cell.delivered;
+      ++modes[ToString(*report.mode)];
+    }
+  }
+  if (cell.delivered > 0) {
+    cell.mean_ber = ber_acc / cell.delivered;
+    int best = 0;
+    for (const auto& [mode, n] : modes) {
+      if (n > best) {
+        best = n;
+        cell.mode = mode;
+      }
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table I: field test BER by location / hand / band");
+  const std::vector<audio::Environment> envs = {
+      audio::Environment::kOffice, audio::Environment::kClassroom,
+      audio::Environment::kCafe, audio::Environment::kGroceryStore};
+
+  std::vector<std::string> header = {"BER vs Locations"};
+  for (auto env : envs) header.push_back(audio::ToString(env));
+
+  struct RowSpec {
+    const char* label;
+    bool same_hand;
+    bool audible;
+  };
+  const std::vector<RowSpec> specs = {
+      {"Diff. Hand (Audible)", false, true},
+      {"Same Hand (Audible)", true, true},
+      {"Diff. Hand (Near-ultrasound)", false, false},
+      {"Same Hand (Near-ultrasound)", true, false},
+  };
+
+  double grand_acc = 0.0;
+  int grand_n = 0;
+  std::vector<std::vector<std::string>> rows;
+  std::uint64_t seed = 9000;
+  for (const auto& spec : specs) {
+    std::vector<std::string> row = {spec.label};
+    for (auto env : envs) {
+      const CellResult cell = RunCell(env, spec.same_hand, spec.audible, seed++);
+      if (cell.delivered > 0) {
+        row.push_back(bench::Fmt(cell.mean_ber, 4) + "(" + cell.mode + "," +
+                      std::to_string(cell.delivered) + "/8)");
+        grand_acc += cell.mean_ber;
+        ++grand_n;
+      } else {
+        row.push_back("no delivery");
+      }
+    }
+    rows.push_back(row);
+  }
+  bench::PrintTable(header, rows);
+  std::printf(
+      "\naverage BER over delivered cells: %.4f (paper: ~0.08)\n"
+      "Paper shape: same-hand (body-blocked) runs are markedly worse than\n"
+      "different-hand; near-ultrasound suffers most from blocking; quiet\n"
+      "rooms sustain 8PSK while louder ones fall back to QPSK.\n",
+      grand_n > 0 ? grand_acc / grand_n : 0.0);
+  return 0;
+}

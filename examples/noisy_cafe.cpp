@@ -1,0 +1,91 @@
+// Sub-channel selection under interference: a jammed cafe.
+//
+// An "espresso machine" (tone jammer) parks narrowband energy right on
+// the modem's default data bins. The example probes the channel, shows
+// the per-bin noise ranking, re-plans the data sub-channels around the
+// interference, and compares BER with and without the re-planning -
+// the Fig. 9 experiment as a walkthrough.
+//
+// Build & run:  ./build/examples/example_noisy_cafe
+#include <cstdio>
+
+#include "audio/medium.h"
+#include "modem/modem.h"
+#include "modem/snr.h"
+#include "sim/rng.h"
+
+int main() {
+  using namespace wearlock;
+
+  sim::Rng rng(808);
+  modem::AcousticModem modem;  // default audible plan
+  const modem::FrameSpec& spec = modem.spec();
+
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 0.15;
+  cfg.environment = audio::Environment::kCafe;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+
+  // The jammer sits on four of the default data bins.
+  const std::vector<std::size_t> jammed = {17, 21, 25, 29};
+  channel.SetJammer(audio::ToneJammer(jammed, spec.fft_size(), 64.0));
+  std::printf("jammer online: tones on bins 17, 21, 25, 29 (all default\n"
+              "data sub-channels) at 64 dB SPL\n\n");
+
+  const double volume = 1.0;
+
+  // --- Probe ---------------------------------------------------------
+  const auto probe_rx = channel.Transmit(modem.MakeProbeFrame().samples, volume);
+  const auto probe = modem.AnalyzeProbe(probe_rx.recording);
+  if (!probe) {
+    std::printf("probe lost - aborting\n");
+    return 1;
+  }
+  std::printf("per-bin noise ranking from the probe's ambient window:\n  ");
+  for (std::size_t b = 8; b <= 34; ++b) {
+    if (spec.plan.IsPilot(b)) continue;
+    std::printf("%zu:%s ", b, probe->noise_power[b] >
+                                  20.0 * probe->noise_power[b == 8 ? 9 : 8]
+                              ? "JAMMED"
+                              : "ok");
+  }
+  std::printf("\n\n");
+
+  // --- Re-plan -------------------------------------------------------
+  const modem::AcousticModem adapted =
+      modem.WithSelectedSubchannels(probe->noise_power);
+  std::printf("re-planned data sub-channels: ");
+  for (std::size_t b : adapted.spec().plan.data) std::printf("%zu ", b);
+  std::printf("\n(previous plan: ");
+  for (std::size_t b : spec.plan.data) std::printf("%zu ", b);
+  std::printf(")\n\n");
+
+  // --- Compare -------------------------------------------------------
+  auto measure = [&](const modem::AcousticModem& m) {
+    std::size_t errors = 0, total = 0;
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::uint8_t> bits(96);
+      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+      const auto tx = m.Modulate(modem::Modulation::kQpsk, bits);
+      const auto rx = channel.Transmit(tx.samples, volume);
+      const auto res =
+          m.Demodulate(rx.recording, modem::Modulation::kQpsk, bits.size());
+      if (!res) {
+        errors += bits.size() / 2;
+        total += bits.size();
+        continue;
+      }
+      errors += modem::CountBitErrors(res->bits, bits);
+      total += bits.size();
+    }
+    return static_cast<double>(errors) / static_cast<double>(total);
+  };
+
+  const double ber_default = measure(modem);
+  const double ber_adapted = measure(adapted);
+  std::printf("BER on the default plan : %.4f\n", ber_default);
+  std::printf("BER after re-planning   : %.4f\n", ber_adapted);
+  std::printf("\nThe modem sidesteps the interference instead of fighting\n"
+              "it - the paper's sub-channel selection in action.\n");
+  return 0;
+}

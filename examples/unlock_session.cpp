@@ -1,0 +1,76 @@
+// Full two-phase unlocking protocol, narrated step by step, in four
+// environments. Shows the Fig. 2 pipeline: power click -> link check ->
+// RTS probe -> ambient/motion/NLOS filters -> sub-channel + mode
+// adaptation -> OTP transmission -> Keyguard.
+//
+// Build & run:  ./build/examples/example_unlock_session
+#include <cstdio>
+
+#include "protocol/session.h"
+
+namespace {
+using namespace wearlock;
+using namespace wearlock::protocol;
+
+void Narrate(const char* env_name, const UnlockReport& r) {
+  std::printf("\n--- %s ---\n", env_name);
+  std::printf("  ambient SPL         : %.1f dB\n", r.ambient_spl_db);
+  std::printf("  probe volume        : %.2f (noise-adaptive)\n", r.probe_volume);
+  std::printf("  preamble score      : %.2f\n", r.preamble_score);
+  std::printf("  ambient similarity  : %.2f (co-location filter)\n",
+              r.ambient_similarity);
+  if (r.dtw_score) {
+    std::printf("  motion DTW score    : %.3f (Algorithm 1)\n", *r.dtw_score);
+  }
+  std::printf("  NLOS detected       : %s\n", r.nlos ? "yes" : "no");
+  std::printf("  pilot SNR           : %.1f dB\n", r.pilot_snr_db);
+  if (r.mode) {
+    std::printf("  adaptive mode       : %s (Eb/N0 %.1f dB, MaxBER %.2f)\n",
+                ToString(*r.mode).c_str(), r.ebn0_db, r.required_ber);
+    std::printf("  data sub-channels   : ");
+    for (std::size_t b : r.plan.data) std::printf("%zu ", b);
+    std::printf("\n  token BER           : %.3f\n", r.token_ber);
+  }
+  std::printf("  phase1 a/c/c (ms)   : %.0f / %.0f / %.0f\n",
+              r.timings.phase1_audio_ms, r.timings.phase1_comm_ms,
+              r.timings.phase1_compute_ms);
+  std::printf("  phase2 a/c/c (ms)   : %.0f / %.0f / %.0f\n",
+              r.timings.phase2_audio_ms, r.timings.phase2_comm_ms,
+              r.timings.phase2_compute_ms);
+  std::printf("  total               : %.0f ms\n", r.timings.total_ms());
+  std::printf("  outcome             : %s\n", ToString(r.outcome).c_str());
+  std::printf("  trace               :\n");
+  for (const auto& event : r.trace) {
+    std::printf("    [%6.0f ms] %-14s %s\n", event.at_ms, event.step.c_str(),
+                event.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::pair<audio::Environment, const char*> envs[] = {
+      {audio::Environment::kQuietRoom, "Quiet room (17 dB ambient)"},
+      {audio::Environment::kOffice, "Office (45 dB)"},
+      {audio::Environment::kClassroom, "Classroom (52 dB)"},
+      {audio::Environment::kCafe, "Cafe (58 dB)"},
+  };
+
+  std::printf("WearLock two-phase unlock: watch 30 cm away, same body,\n"
+              "offloading to the phone over WiFi.\n");
+  for (const auto& [env, name] : envs) {
+    ScenarioConfig config = ScenarioConfig::Config1();
+    config.scene.environment = env;
+    config.scene.distance_m = 0.3;
+    config.seed = 7;
+    UnlockSession session(config);
+    Narrate(name, session.Attempt());
+  }
+
+  std::printf(
+      "\nNote how the probe volume tracks ambient noise, the adaptive\n"
+      "controller steps down from 8PSK to QPSK as rooms get louder, and\n"
+      "loud rooms can refuse entirely (fall back to PIN) rather than\n"
+      "transmit past the BER bound.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "audio/medium.h"
+
+#include <cmath>
+
+#include "dsp/filter.h"
+#include "dsp/hilbert.h"
+#include "dsp/resample.h"
+#include "dsp/spl.h"
+
+namespace wearlock::audio {
+
+AcousticChannel::AcousticChannel(ChannelConfig config, sim::Rng rng)
+    : config_(config),
+      propagation_(config.propagation),
+      ambient_(config.custom_noise ? NoiseSource(*config.custom_noise, rng.Fork())
+                                   : NoiseSource(config.environment, rng.Fork())),
+      rng_(std::move(rng)) {}
+
+Samples AcousticChannel::MakeNoise(std::size_t n) {
+  Samples noise = ambient_.Generate(n);
+  if (jammer_) {
+    MixInto(noise, jammer_->Generate(n));
+  }
+  // Microphone self-noise.
+  const double self_rms =
+      wearlock::dsp::RmsFromSpl(config_.microphone.spec().self_noise_spl);
+  Samples self = rng_.GaussianVector(n, self_rms);
+  MixInto(noise, self);
+  return noise;
+}
+
+Reception AcousticChannel::Transmit(const Samples& signal, double volume) {
+  // Speaker -> air -> receiver position.
+  const Samples emitted = config_.speaker.Emit(signal, volume);
+  Samples at_rx = propagation_.Propagate(emitted, config_.distance_m);
+
+  // Doppler from receiver motion: uniform time compression/stretch.
+  if (config_.radial_velocity_mps != 0.0) {
+    const double rate = 1.0 + config_.radial_velocity_mps / kSpeedOfSound;
+    at_rx = wearlock::dsp::WarpTimeLinear(at_rx, 1.0 / rate);
+  }
+
+  // Receive-chain phase jitter (see ChannelConfig::phase_noise_rad).
+  if (config_.phase_noise_rad > 0.0 && !at_rx.empty()) {
+    Samples theta = rng_.GaussianVector(at_rx.size());
+    if (config_.phase_noise_bw_hz > 0.0 &&
+        config_.phase_noise_bw_hz < kSampleRate / 2.0) {
+      wearlock::dsp::Biquad lpf = wearlock::dsp::Biquad::LowPass(
+          config_.phase_noise_bw_hz, kSampleRate);
+      theta = lpf.ProcessBlock(theta);
+    }
+    const double rms = wearlock::dsp::Rms(theta);
+    if (rms > 0.0) Scale(theta, config_.phase_noise_rad / rms);
+    at_rx = wearlock::dsp::RotatePhase(at_rx, theta);
+  }
+
+  // Assemble the receiver's pressure field: noise everywhere, signal
+  // starting after the lead-in.
+  const std::size_t total =
+      config_.lead_in_samples + at_rx.size() + config_.lead_out_samples;
+  Samples pressure = MakeNoise(total);
+  const double spl_noise = wearlock::dsp::SplOf(pressure);
+  MixIntoAt(pressure, at_rx, config_.lead_in_samples);
+
+  Reception r;
+  r.signal_start = config_.lead_in_samples;
+  r.spl_signal_at_rx = wearlock::dsp::SplOf(at_rx);
+  r.spl_noise_at_rx = spl_noise;
+  r.recording = config_.microphone.Capture(pressure);
+  return r;
+}
+
+Samples AcousticChannel::RecordAmbient(std::size_t n) {
+  return config_.microphone.Capture(MakeNoise(n));
+}
+
+void AcousticChannel::SetJammer(std::optional<ToneJammer> jammer) {
+  jammer_ = std::move(jammer);
+}
+
+void AcousticChannel::set_distance(double distance_m) {
+  config_.distance_m = distance_m;
+}
+
+void AcousticChannel::set_propagation(const PropagationSpec& spec) {
+  config_.propagation = spec;
+  propagation_ = PropagationModel(spec);
+}
+
+}  // namespace wearlock::audio

@@ -1,0 +1,122 @@
+#include "audio/scene.h"
+
+#include <cmath>
+
+#include "dsp/filter.h"
+#include "dsp/hilbert.h"
+#include "dsp/spl.h"
+
+namespace wearlock::audio {
+namespace {
+
+NoiseSource MakeAmbient(const SceneConfig& config, sim::Rng rng) {
+  if (config.custom_noise) return NoiseSource(*config.custom_noise, std::move(rng));
+  return NoiseSource(config.environment, std::move(rng));
+}
+
+}  // namespace
+
+TwoMicScene::TwoMicScene(SceneConfig config, sim::Rng rng)
+    : config_(config),
+      propagation_(config.propagation),
+      shared_ambient_(MakeAmbient(config, rng.Fork())),
+      watch_ambient_(MakeAmbient(config, rng.Fork())),
+      rng_(std::move(rng)) {}
+
+void TwoMicScene::set_propagation(const PropagationSpec& spec) {
+  config_.propagation = spec;
+  propagation_ = PropagationModel(spec);
+}
+
+Samples TwoMicScene::MicNoise(std::size_t n, const MicrophoneModel& mic) {
+  const double rms = wearlock::dsp::RmsFromSpl(mic.spec().self_noise_spl);
+  return rng_.GaussianVector(n, rms);
+}
+
+Samples TwoMicScene::ApplyPhaseJitter(Samples x) {
+  if (config_.phase_noise_rad <= 0.0 || x.empty()) return x;
+  Samples theta = rng_.GaussianVector(x.size());
+  if (config_.phase_noise_bw_hz > 0.0 &&
+      config_.phase_noise_bw_hz < kSampleRate / 2.0) {
+    wearlock::dsp::Biquad lpf =
+        wearlock::dsp::Biquad::LowPass(config_.phase_noise_bw_hz, kSampleRate);
+    theta = lpf.ProcessBlock(theta);
+  }
+  const double rms = wearlock::dsp::Rms(theta);
+  if (rms > 0.0) Scale(theta, config_.phase_noise_rad / rms);
+  return wearlock::dsp::RotatePhase(x, theta);
+}
+
+SceneReception TwoMicScene::TransmitFromPhone(const Samples& signal,
+                                              double volume) {
+  const Samples emitted = config_.phone_speaker.Emit(signal, volume);
+
+  // Watch side: propagate, jitter, then sit it in ambient noise.
+  Samples at_watch =
+      ApplyPhaseJitter(propagation_.Propagate(emitted, config_.distance_m));
+  const std::size_t total =
+      config_.lead_in_samples + at_watch.size() + config_.lead_out_samples;
+
+  Samples shared = SharedAmbient(total);
+  Samples watch_pressure =
+      config_.co_located ? shared : IndependentAmbient(total);
+  if (jammer_) MixInto(watch_pressure, jammer_->Generate(total));
+  MixInto(watch_pressure, MicNoise(total, config_.watch_mic));
+  const double watch_noise_spl = wearlock::dsp::SplOf(watch_pressure);
+  MixIntoAt(watch_pressure, at_watch, config_.lead_in_samples);
+
+  // Phone side: self-recording at the reference distance (its own mic is
+  // d0 from its speaker).
+  Samples at_phone = propagation_.Propagate(
+      emitted, propagation_.spec().reference_distance_m);
+  Samples phone_pressure = std::move(shared);
+  phone_pressure.resize(total, 0.0);
+  MixInto(phone_pressure, MicNoise(total, config_.phone_mic));
+  MixIntoAt(phone_pressure, at_phone, config_.lead_in_samples);
+
+  SceneReception r;
+  r.signal_start = config_.lead_in_samples;
+  r.watch_spl_signal = wearlock::dsp::SplOf(at_watch);
+  r.watch_spl_noise = watch_noise_spl;
+  r.phone_recording = config_.phone_mic.Capture(phone_pressure);
+  r.watch_recording = config_.watch_mic.Capture(watch_pressure);
+  return r;
+}
+
+std::pair<Samples, Samples> TwoMicScene::RecordAmbientPair(std::size_t n) {
+  Samples shared = SharedAmbient(n);
+  Samples phone_pressure = shared;
+  MixInto(phone_pressure, MicNoise(n, config_.phone_mic));
+  Samples watch_pressure = config_.co_located ? std::move(shared)
+                                              : IndependentAmbient(n);
+  if (jammer_) MixInto(watch_pressure, jammer_->Generate(n));
+  MixInto(watch_pressure, MicNoise(n, config_.watch_mic));
+  return {config_.phone_mic.Capture(phone_pressure),
+          config_.watch_mic.Capture(watch_pressure)};
+}
+
+Samples TwoMicScene::RecordAtDistance(const Samples& signal, double volume,
+                                      double eavesdropper_distance_m,
+                                      const PropagationSpec& path) {
+  const Samples emitted = config_.phone_speaker.Emit(signal, volume);
+  PropagationModel prop(path);
+  Samples at_ear =
+      ApplyPhaseJitter(prop.Propagate(emitted, eavesdropper_distance_m));
+  const std::size_t total =
+      config_.lead_in_samples + at_ear.size() + config_.lead_out_samples;
+  Samples pressure = IndependentAmbient(total);
+  MixInto(pressure, MicNoise(total, config_.phone_mic));
+  MixIntoAt(pressure, at_ear, config_.lead_in_samples);
+  // Assume the attacker carries full-band recording gear.
+  return MicrophoneModel::Phone().Capture(pressure);
+}
+
+Samples TwoMicScene::SharedAmbient(std::size_t n) {
+  return shared_ambient_.Generate(n);
+}
+
+Samples TwoMicScene::IndependentAmbient(std::size_t n) {
+  return watch_ambient_.Generate(n);
+}
+
+}  // namespace wearlock::audio

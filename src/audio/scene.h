@@ -1,0 +1,89 @@
+// TwoMicScene: the full acoustic scene of an unlock attempt - one phone
+// (speaker + self-recording mic) and one watch (mic only) in a shared
+// environment.
+//
+// Unlike AcousticChannel (single TX->RX path, used for modem-level
+// experiments), the scene renders *both* device recordings from one
+// shared ambient-noise waveform when the devices are co-located. That
+// correlation is exactly what the Sound-Proof-style ambient similarity
+// filter keys on; scenes with co_located=false give each mic independent
+// ambience of the same environment class.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "audio/microphone.h"
+#include "audio/noise.h"
+#include "audio/propagation.h"
+#include "audio/signal.h"
+#include "audio/speaker.h"
+#include "sim/rng.h"
+
+namespace wearlock::audio {
+
+struct SceneConfig {
+  SpeakerModel phone_speaker{};
+  MicrophoneModel phone_mic = MicrophoneModel::Phone();
+  MicrophoneModel watch_mic = MicrophoneModel::Watch();
+  PropagationSpec propagation = PropagationSpec::IndoorLos();
+  /// Phone -> watch distance.
+  double distance_m = 0.4;
+  Environment environment = Environment::kQuietRoom;
+  std::optional<NoiseProfile> custom_noise;
+  /// Devices share one ambient waveform (same room, within ~1 m)?
+  bool co_located = true;
+  /// Ambient recorded before/after the signal (samples).
+  std::size_t lead_in_samples = 4096;
+  std::size_t lead_out_samples = 2048;
+  /// Receive-chain phase jitter (see ChannelConfig docs).
+  double phase_noise_rad = 0.04;
+  double phase_noise_bw_hz = 600.0;
+};
+
+/// What both mics captured for one transmission.
+struct SceneReception {
+  Samples phone_recording;  ///< self-recording (signal at d0, very loud)
+  Samples watch_recording;  ///< signal after propagation to distance_m
+  std::size_t signal_start = 0;  ///< ground truth (same for both mics)
+  double watch_spl_signal = 0.0;
+  double watch_spl_noise = 0.0;
+};
+
+class TwoMicScene {
+ public:
+  TwoMicScene(SceneConfig config, sim::Rng rng);
+
+  /// Phone plays `signal` at `volume`; both mics record.
+  SceneReception TransmitFromPhone(const Samples& signal, double volume);
+
+  /// Ambient-only recordings (phone, watch) of n samples each.
+  std::pair<Samples, Samples> RecordAmbientPair(std::size_t n);
+
+  /// What a third microphone at `distance_m` (with its own propagation
+  /// spec) would capture of the same transmission - the eavesdropper /
+  /// co-located-attacker view. Independent ambient mix-in.
+  Samples RecordAtDistance(const Samples& signal, double volume,
+                           double eavesdropper_distance_m,
+                           const PropagationSpec& path);
+
+  void set_distance(double distance_m) { config_.distance_m = distance_m; }
+  void set_propagation(const PropagationSpec& spec);
+  void SetJammer(std::optional<ToneJammer> jammer) { jammer_ = std::move(jammer); }
+  const SceneConfig& config() const { return config_; }
+
+ private:
+  Samples SharedAmbient(std::size_t n);
+  Samples IndependentAmbient(std::size_t n);
+  Samples MicNoise(std::size_t n, const MicrophoneModel& mic);
+  Samples ApplyPhaseJitter(Samples x);
+
+  SceneConfig config_;
+  PropagationModel propagation_;
+  NoiseSource shared_ambient_;
+  NoiseSource watch_ambient_;  // used when not co-located
+  std::optional<ToneJammer> jammer_;
+  sim::Rng rng_;
+};
+
+}  // namespace wearlock::audio

@@ -1,0 +1,100 @@
+#include "audio/speaker.h"
+#include <numbers>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/filter.h"
+#include "dsp/spl.h"
+
+namespace wearlock::audio {
+namespace {
+
+// SPL of a full-scale (amplitude 1.0) digital sine: fixes the mapping
+// between digital amplitude and dB SPL.
+double FullScaleSineSpl() {
+  return wearlock::dsp::SplFromRms(1.0 / std::sqrt(2.0));
+}
+
+}  // namespace
+
+SpeakerModel::SpeakerModel(SpeakerSpec spec) : spec_(spec) {
+  // Impulse response: unit direct path followed by an exponentially
+  // decaying reverberation tail (the "ringing" effect).
+  const std::size_t tail_len = SamplesFromSeconds(spec_.ringing_tail_s);
+  ringing_ir_.assign(tail_len + 1, 0.0);
+  ringing_ir_[0] = 1.0;
+  if (tail_len > 0) {
+    const double decay_per_sample =
+        std::pow(spec_.ringing_decay, 1.0 / static_cast<double>(tail_len));
+    double a = spec_.ringing_level;
+    for (std::size_t n = 1; n <= tail_len; ++n) {
+      a *= decay_per_sample;
+      ringing_ir_[n] = a;
+    }
+  }
+}
+
+Samples SpeakerModel::Emit(const Samples& input, double volume) const {
+  if (volume < 0.0 || volume > 1.0) {
+    throw std::invalid_argument("SpeakerModel::Emit: volume must be in [0, 1]");
+  }
+  // Digital drive with excursion clipping.
+  Samples drive = input;
+  Scale(drive, volume);
+  Clip(drive, spec_.clip_level);
+
+  // Rise effect: first-order attack envelope from signal onset.
+  const double tau = std::max(spec_.rise_time_s, 1e-6) * kSampleRate;
+  for (std::size_t n = 0; n < drive.size(); ++n) {
+    const double env = 1.0 - std::exp(-static_cast<double>(n + 1) / tau);
+    drive[n] *= env;
+  }
+
+  // Ringing: convolve with the reverberation impulse response.
+  Samples out = wearlock::dsp::Convolve(drive, ringing_ir_);
+
+  // Static phase-response ripple (see SpeakerSpec::phase_ripple_rad).
+  if (spec_.phase_ripple_rad > 0.0 && !out.empty()) {
+    const std::size_t n = wearlock::dsp::NextPowerOfTwo(out.size());
+    wearlock::dsp::ComplexVec spec(n, wearlock::dsp::Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      spec[i] = wearlock::dsp::Complex(out[i], 0.0);
+    }
+    wearlock::dsp::Fft(spec);
+    const double fs = kSampleRate;
+    for (std::size_t k = 1; k < n / 2; ++k) {
+      const double f = static_cast<double>(k) * fs / static_cast<double>(n);
+      const double phi =
+          spec_.phase_ripple_rad *
+          (0.65 * std::sin(2.0 * std::numbers::pi * f / spec_.ripple_period1_hz +
+                           spec_.ripple_phase1_rad) +
+           0.45 * std::sin(2.0 * std::numbers::pi * f / spec_.ripple_period2_hz +
+                           spec_.ripple_phase2_rad));
+      const auto rot = std::polar(1.0, phi);
+      spec[k] *= rot;
+      spec[n - k] *= std::conj(rot);  // keep the signal real
+    }
+    wearlock::dsp::Ifft(spec);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = spec[i].real();
+  }
+
+  // Electro-acoustic gain: full-scale sine at volume 1 -> max_spl_at_d0.
+  const double gain = std::pow(10.0, (spec_.max_spl_at_d0 - FullScaleSineSpl()) / 20.0);
+  Scale(out, gain);
+  return out;
+}
+
+double SpeakerModel::SplAtVolume(double volume) const {
+  if (volume <= 0.0) return -1e9;
+  return spec_.max_spl_at_d0 + 20.0 * std::log10(volume);
+}
+
+double SpeakerModel::VolumeForSpl(double target_spl) const {
+  const double v = std::pow(10.0, (target_spl - spec_.max_spl_at_d0) / 20.0);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+}  // namespace wearlock::audio

@@ -1,0 +1,78 @@
+// Phone speaker model.
+//
+// Reproduces the two hardware artifacts the paper designs around
+// (§III "Microphone and Speaker Characteristics"):
+//   * rise effect  - the driver cannot reach full excursion instantly, so
+//     signal onsets are low-passed by an attack envelope;
+//   * ringing      - the driver keeps radiating after the input stops,
+//     modeled as convolution with an exponentially decaying reverberation
+//     tail.
+// Plus volume control (the knob WearLock uses to bound the secure range)
+// and hard clipping at full scale.
+#pragma once
+
+#include <cstddef>
+
+#include "audio/signal.h"
+
+namespace wearlock::audio {
+
+struct SpeakerSpec {
+  /// Time constant of the rise (attack) envelope, seconds.
+  double rise_time_s = 0.002;
+  /// Length of the ringing tail, seconds (paper sizes the guard interval
+  /// Tg to exceed this "largest reverberation length").
+  double ringing_tail_s = 0.015;
+  /// Tail decay: amplitude falls by this factor over the tail length.
+  double ringing_decay = 1e-3;
+  /// Relative energy of the ringing tail vs. the direct output.
+  double ringing_level = 0.08;
+  /// Full-scale output ceiling (samples are clipped here).
+  double clip_level = 1.0;
+  /// SPL produced at the reference distance d0 by a full-scale sine at
+  /// volume 1.0 (dB). A phone loudspeaker driven hard reaches ~100 dB at
+  /// 10 cm.
+  double max_spl_at_d0 = 100.0;
+  /// Peak of the static per-frequency phase ripple (radians). Models the
+  /// "uneven responses of amplitude modulation and phase modulation of
+  /// the audio hardware" (paper §III-7): tiny drivers have ragged phase
+  /// response, so phase-bearing constellations (PSK/QAM) need more SNR
+  /// per bit than amplitude-only ones (ASK), and 16QAM is effectively
+  /// unusable. Set 0 to disable (ideal speaker).
+  double phase_ripple_rad = 0.25;
+  /// Ripple fine-structure periods in Hz. Shorter than twice the modem's
+  /// pilot spacing (~689 Hz), so pilot interpolation cannot track it.
+  double ripple_period1_hz = 910.0;
+  double ripple_period2_hz = 567.0;
+  /// Per-unit manufacturing variation: the ripple phases differ from
+  /// driver to driver, giving each speaker a stable spectral signature -
+  /// the basis of the hardware-fingerprinting relay defense (paper §IV).
+  double ripple_phase1_rad = 0.0;
+  double ripple_phase2_rad = 1.3;
+};
+
+class SpeakerModel {
+ public:
+  explicit SpeakerModel(SpeakerSpec spec = {});
+
+  /// Render `input` (digital signal in [-1, 1]) at `volume` in [0, 1].
+  /// Returns the pressure signal emitted at the reference distance d0,
+  /// with rise/ringing applied. Output is longer than input by the
+  /// ringing tail.
+  /// @throws std::invalid_argument if volume is outside [0, 1].
+  Samples Emit(const Samples& input, double volume) const;
+
+  /// SPL (dB at d0) a full-scale sine would produce at `volume`.
+  double SplAtVolume(double volume) const;
+
+  /// Volume needed to hit `target_spl` dB at d0 (clamped to [0, 1]).
+  double VolumeForSpl(double target_spl) const;
+
+  const SpeakerSpec& spec() const { return spec_; }
+
+ private:
+  SpeakerSpec spec_;
+  Samples ringing_ir_;  // precomputed impulse response (direct + tail)
+};
+
+}  // namespace wearlock::audio

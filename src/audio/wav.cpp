@@ -1,0 +1,124 @@
+#include "audio/wav.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace wearlock::audio {
+namespace {
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+void WriteWav(const std::string& path, const Samples& samples,
+              double sample_rate_hz) {
+  const std::uint32_t rate = static_cast<std::uint32_t>(sample_rate_hz);
+  const std::uint32_t data_bytes = static_cast<std::uint32_t>(samples.size() * 2);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(44 + data_bytes);
+  const char* riff = "RIFF";
+  out.insert(out.end(), riff, riff + 4);
+  PutU32(out, 36 + data_bytes);
+  const char* wavefmt = "WAVEfmt ";
+  out.insert(out.end(), wavefmt, wavefmt + 8);
+  PutU32(out, 16);          // fmt chunk size
+  PutU16(out, 1);           // PCM
+  PutU16(out, 1);           // mono
+  PutU32(out, rate);
+  PutU32(out, rate * 2);    // byte rate
+  PutU16(out, 2);           // block align
+  PutU16(out, 16);          // bits per sample
+  const char* data = "data";
+  out.insert(out.end(), data, data + 4);
+  PutU32(out, data_bytes);
+  for (double v : samples) {
+    const double clamped = std::clamp(v, -1.0, 1.0);
+    const auto s = static_cast<std::int16_t>(std::lround(clamped * 32767.0));
+    PutU16(out, static_cast<std::uint16_t>(s));
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("WriteWav: cannot open " + path);
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  if (!file) throw std::runtime_error("WriteWav: write failed for " + path);
+}
+
+WavData ReadWav(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("ReadWav: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < 44 || std::memcmp(bytes.data(), "RIFF", 4) != 0 ||
+      std::memcmp(bytes.data() + 8, "WAVE", 4) != 0) {
+    throw std::runtime_error("ReadWav: not a RIFF/WAVE file: " + path);
+  }
+
+  // Walk chunks for fmt and data.
+  std::size_t pos = 12;
+  std::uint16_t channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  const std::uint8_t* data_ptr = nullptr;
+  std::uint32_t data_len = 0;
+  while (pos + 8 <= bytes.size()) {
+    const char* id = reinterpret_cast<const char*>(bytes.data() + pos);
+    const std::uint32_t len = GetU32(bytes.data() + pos + 4);
+    if (pos + 8 + len > bytes.size()) break;
+    if (std::memcmp(id, "fmt ", 4) == 0 && len >= 16) {
+      const std::uint8_t* p = bytes.data() + pos + 8;
+      const std::uint16_t format = GetU16(p);
+      if (format != 1) throw std::runtime_error("ReadWav: not PCM: " + path);
+      channels = GetU16(p + 2);
+      rate = GetU32(p + 4);
+      bits = GetU16(p + 14);
+    } else if (std::memcmp(id, "data", 4) == 0) {
+      data_ptr = bytes.data() + pos + 8;
+      data_len = len;
+    }
+    pos += 8 + len + (len % 2);  // chunks are word-aligned
+  }
+  if (data_ptr == nullptr || channels == 0) {
+    throw std::runtime_error("ReadWav: missing fmt/data chunk: " + path);
+  }
+  if (bits != 16) throw std::runtime_error("ReadWav: expected 16-bit PCM");
+
+  WavData wav;
+  wav.sample_rate_hz = static_cast<double>(rate);
+  const std::size_t frames = data_len / (2u * channels);
+  wav.samples.resize(frames);
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto s = static_cast<std::int16_t>(
+        GetU16(data_ptr + i * 2u * channels));  // first channel
+    wav.samples[i] = static_cast<double>(s) / 32768.0;
+  }
+  return wav;
+}
+
+}  // namespace wearlock::audio

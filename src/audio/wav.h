@@ -1,0 +1,28 @@
+// Minimal 16-bit PCM mono WAV file I/O.
+//
+// Lets examples and debugging sessions dump simulated waveforms for
+// inspection in Audacity (the paper's own jamming tool) and feed external
+// recordings back through the receive chain.
+#pragma once
+
+#include <string>
+
+#include "audio/signal.h"
+
+namespace wearlock::audio {
+
+/// Write samples (clamped to [-1, 1]) as 16-bit PCM mono at
+/// `sample_rate_hz`. @throws std::runtime_error on I/O failure.
+void WriteWav(const std::string& path, const Samples& samples,
+              double sample_rate_hz = kSampleRate);
+
+struct WavData {
+  Samples samples;        ///< normalized to [-1, 1]
+  double sample_rate_hz = 0.0;
+};
+
+/// Read a 16-bit PCM mono (or first-channel-of-stereo) WAV file.
+/// @throws std::runtime_error on I/O or format errors.
+WavData ReadWav(const std::string& path);
+
+}  // namespace wearlock::audio

@@ -1,0 +1,69 @@
+// HOTP: HMAC-based one-time password (RFC 4226), the token WearLock
+// transmits over the acoustic channel (paper §IV).
+//
+// Token = DynamicTruncate(HMAC-SHA1(key, counter)) mod 10^Digit.
+// WearLock actually sends the raw 31-bit truncated value as the acoustic
+// payload (a "32 bits OTP" with 2^32 keyspace in the paper's discussion);
+// the digit form exists for display/PIN-style fallback.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha1.h"
+
+namespace wearlock::crypto {
+
+/// Dynamic truncation per RFC 4226 §5.3: take the low 4 bits of the last
+/// digest byte as an offset, read 4 bytes there, mask the sign bit.
+std::uint32_t DynamicTruncate(const Digest& digest);
+
+/// Raw truncated HOTP value (31 bits) for (key, counter).
+std::uint32_t HotpValue(const std::vector<std::uint8_t>& key,
+                        std::uint64_t counter);
+
+/// Decimal HOTP code with `digits` digits (6..9 per RFC guidance, but any
+/// 1..9 accepted). Zero-padded string.
+/// @throws std::invalid_argument if digits is 0 or > 9.
+std::string HotpCode(const std::vector<std::uint8_t>& key,
+                     std::uint64_t counter, unsigned digits);
+
+/// Generator/validator pair state. The phone (validator) keeps a
+/// look-ahead window so a token burned by a failed acoustic delivery does
+/// not desynchronize the pair (RFC 4226 §7.2 resynchronization).
+class HotpValidator {
+ public:
+  /// @param window how many counter values ahead of the expected one are
+  /// accepted (s parameter of RFC 4226). 0 = exact match only.
+  HotpValidator(std::vector<std::uint8_t> key, std::uint64_t initial_counter,
+                unsigned window);
+
+  /// Validate a raw 31-bit token. On success returns the matched counter
+  /// and advances the expected counter past it (one-time semantics).
+  std::optional<std::uint64_t> Validate(std::uint32_t token);
+
+  std::uint64_t expected_counter() const { return counter_; }
+
+ private:
+  std::vector<std::uint8_t> key_;
+  std::uint64_t counter_;
+  unsigned window_;
+};
+
+class HotpGenerator {
+ public:
+  HotpGenerator(std::vector<std::uint8_t> key, std::uint64_t initial_counter);
+
+  /// Produce the next token and advance the counter.
+  std::uint32_t Next();
+
+  std::uint64_t counter() const { return counter_; }
+
+ private:
+  std::vector<std::uint8_t> key_;
+  std::uint64_t counter_;
+};
+
+}  // namespace wearlock::crypto

@@ -1,0 +1,30 @@
+#include "dsp/chirp.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/window.h"
+
+namespace wearlock::dsp {
+
+std::vector<double> MakeChirp(const ChirpSpec& spec) {
+  if (spec.length_samples == 0) throw std::invalid_argument("MakeChirp: zero length");
+  if (spec.sample_rate_hz <= 0.0) throw std::invalid_argument("MakeChirp: bad rate");
+  if (spec.f_max_hz < spec.f_min_hz) {
+    throw std::invalid_argument("MakeChirp: f_max < f_min");
+  }
+  const double tp = static_cast<double>(spec.length_samples) / spec.sample_rate_hz;
+  const double k = (spec.f_max_hz - spec.f_min_hz) / tp;
+  std::vector<double> s(spec.length_samples);
+  for (std::size_t n = 0; n < spec.length_samples; ++n) {
+    const double t = static_cast<double>(n) / spec.sample_rate_hz;
+    const double phase =
+        2.0 * std::numbers::pi * (spec.f_min_hz * t + 0.5 * k * t * t);
+    s[n] = spec.amplitude * std::sin(phase);
+  }
+  ApplyEdgeFade(s, spec.edge_fade_samples);
+  return s;
+}
+
+}  // namespace wearlock::dsp

@@ -1,0 +1,30 @@
+// Linear-frequency-modulated (LFM / chirp) signal generation.
+//
+// WearLock's preamble is a chirp sweeping fmin -> fmax over Tp (paper
+// §III-3): strong autocorrelation, Doppler-insensitive, detectable with a
+// matched filter even at low SNR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+struct ChirpSpec {
+  double f_min_hz = 1000.0;
+  double f_max_hz = 6000.0;
+  std::size_t length_samples = 256;
+  double sample_rate_hz = 44100.0;
+  double amplitude = 1.0;
+  /// Raised-cosine fade applied to both edges (samples); softens speaker
+  /// rise/ringing artifacts and spectral splatter.
+  std::size_t edge_fade_samples = 16;
+};
+
+/// Generate the chirp s[n] = A * sin(2*pi * (f_min*t + 0.5*k*t^2)),
+/// k = (f_max - f_min) / Tp.
+/// @throws std::invalid_argument for non-positive rate/length or
+/// f_max < f_min.
+std::vector<double> MakeChirp(const ChirpSpec& spec);
+
+}  // namespace wearlock::dsp

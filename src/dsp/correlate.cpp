@@ -1,0 +1,96 @@
+#include "dsp/correlate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace wearlock::dsp {
+namespace {
+
+void CheckArgs(const std::vector<double>& x, const std::vector<double>& y) {
+  if (y.empty()) throw std::invalid_argument("CrossCorrelate: empty template");
+  if (y.size() > x.size()) {
+    throw std::invalid_argument("CrossCorrelate: template longer than signal");
+  }
+}
+
+}  // namespace
+
+std::vector<double> CrossCorrelate(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  CheckArgs(x, y);
+  const std::size_t lags = x.size() - y.size() + 1;
+  std::vector<double> r(lags, 0.0);
+  for (std::size_t k = 0; k < lags; ++k) {
+    double acc = 0.0;
+    for (std::size_t n = 0; n < y.size(); ++n) acc += x[k + n] * y[n];
+    r[k] = acc;
+  }
+  return r;
+}
+
+std::vector<double> CrossCorrelateFft(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  CheckArgs(x, y);
+  const std::size_t lags = x.size() - y.size() + 1;
+  const std::size_t n = NextPowerOfTwo(x.size() + y.size());
+  ComplexVec fx(n, Complex(0.0, 0.0));
+  ComplexVec fy(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) fx[i] = Complex(x[i], 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) fy[i] = Complex(y[i], 0.0);
+  Fft(fx);
+  Fft(fy);
+  for (std::size_t i = 0; i < n; ++i) fx[i] *= std::conj(fy[i]);
+  Ifft(fx);
+  std::vector<double> r(lags);
+  for (std::size_t k = 0; k < lags; ++k) r[k] = fx[k].real();
+  return r;
+}
+
+std::vector<double> NormalizedCrossCorrelate(const std::vector<double>& x,
+                                             const std::vector<double>& y) {
+  CheckArgs(x, y);
+  std::vector<double> r = CrossCorrelateFft(x, y);
+  double y_energy = 0.0;
+  for (double v : y) y_energy += v * v;
+  const double y_norm = std::sqrt(y_energy);
+  if (y_norm == 0.0) {
+    std::fill(r.begin(), r.end(), 0.0);
+    return r;
+  }
+  // Running window energy of x for the denominator.
+  double win_energy = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) win_energy += x[i] * x[i];
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    const double denom = std::sqrt(std::max(win_energy, 0.0)) * y_norm;
+    r[k] = denom > 1e-30 ? r[k] / denom : 0.0;
+    if (k + 1 < r.size()) {
+      win_energy += x[k + y.size()] * x[k + y.size()] - x[k] * x[k];
+    }
+  }
+  return r;
+}
+
+PeakResult FindPeak(const std::vector<double>& scores) {
+  if (scores.empty()) throw std::invalid_argument("FindPeak: empty input");
+  PeakResult best{0, scores[0]};
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > best.score) best = {i, scores[i]};
+  }
+  return best;
+}
+
+double AutocorrelateAtLag(const std::vector<double>& x, std::size_t lag,
+                          std::size_t start, std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t a = start + i;
+    const std::size_t b = start + i + lag;
+    if (b >= x.size()) break;
+    acc += x[a] * x[b];
+  }
+  return acc;
+}
+
+}  // namespace wearlock::dsp

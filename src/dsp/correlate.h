@@ -1,0 +1,44 @@
+// Cross-correlation primitives.
+//
+// The modem finds its chirp preamble with a normalized sliding
+// cross-correlator (paper §III-4); the NLOS detector builds a delay
+// profile from the same correlation; the ambient-noise co-location filter
+// correlates noise recordings from phone and watch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+/// Linear cross-correlation r[k] = sum_n x[n+k] * y[n] for
+/// k in [0, x.size() - y.size()] (valid lags only; requires
+/// x.size() >= y.size()). Direct O(N*M) evaluation.
+/// @throws std::invalid_argument if y is empty or longer than x.
+std::vector<double> CrossCorrelate(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Same result as CrossCorrelate but computed via FFT in O(N log N).
+std::vector<double> CrossCorrelateFft(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// Normalized sliding correlation: each lag's score is divided by
+/// ||x_window|| * ||y||, yielding values in [-1, 1]. Zero-energy windows
+/// score 0. This is the detector statistic the paper thresholds (0.05).
+std::vector<double> NormalizedCrossCorrelate(const std::vector<double>& x,
+                                             const std::vector<double>& y);
+
+struct PeakResult {
+  std::size_t index = 0;  ///< lag of the maximum score
+  double score = 0.0;     ///< value at the maximum
+};
+
+/// Index and value of the maximum element. @throws if empty.
+PeakResult FindPeak(const std::vector<double>& scores);
+
+/// Autocorrelation of x at the given lag (un-normalized inner product of
+/// x[0..n-lag) with x[lag..n)). Used by the cyclic-prefix fine sync.
+double AutocorrelateAtLag(const std::vector<double>& x, std::size_t lag,
+                          std::size_t start, std::size_t count);
+
+}  // namespace wearlock::dsp

@@ -1,0 +1,142 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wearlock::dsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Bit-reversal permutation for the iterative FFT.
+void BitReverse(ComplexVec& x) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+// Core transform; `inverse` flips the twiddle sign (no scaling here).
+void Transform(ComplexVec& x, bool inverse) {
+  if (!IsPowerOfTwo(x.size())) {
+    throw std::invalid_argument("Fft: size must be a power of two, got " +
+                                std::to_string(x.size()));
+  }
+  const std::size_t n = x.size();
+  BitReverse(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// O(n^2) DFT for the small, possibly non-power-of-two sequences that the
+// pilot interpolator can produce. n is at most a few dozen there.
+ComplexVec Dft(const ComplexVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  ComplexVec out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * kPi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+ComplexVec ForwardAnySize(const ComplexVec& x) {
+  if (IsPowerOfTwo(x.size())) {
+    ComplexVec copy = x;
+    Transform(copy, /*inverse=*/false);
+    return copy;
+  }
+  return Dft(x, /*inverse=*/false);
+}
+
+ComplexVec InverseAnySize(const ComplexVec& x) {
+  if (IsPowerOfTwo(x.size())) {
+    ComplexVec copy = x;
+    Transform(copy, /*inverse=*/true);
+    const double inv_n = 1.0 / static_cast<double>(copy.size());
+    for (Complex& c : copy) c *= inv_n;
+    return copy;
+  }
+  return Dft(x, /*inverse=*/true);
+}
+
+}  // namespace
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(ComplexVec& x) { Transform(x, /*inverse=*/false); }
+
+void Ifft(ComplexVec& x) {
+  Transform(x, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (Complex& c : x) c *= inv_n;
+}
+
+ComplexVec FftReal(const RealVec& x) {
+  ComplexVec c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex(x[i], 0.0);
+  Fft(c);
+  return c;
+}
+
+RealVec IfftReal(ComplexVec spectrum) {
+  Ifft(spectrum);
+  RealVec out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = spectrum[i].real();
+  return out;
+}
+
+ComplexVec FftInterpolate(const ComplexVec& points, std::size_t out_len) {
+  if (points.empty()) throw std::invalid_argument("FftInterpolate: empty input");
+  const std::size_t m = points.size();
+  if (out_len <= m) {
+    // Degenerate request: band-limited "interpolation" to fewer points is
+    // just resampling; handle by returning the inverse of a truncated
+    // spectrum so the call still behaves sensibly.
+    ComplexVec spec = ForwardAnySize(points);
+    spec.resize(out_len);
+    ComplexVec out = InverseAnySize(spec);
+    const double scale = static_cast<double>(out_len) / static_cast<double>(m);
+    for (Complex& c : out) c *= scale;
+    return out;
+  }
+  ComplexVec spec = ForwardAnySize(points);
+  // Zero-pad in the middle of the spectrum, splitting the Nyquist-adjacent
+  // region so low and high frequencies keep their places.
+  ComplexVec padded(out_len, Complex(0.0, 0.0));
+  const std::size_t half = (m + 1) / 2;  // low-frequency half (incl. DC)
+  for (std::size_t i = 0; i < half; ++i) padded[i] = spec[i];
+  for (std::size_t i = half; i < m; ++i) padded[out_len - m + i] = spec[i];
+  ComplexVec out = InverseAnySize(padded);
+  const double scale = static_cast<double>(out_len) / static_cast<double>(m);
+  for (Complex& c : out) c *= scale;
+  return out;
+}
+
+}  // namespace wearlock::dsp

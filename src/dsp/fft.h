@@ -1,0 +1,46 @@
+// Radix-2 FFT/IFFT and FFT-based helpers.
+//
+// This is the numerical core of the whole modem: OFDM modulation (IFFT),
+// demodulation (FFT), fast cross-correlation, and the FFT-interpolation
+// used by the pilot-based channel estimator all route through here.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+using Complex = std::complex<double>;
+using ComplexVec = std::vector<Complex>;
+using RealVec = std::vector<double>;
+
+/// True if n is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n must be representable).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// @throws std::invalid_argument if x.size() is not a power of two.
+void Fft(ComplexVec& x);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+/// @throws std::invalid_argument if x.size() is not a power of two.
+void Ifft(ComplexVec& x);
+
+/// Out-of-place FFT of a real signal; result has x.size() bins
+/// (size must be a power of two).
+ComplexVec FftReal(const RealVec& x);
+
+/// Real part of the inverse FFT of a spectrum.
+RealVec IfftReal(ComplexVec spectrum);
+
+/// FFT-based interpolation: given `points` samples of a (conceptually
+/// periodic) sequence, produce `out_len` samples of the band-limited
+/// interpolant. Used to expand the pilot-tone channel estimate to cover
+/// data sub-channels (paper §III "FFT-based interpolation").
+/// Works for any sizes; internally zero-pads the spectrum.
+ComplexVec FftInterpolate(const ComplexVec& points, std::size_t out_len);
+
+}  // namespace wearlock::dsp

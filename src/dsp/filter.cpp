@@ -1,0 +1,133 @@
+#include "dsp/filter.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace wearlock::dsp {
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+void CheckFreq(double f_hz, double fs_hz) {
+  if (fs_hz <= 0.0 || f_hz <= 0.0 || f_hz >= fs_hz / 2.0) {
+    throw std::invalid_argument("filter: frequency must be in (0, fs/2)");
+  }
+}
+}  // namespace
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+Biquad Biquad::LowPass(double cutoff_hz, double sample_rate_hz, double q) {
+  CheckFreq(cutoff_hz, sample_rate_hz);
+  const double w0 = 2.0 * kPi * cutoff_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad((1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0);
+}
+
+Biquad Biquad::HighPass(double cutoff_hz, double sample_rate_hz, double q) {
+  CheckFreq(cutoff_hz, sample_rate_hz);
+  const double w0 = 2.0 * kPi * cutoff_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad((1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0, (1.0 + cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0);
+}
+
+Biquad Biquad::Peaking(double f0_hz, double sample_rate_hz, double gain_db,
+                       double q) {
+  CheckFreq(f0_hz, sample_rate_hz);
+  const double a = std::pow(10.0, gain_db / 40.0);
+  const double w0 = 2.0 * kPi * f0_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha / a;
+  return Biquad((1.0 + alpha * a) / a0, -2.0 * cw / a0, (1.0 - alpha * a) / a0,
+                -2.0 * cw / a0, (1.0 - alpha / a) / a0);
+}
+
+double Biquad::Process(double x) {
+  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+std::vector<double> Biquad::ProcessBlock(const std::vector<double>& x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = Process(x[i]);
+  return y;
+}
+
+void Biquad::Reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+double Biquad::MagnitudeAt(double f_hz, double sample_rate_hz) const {
+  const double w = 2.0 * kPi * f_hz / sample_rate_hz;
+  const std::complex<double> z1 = std::polar(1.0, -w);
+  const std::complex<double> z2 = z1 * z1;
+  const std::complex<double> num = b0_ + b1_ * z1 + b2_ * z2;
+  const std::complex<double> den = 1.0 + a1_ * z1 + a2_ * z2;
+  return std::abs(num / den);
+}
+
+BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
+    : sections_(std::move(sections)) {}
+
+BiquadCascade BiquadCascade::ButterworthLowPass(double cutoff_hz,
+                                                double sample_rate_hz,
+                                                std::size_t n_sections) {
+  if (n_sections == 0) {
+    throw std::invalid_argument("ButterworthLowPass: zero sections");
+  }
+  std::vector<Biquad> sections;
+  sections.reserve(n_sections);
+  const std::size_t order = 2 * n_sections;
+  for (std::size_t k = 0; k < n_sections; ++k) {
+    // Standard Butterworth pole-pair Q for a 2N-order cascade.
+    const double theta =
+        kPi * (2.0 * static_cast<double>(k) + 1.0) / (2.0 * static_cast<double>(order));
+    const double q = 1.0 / (2.0 * std::cos(theta));
+    sections.push_back(Biquad::LowPass(cutoff_hz, sample_rate_hz, q));
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+double BiquadCascade::Process(double x) {
+  for (Biquad& s : sections_) x = s.Process(x);
+  return x;
+}
+
+std::vector<double> BiquadCascade::ProcessBlock(const std::vector<double>& x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = Process(x[i]);
+  return y;
+}
+
+void BiquadCascade::Reset() {
+  for (Biquad& s : sections_) s.Reset();
+}
+
+double BiquadCascade::MagnitudeAt(double f_hz, double sample_rate_hz) const {
+  double mag = 1.0;
+  for (const Biquad& s : sections_) mag *= s.MagnitudeAt(f_hz, sample_rate_hz);
+  return mag;
+}
+
+std::vector<double> Convolve(const std::vector<double>& x,
+                             const std::vector<double>& h) {
+  if (x.empty() || h.empty()) return {};
+  std::vector<double> y(x.size() + h.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < h.size(); ++j) y[i + j] += x[i] * h[j];
+  }
+  return y;
+}
+
+}  // namespace wearlock::dsp

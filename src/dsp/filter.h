@@ -1,0 +1,70 @@
+// IIR biquad sections, Butterworth designs, and FIR convolution.
+//
+// Used by the hardware models: the Android-Wear microphone's mandatory
+// ~7 kHz low-pass (paper §III-2 footnote) is a Butterworth cascade, and
+// speaker ringing is an FIR convolution with a decaying impulse response.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+/// One direct-form-I biquad: y = (b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2).
+/// Coefficients are normalized (a0 == 1).
+class Biquad {
+ public:
+  Biquad() = default;
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  /// Butterworth-Q low-pass at cutoff (RBJ cookbook formulas).
+  static Biquad LowPass(double cutoff_hz, double sample_rate_hz, double q = 0.7071);
+  /// Butterworth-Q high-pass at cutoff.
+  static Biquad HighPass(double cutoff_hz, double sample_rate_hz, double q = 0.7071);
+  /// Peaking EQ: gain_db boost/cut centred at f0 with bandwidth set by q.
+  static Biquad Peaking(double f0_hz, double sample_rate_hz, double gain_db,
+                        double q = 1.0);
+
+  /// Filter one sample, updating internal state.
+  double Process(double x);
+  /// Filter a whole buffer (stateful across calls).
+  std::vector<double> ProcessBlock(const std::vector<double>& x);
+  /// Reset the delay line.
+  void Reset();
+
+  /// Magnitude response at frequency f (stateless query).
+  double MagnitudeAt(double f_hz, double sample_rate_hz) const;
+
+ private:
+  double b0_ = 1.0, b1_ = 0.0, b2_ = 0.0, a1_ = 0.0, a2_ = 0.0;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// A cascade of biquads processed in series.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections);
+
+  /// N-section (2N-order) Butterworth low-pass via cascaded RBJ sections
+  /// with the standard per-section Q values.
+  static BiquadCascade ButterworthLowPass(double cutoff_hz,
+                                          double sample_rate_hz,
+                                          std::size_t sections);
+
+  double Process(double x);
+  std::vector<double> ProcessBlock(const std::vector<double>& x);
+  void Reset();
+  double MagnitudeAt(double f_hz, double sample_rate_hz) const;
+  std::size_t size() const { return sections_.size(); }
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// Full linear convolution y = x * h (length |x|+|h|-1). Direct form;
+/// impulse responses in the hardware models are short.
+std::vector<double> Convolve(const std::vector<double>& x,
+                             const std::vector<double>& h);
+
+}  // namespace wearlock::dsp

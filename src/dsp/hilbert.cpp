@@ -1,0 +1,35 @@
+#include "dsp/hilbert.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wearlock::dsp {
+
+ComplexVec AnalyticSignal(const RealVec& x) {
+  if (x.empty()) return {};
+  const std::size_t n = NextPowerOfTwo(x.size());
+  ComplexVec spec(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) spec[i] = Complex(x[i], 0.0);
+  Fft(spec);
+  // Analytic filter: keep DC and Nyquist, double positive freqs, zero
+  // negative freqs.
+  for (std::size_t k = 1; k < n / 2; ++k) spec[k] *= 2.0;
+  for (std::size_t k = n / 2 + 1; k < n; ++k) spec[k] = Complex(0.0, 0.0);
+  Ifft(spec);
+  spec.resize(x.size());
+  return spec;
+}
+
+RealVec RotatePhase(const RealVec& x, const RealVec& theta) {
+  if (x.size() != theta.size()) {
+    throw std::invalid_argument("RotatePhase: size mismatch");
+  }
+  const ComplexVec analytic = AnalyticSignal(x);
+  RealVec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (analytic[i] * std::polar(1.0, theta[i])).real();
+  }
+  return out;
+}
+
+}  // namespace wearlock::dsp

@@ -1,0 +1,29 @@
+// Analytic signal (Hilbert transform) helpers.
+//
+// Used by the channel simulator to inject *phase-domain* impairments:
+// multiplying the analytic signal by exp(j*theta(t)) rotates the local
+// phase without touching the envelope - the mechanism behind the paper's
+// observation that "amplitude-shift keying needs less SNR per bit than
+// phase-shift keying" on real audio hardware (clock jitter and AM/PM
+// asymmetry corrupt phase first).
+#pragma once
+
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace wearlock::dsp {
+
+/// Analytic signal via the FFT method (zero negative frequencies, double
+/// positive ones). Internally zero-pads to a power of two; the returned
+/// vector has x.size() entries. Real part equals x (up to padding error
+/// at the very edges).
+ComplexVec AnalyticSignal(const RealVec& x);
+
+/// Rotate the instantaneous phase of x by theta[i] radians per sample.
+/// theta must be the same length as x. Returns the real signal with the
+/// same envelope and shifted phase.
+/// @throws std::invalid_argument on length mismatch.
+RealVec RotatePhase(const RealVec& x, const RealVec& theta);
+
+}  // namespace wearlock::dsp

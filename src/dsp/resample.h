@@ -1,0 +1,32 @@
+// Fractional delay and simple delay utilities.
+//
+// The propagation model delays each transmitter->receiver path by
+// distance / c, which is generally a non-integer number of samples at
+// 44.1 kHz; a windowed-sinc fractional delay keeps the chirp correlation
+// peak sharp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+/// Delay `x` by an integer number of samples (prepends zeros).
+std::vector<double> DelayInteger(const std::vector<double>& x,
+                                 std::size_t delay_samples);
+
+/// Delay `x` by a (possibly fractional, possibly > 1) number of samples
+/// using a windowed-sinc interpolator with `taps` coefficients per output
+/// sample (odd, default 33). Output length is x.size() + ceil(delay).
+/// @throws std::invalid_argument for negative delay or even/zero taps.
+std::vector<double> DelayFractional(const std::vector<double>& x,
+                                    double delay_samples,
+                                    std::size_t taps = 33);
+
+/// Resample x at a constant rate ratio via linear interpolation:
+/// output[i] = x(i * rate). rate > 1 compresses (receiver approaching,
+/// positive Doppler), rate < 1 stretches. Output length is
+/// floor(x.size() / rate). @throws std::invalid_argument for rate <= 0.
+std::vector<double> WarpTimeLinear(const std::vector<double>& x, double rate);
+
+}  // namespace wearlock::dsp

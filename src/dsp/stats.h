@@ -1,0 +1,42 @@
+// Small statistics helpers used by the evaluation harness:
+// summary statistics, percentiles, and the logarithmic trend fit the
+// paper uses for Fig. 5's BER-vs-Eb/N0 curves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean/stddev (population), min/max/median. @throws if empty.
+Summary Summarize(const std::vector<double>& xs);
+
+/// Linear interpolation percentile, p in [0,100]. @throws if empty or p
+/// out of range.
+double Percentile(std::vector<double> xs, double p);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept. @throws if sizes
+/// differ or fewer than two points.
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Logarithmic trend line y = a*ln(x) + b (the "logarithmic tread-lines"
+/// fitting Fig. 5). All x must be > 0.
+LinearFit FitLogarithmic(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+}  // namespace wearlock::dsp

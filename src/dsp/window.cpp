@@ -1,0 +1,60 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wearlock::dsp {
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::vector<double> MakeWindow(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * kPi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * kPi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * kPi * t) + 0.08 * std::cos(4.0 * kPi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+void ApplyWindow(std::vector<double>& x, const std::vector<double>& window) {
+  if (x.size() != window.size()) {
+    throw std::invalid_argument("ApplyWindow: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= window[i];
+}
+
+void ApplyEdgeFade(std::vector<double>& x, std::size_t fade_len) {
+  fade_len = std::min(fade_len, x.size() / 2);
+  for (std::size_t i = 0; i < fade_len; ++i) {
+    const double g = static_cast<double>(i + 1) / static_cast<double>(fade_len);
+    x[i] *= g;
+    x[x.size() - 1 - i] *= g;
+  }
+}
+
+void ApplyFadeIn(std::vector<double>& x, std::size_t fade_len) {
+  fade_len = std::min(fade_len, x.size());
+  for (std::size_t i = 0; i < fade_len; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(fade_len);
+    x[i] *= 0.5 - 0.5 * std::cos(kPi * t);
+  }
+}
+
+}  // namespace wearlock::dsp

@@ -1,0 +1,33 @@
+// Window functions and fade envelopes.
+//
+// The paper applies "fading at the beginning of the signal" to counter the
+// speaker rise effect; OFDM symbols also get gentle edge fades to limit
+// spectral splatter into neighbouring (null) sub-channels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::dsp {
+
+enum class WindowType { kRectangular, kHann, kHamming, kBlackman };
+
+/// A length-n window of the given type. n == 0 returns an empty vector;
+/// n == 1 returns {1.0}.
+std::vector<double> MakeWindow(WindowType type, std::size_t n);
+
+/// Multiply `x` in place by the window (sizes must match).
+/// @throws std::invalid_argument on size mismatch.
+void ApplyWindow(std::vector<double>& x, const std::vector<double>& window);
+
+/// Apply a linear fade-in over the first `fade_len` samples and a linear
+/// fade-out over the last `fade_len` samples of `x` in place. `fade_len`
+/// is clamped to x.size() / 2.
+void ApplyEdgeFade(std::vector<double>& x, std::size_t fade_len);
+
+/// Apply a raised-cosine fade-in over the first `fade_len` samples only
+/// (speaker rise-effect mitigation; paper §III "we also apply fading at
+/// the beginning of the signal").
+void ApplyFadeIn(std::vector<double>& x, std::size_t fade_len);
+
+}  // namespace wearlock::dsp

@@ -1,0 +1,49 @@
+// Optional channel coding.
+//
+// The paper's rate formula R = |D| * rc * log2(M) / (Tg + Ts) carries a
+// coding rate rc but the prototype ships uncoded (rc = 1); it also notes
+// 16QAM "may need heavy error correction techniques" to be usable at
+// all. This module supplies the two classic codes that statement implies:
+//   * Hamming(7,4)  - rc = 4/7, corrects 1 bit error per 7-bit block
+//   * Repetition-3  - rc = 1/3, majority vote
+// plus an identity code for uniform call sites.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wearlock::modem {
+
+enum class CodeScheme { kNone, kHamming74, kRepetition3 };
+
+std::string ToString(CodeScheme scheme);
+
+/// Coding rate rc (payload bits / coded bits).
+double CodeRate(CodeScheme scheme);
+
+/// Encode payload bits (values 0/1). Output length is a whole number of
+/// code blocks; the tail is zero-padded before encoding.
+std::vector<std::uint8_t> Encode(CodeScheme scheme,
+                                 const std::vector<std::uint8_t>& bits);
+
+/// Decode coded bits back to payload bits. Lengths that are not a whole
+/// number of blocks are truncated to the last full block. The decode
+/// corrects errors within each code's capability and returns its best
+/// guess beyond that (no failure signaling - the OTP BER check is the
+/// integrity layer).
+std::vector<std::uint8_t> Decode(CodeScheme scheme,
+                                 const std::vector<std::uint8_t>& coded);
+
+/// Coded length for n payload bits (after padding).
+std::size_t EncodedLength(CodeScheme scheme, std::size_t n_payload_bits);
+
+/// Soft-decision decode from per-bit LLRs (positive = bit 0 likelier,
+/// the convention of modem::DemapSymbolsSoft). Repetition sums LLRs per
+/// triple; Hamming runs maximum-likelihood over the 16 codewords. kNone
+/// hard-slices the signs.
+std::vector<std::uint8_t> DecodeSoft(CodeScheme scheme,
+                                     const std::vector<double>& llrs);
+
+}  // namespace wearlock::modem

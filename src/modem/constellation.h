@@ -1,0 +1,81 @@
+// Constellation mapping / de-mapping for the modulation schemes the
+// paper's modem supports (§III-7): BASK, QASK (4-ASK), BPSK, QPSK, 8PSK
+// and 16QAM. All constellations are normalized to unit average symbol
+// energy so Eb/N0 comparisons across schemes are fair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace wearlock::modem {
+
+using dsp::Complex;
+
+enum class Modulation { kBask, kQask, kBpsk, kQpsk, k8Psk, k16Qam };
+
+/// All schemes in ascending modulation order (for sweeps).
+const std::vector<Modulation>& AllModulations();
+
+std::string ToString(Modulation m);
+unsigned BitsPerSymbol(Modulation m);
+unsigned ModulationOrder(Modulation m);  // M = 2^bits
+
+/// A concrete symbol alphabet with Gray-coded bit labels.
+class Constellation {
+ public:
+  /// Shared immutable instance per scheme.
+  static const Constellation& Get(Modulation m);
+
+  Modulation modulation() const { return modulation_; }
+  unsigned bits_per_symbol() const { return bits_; }
+  std::size_t size() const { return points_.size(); }
+
+  /// Complex point for a symbol index in [0, M). @throws if out of range.
+  Complex Map(unsigned symbol) const;
+
+  /// Nearest-point hard decision.
+  unsigned Demap(Complex received) const;
+
+  const std::vector<Complex>& points() const { return points_; }
+
+ private:
+  Constellation(Modulation m, std::vector<Complex> points);
+
+  Modulation modulation_;
+  unsigned bits_;
+  std::vector<Complex> points_;
+};
+
+/// Pack a bit vector (values 0/1) into constellation symbols, padding the
+/// tail with zero bits. Bits are consumed MSB-first per symbol.
+std::vector<Complex> MapBits(Modulation m, const std::vector<std::uint8_t>& bits);
+
+/// Inverse of MapBits; returns symbols.size() * bits_per_symbol bits.
+std::vector<std::uint8_t> DemapSymbols(Modulation m,
+                                       const std::vector<Complex>& symbols);
+
+/// Soft demapping: per-bit log-likelihood ratios via the max-log
+/// approximation, LLR = min_{s: bit=1} |r-s|^2 - min_{s: bit=0} |r-s|^2,
+/// so positive means "bit 0 more likely". Units are squared distance
+/// (the common noise variance cancels in the soft decoders).
+std::vector<double> DemapSymbolsSoft(Modulation m,
+                                     const std::vector<Complex>& symbols);
+
+/// Textbook AWGN bit-error-rate approximation (Gray coding assumed) at a
+/// given Eb/N0 in dB. Used for the adaptive-modulation mode table and as
+/// the reference ranking in Fig. 5.
+double TheoreticalBer(Modulation m, double ebn0_db);
+
+/// Count differing bits between equal-length bit vectors.
+/// @throws std::invalid_argument on length mismatch.
+std::size_t CountBitErrors(const std::vector<std::uint8_t>& a,
+                           const std::vector<std::uint8_t>& b);
+
+/// Fraction of differing bits.
+double BitErrorRate(const std::vector<std::uint8_t>& a,
+                    const std::vector<std::uint8_t>& b);
+
+}  // namespace wearlock::modem

@@ -1,0 +1,113 @@
+#include "modem/datagram.h"
+
+#include <stdexcept>
+
+namespace wearlock::modem {
+namespace {
+
+constexpr std::size_t kHeaderBits = 16;
+constexpr std::size_t kCrcBits = 16;
+
+std::vector<std::uint8_t> U16Bits(std::uint16_t v) {
+  std::vector<std::uint8_t> bits(16);
+  for (int i = 0; i < 16; ++i) {
+    bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (15 - i)) & 1u);
+  }
+  return bits;
+}
+
+std::uint16_t BitsU16(const std::vector<std::uint8_t>& bits, std::size_t at) {
+  std::uint16_t v = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    v = static_cast<std::uint16_t>((v << 1) | (bits[at + i] & 1u));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint16_t Crc16(const std::vector<std::uint8_t>& bytes) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : bytes) {
+    crc ^= static_cast<std::uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> BitsFromBytes(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 7; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1u));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> BytesFromBits(const std::vector<std::uint8_t>& bits) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(bits.size() / 8);
+  for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+    std::uint8_t b = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      b = static_cast<std::uint8_t>((b << 1) | (bits[i + j] & 1u));
+    }
+    bytes.push_back(b);
+  }
+  return bytes;
+}
+
+TxFrame SendDatagram(const AcousticModem& modem, const DatagramConfig& config,
+                     const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > config.max_payload_bytes) {
+    throw std::invalid_argument("SendDatagram: payload too large");
+  }
+  std::vector<std::uint8_t> bits =
+      U16Bits(static_cast<std::uint16_t>(payload.size()));
+  const auto payload_bits = BitsFromBytes(payload);
+  bits.insert(bits.end(), payload_bits.begin(), payload_bits.end());
+  const auto crc_bits = U16Bits(Crc16(payload));
+  bits.insert(bits.end(), crc_bits.begin(), crc_bits.end());
+  return modem.Modulate(config.modulation, Encode(config.code, bits));
+}
+
+std::optional<DatagramResult> ReceiveDatagram(const AcousticModem& modem,
+                                              const DatagramConfig& config,
+                                              const audio::Samples& recording) {
+  // Pass 1: just the coded header (16 payload bits align with whole code
+  // blocks for every scheme).
+  const std::size_t header_coded = EncodedLength(config.code, kHeaderBits);
+  const auto header_demod =
+      modem.Demodulate(recording, config.modulation, header_coded);
+  if (!header_demod) return std::nullopt;
+  const auto header_bits = Decode(config.code, header_demod->bits);
+  if (header_bits.size() < kHeaderBits) return std::nullopt;
+  const std::uint16_t length = BitsU16(header_bits, 0);
+  if (length > config.max_payload_bytes) return std::nullopt;
+
+  // Pass 2: the whole frame now that the length is known.
+  const std::size_t total_plain = kHeaderBits + 8u * length + kCrcBits;
+  const std::size_t total_coded = EncodedLength(config.code, total_plain);
+  const auto demod =
+      modem.Demodulate(recording, config.modulation, total_coded);
+  if (!demod) return std::nullopt;
+  auto plain = Decode(config.code, demod->bits);
+  if (plain.size() < total_plain) return std::nullopt;
+
+  DatagramResult result;
+  result.preamble_score = demod->preamble_score;
+  const std::vector<std::uint8_t> payload_bits(
+      plain.begin() + kHeaderBits, plain.begin() + kHeaderBits + 8u * length);
+  result.payload = BytesFromBits(payload_bits);
+  const std::uint16_t crc_rx = BitsU16(plain, kHeaderBits + 8u * length);
+  result.crc_ok = crc_rx == Crc16(result.payload);
+  return result;
+}
+
+}  // namespace wearlock::modem

@@ -1,0 +1,53 @@
+// Datagram layer: arbitrary byte payloads over the acoustic modem.
+//
+// WearLock itself only ever ships 32-bit OTP tokens whose length is
+// agreed over the control channel, but the underlying OFDM modem is a
+// general transport. This layer adds what standalone use needs:
+//   [16-bit length | payload bytes | CRC-16/CCITT]
+// optionally channel-coded, so a receiver can recover a datagram without
+// any out-of-band length agreement and detect residual corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "modem/coding.h"
+#include "modem/modem.h"
+
+namespace wearlock::modem {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+std::uint16_t Crc16(const std::vector<std::uint8_t>& bytes);
+
+/// Bytes -> bits (MSB first) and back.
+std::vector<std::uint8_t> BitsFromBytes(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> BytesFromBits(const std::vector<std::uint8_t>& bits);
+
+struct DatagramConfig {
+  Modulation modulation = Modulation::kQpsk;
+  CodeScheme code = CodeScheme::kHamming74;
+  /// Max accepted payload (guards the length field against corruption).
+  std::size_t max_payload_bytes = 256;
+};
+
+/// Frame a payload into an acoustic waveform.
+/// @throws std::invalid_argument if payload exceeds max_payload_bytes.
+TxFrame SendDatagram(const AcousticModem& modem, const DatagramConfig& config,
+                     const std::vector<std::uint8_t>& payload);
+
+struct DatagramResult {
+  std::vector<std::uint8_t> payload;
+  bool crc_ok = false;
+  double preamble_score = 0.0;
+};
+
+/// Recover a datagram from a recording. nullopt when no frame is found
+/// or the header is unusable; a present result with crc_ok == false
+/// means a frame arrived but was corrupted beyond the code's capability.
+std::optional<DatagramResult> ReceiveDatagram(const AcousticModem& modem,
+                                              const DatagramConfig& config,
+                                              const audio::Samples& recording);
+
+}  // namespace wearlock::modem

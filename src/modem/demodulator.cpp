@@ -1,0 +1,167 @@
+#include "modem/demodulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/spl.h"
+#include "modem/snr.h"
+#include "modem/sync.h"
+
+namespace wearlock::modem {
+
+Demodulator::Demodulator(FrameSpec spec, DemodConfig config)
+    : spec_(spec), config_(config), detector_(spec, config.detector) {
+  spec_.plan.Validate();
+}
+
+long Demodulator::FrameOffset(const audio::Samples& recording,
+                              std::size_t symbols_start,
+                              std::size_t n_symbols) const {
+  const FineSyncResult sync = FineSyncJoint(
+      recording, symbols_start, n_symbols, spec_, config_.fine_sync_range);
+  if (sync.metric < config_.min_sync_metric) {
+    // Unreliable metric: fall back to a conservative back-off into the CP.
+    return -static_cast<long>(spec_.cyclic_prefix_samples / 8);
+  }
+  return sync.offset;
+}
+
+std::optional<dsp::ComplexVec> Demodulator::SymbolSpectrumAt(
+    const audio::Samples& recording, std::size_t symbols_start,
+    std::size_t index, long offset) const {
+  const std::size_t cp_start = symbols_start + index * spec_.symbol_samples();
+  const long body_start_signed = static_cast<long>(cp_start) + offset +
+                                 static_cast<long>(spec_.cyclic_prefix_samples);
+  if (body_start_signed < 0) return std::nullopt;
+  const std::size_t body_start = static_cast<std::size_t>(body_start_signed);
+  if (body_start + spec_.fft_size() > recording.size()) return std::nullopt;
+  audio::Samples body(recording.begin() + static_cast<long>(body_start),
+                      recording.begin() +
+                          static_cast<long>(body_start + spec_.fft_size()));
+  return SymbolSpectrum(spec_, body);
+}
+
+std::optional<DemodResult> Demodulator::Demodulate(
+    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+  const auto detection = detector_.Detect(recording);
+  if (!detection) return std::nullopt;
+
+  const std::size_t bits_per_ofdm =
+      spec_.plan.data.size() * BitsPerSymbol(m);
+  const std::size_t n_ofdm = (n_bits + bits_per_ofdm - 1) / bits_per_ofdm;
+  const std::size_t symbols_start =
+      detection->preamble_start + spec_.header_samples();
+
+  std::vector<std::size_t> data_bins = spec_.plan.data;
+  std::sort(data_bins.begin(), data_bins.end());
+
+  DemodResult result;
+  result.preamble_score = detection->score;
+  result.preamble_start = detection->preamble_start;
+  double snr_acc = 0.0;
+  const long offset = FrameOffset(recording, symbols_start, n_ofdm);
+  for (std::size_t s = 0; s < n_ofdm; ++s) {
+    const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
+    if (!spectrum) return std::nullopt;  // frame truncated
+    result.fine_offsets.push_back(offset);
+    snr_acc += PilotSnrDb(spec_, *spectrum);
+
+    const ChannelEstimate channel = EstimateChannel(spec_, *spectrum);
+    const std::vector<dsp::Complex> equalized =
+        Equalize(channel, *spectrum, data_bins);
+    const std::vector<std::uint8_t> bits = DemapSymbols(m, equalized);
+    result.bits.insert(result.bits.end(), bits.begin(), bits.end());
+  }
+  result.mean_pilot_snr_db =
+      n_ofdm > 0 ? snr_acc / static_cast<double>(n_ofdm) : 0.0;
+  if (result.bits.size() < n_bits) return std::nullopt;
+  result.bits.resize(n_bits);
+  return result;
+}
+
+std::optional<std::vector<double>> Demodulator::DemodulateSoft(
+    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+  const auto detection = detector_.Detect(recording);
+  if (!detection) return std::nullopt;
+  const std::size_t bits_per_ofdm = spec_.plan.data.size() * BitsPerSymbol(m);
+  const std::size_t n_ofdm = (n_bits + bits_per_ofdm - 1) / bits_per_ofdm;
+  const std::size_t symbols_start =
+      detection->preamble_start + spec_.header_samples();
+  std::vector<std::size_t> data_bins = spec_.plan.data;
+  std::sort(data_bins.begin(), data_bins.end());
+
+  std::vector<double> llrs;
+  const long offset = FrameOffset(recording, symbols_start, n_ofdm);
+  for (std::size_t s = 0; s < n_ofdm; ++s) {
+    const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
+    if (!spectrum) return std::nullopt;
+    const ChannelEstimate channel = EstimateChannel(spec_, *spectrum);
+    const std::vector<dsp::Complex> equalized =
+        Equalize(channel, *spectrum, data_bins);
+    const std::vector<double> chunk = DemapSymbolsSoft(m, equalized);
+    llrs.insert(llrs.end(), chunk.begin(), chunk.end());
+  }
+  if (llrs.size() < n_bits) return std::nullopt;
+  llrs.resize(n_bits);
+  return llrs;
+}
+
+std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
+    const audio::Samples& recording) const {
+  const auto detection = detector_.Detect(recording);
+  if (!detection) return std::nullopt;
+
+  ProbeAnalysis probe;
+  probe.preamble_score = detection->score;
+  probe.preamble_start = detection->preamble_start;
+
+  // Delay profile from the full correlation trace around the peak.
+  {
+    const std::vector<double> scores = detector_.Scores(recording);
+    if (!scores.empty()) {
+      // The detection ran on a trimmed region; recover the peak index in
+      // the full-trace coordinates (they match because Scores uses lag 0
+      // at recording[0] and preamble_start is absolute).
+      const std::size_t peak =
+          std::min(detection->preamble_start, scores.size() - 1);
+      probe.delay_profile = ComputeDelayProfile(
+          scores, peak, spec_.plan.sample_rate_hz);
+      probe.nlos = IsNlos(probe.delay_profile, config_.nlos);
+    }
+  }
+
+  // Ambient noise characterization from the pre-preamble segment.
+  if (detection->preamble_start >= spec_.fft_size()) {
+    audio::Samples ambient(
+        recording.begin(),
+        recording.begin() + static_cast<long>(detection->preamble_start));
+    probe.noise_power = NoisePowerFromAmbient(spec_, ambient);
+    probe.ambient_spl_db = dsp::SplOf(ambient);
+  } else {
+    probe.noise_power.assign(spec_.fft_size(), 0.0);
+    probe.ambient_spl_db = -100.0;
+  }
+
+  // Pilot SNR and channel estimate averaged over the block pilot
+  // symbols (the first must be present; later ones may be truncated).
+  const std::size_t symbols_start =
+      detection->preamble_start + spec_.header_samples();
+  double snr_acc = 0.0;
+  std::size_t snr_n = 0;
+  const std::size_t probe_symbols = std::max<std::size_t>(spec_.probe_symbols, 1);
+  const long offset = FrameOffset(recording, symbols_start, probe_symbols);
+  std::vector<ChannelEstimate> estimates;
+  for (std::size_t s = 0; s < probe_symbols; ++s) {
+    const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
+    if (!spectrum) break;
+    snr_acc += PilotSnrDb(spec_, *spectrum);
+    ++snr_n;
+    estimates.push_back(EstimateChannel(spec_, *spectrum));
+  }
+  if (snr_n == 0) return std::nullopt;
+  probe.pilot_snr_db = snr_acc / static_cast<double>(snr_n);
+  probe.channel = ChannelEstimate::Average(estimates);
+  return probe;
+}
+
+}  // namespace wearlock::modem

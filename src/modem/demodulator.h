@@ -1,0 +1,92 @@
+// RX path of the acoustic modem (Fig. 3, right): silence gate, preamble
+// detection, coarse+fine synchronization, FFT, channel estimation,
+// equalization, constellation de-mapping - plus the RTS probe analysis
+// (noise ranking, pilot SNR, NLOS delay spread) that drives adaptation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "audio/signal.h"
+#include "modem/constellation.h"
+#include "modem/detector.h"
+#include "modem/equalizer.h"
+#include "modem/frame.h"
+#include "modem/nlos.h"
+
+namespace wearlock::modem {
+
+struct DemodConfig {
+  DetectorConfig detector{};
+  /// +/- search range (samples) of the cyclic-prefix fine sync.
+  long fine_sync_range = 48;
+  /// CP-correlation quality gate: below this the fine-sync result is
+  /// noise (low SNR, or the probe's repeated symbols making the metric
+  /// ambiguous) and a small back-off into the cyclic prefix is used
+  /// instead - a few samples early is a harmless circular shift that the
+  /// per-symbol equalizer absorbs, while a wrong offset is fatal.
+  double min_sync_metric = 0.45;
+  NlosConfig nlos{};
+};
+
+struct DemodResult {
+  std::vector<std::uint8_t> bits;   ///< exactly the requested n_bits
+  double preamble_score = 0.0;
+  std::size_t preamble_start = 0;
+  std::vector<long> fine_offsets;   ///< per-symbol fine-sync correction
+  double mean_pilot_snr_db = 0.0;   ///< averaged over symbols
+};
+
+/// Everything Phase 1 learns from the RTS probing packet.
+struct ProbeAnalysis {
+  double preamble_score = 0.0;
+  std::size_t preamble_start = 0;
+  DelayProfile delay_profile;
+  bool nlos = false;
+  double pilot_snr_db = 0.0;        ///< Eq. 3 on the block pilot symbol
+  std::vector<double> noise_power;  ///< per-bin, from pre-preamble ambience
+  double ambient_spl_db = 0.0;      ///< SPL of the pre-preamble segment
+  ChannelEstimate channel;
+};
+
+class Demodulator {
+ public:
+  explicit Demodulator(FrameSpec spec, DemodConfig config = {});
+
+  /// Demodulate a payload of n_bits (the length is agreed over the
+  /// control channel). Returns nullopt when no preamble is found or the
+  /// recording is too short for the expected frame.
+  std::optional<DemodResult> Demodulate(const audio::Samples& recording,
+                                        Modulation m, std::size_t n_bits) const;
+
+  /// Soft-output variant: per-bit LLRs (positive = bit 0 likelier) for
+  /// soft-decision channel decoding. Same synchronization/equalization
+  /// chain as Demodulate.
+  std::optional<std::vector<double>> DemodulateSoft(
+      const audio::Samples& recording, Modulation m, std::size_t n_bits) const;
+
+  /// Analyze an RTS probe recording (preamble + guard + block pilot).
+  std::optional<ProbeAnalysis> AnalyzeProbe(const audio::Samples& recording) const;
+
+  const FrameSpec& spec() const { return spec_; }
+  const DemodConfig& config() const { return config_; }
+
+ private:
+  /// Spectrum of symbol `index` at a given common fine-sync offset;
+  /// nullopt if out of bounds.
+  std::optional<dsp::ComplexVec> SymbolSpectrumAt(
+      const audio::Samples& recording, std::size_t symbols_start,
+      std::size_t index, long offset) const;
+
+  /// Joint fine-sync offset for a frame of n_symbols, with the
+  /// min_sync_metric fallback applied.
+  long FrameOffset(const audio::Samples& recording, std::size_t symbols_start,
+                   std::size_t n_symbols) const;
+
+  FrameSpec spec_;
+  DemodConfig config_;
+  PreambleDetector detector_;
+};
+
+}  // namespace wearlock::modem

@@ -1,0 +1,67 @@
+#include "modem/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/correlate.h"
+#include "dsp/spl.h"
+
+namespace wearlock::modem {
+
+PreambleDetector::PreambleDetector(FrameSpec spec, DetectorConfig config)
+    : spec_(spec), config_(config), preamble_(MakePreamble(spec)) {}
+
+std::vector<double> PreambleDetector::Scores(
+    const audio::Samples& recording) const {
+  if (recording.size() < preamble_.size()) return {};
+  return dsp::NormalizedCrossCorrelate(recording, preamble_);
+}
+
+std::optional<std::size_t> PreambleDetector::FindSignalOnset(
+    const audio::Samples& recording) const {
+  const std::size_t w = config_.energy_window;
+  if (recording.size() < w || w == 0) return std::nullopt;
+  // Window RMS sequence.
+  std::vector<double> window_rms;
+  window_rms.reserve(recording.size() / w);
+  for (std::size_t i = 0; i + w <= recording.size(); i += w) {
+    double e = 0.0;
+    for (std::size_t j = 0; j < w; ++j) e += recording[i + j] * recording[i + j];
+    window_rms.push_back(std::sqrt(e / static_cast<double>(w)));
+  }
+  if (window_rms.empty()) return std::nullopt;
+  // Noise floor: quietest decile (robust when most of the buffer is
+  // signal).
+  std::vector<double> sorted = window_rms;
+  std::sort(sorted.begin(), sorted.end());
+  const double floor_rms =
+      std::max(sorted[sorted.size() / 10], dsp::kReferencePressure);
+  const double gate = floor_rms * std::pow(10.0, config_.energy_gate_db / 20.0);
+  for (std::size_t i = 0; i < window_rms.size(); ++i) {
+    if (window_rms[i] > gate) return i * w;
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> PreambleDetector::Detect(
+    const audio::Samples& recording) const {
+  const auto onset = FindSignalOnset(recording);
+  if (!onset) return std::nullopt;
+  // Search from a little before the gate opening (the gate has window
+  // granularity).
+  const std::size_t begin =
+      *onset >= config_.energy_window ? *onset - config_.energy_window : 0;
+  audio::Samples region(recording.begin() + static_cast<long>(begin),
+                        recording.end());
+  const std::vector<double> scores = Scores(region);
+  if (scores.empty()) return std::nullopt;
+  const dsp::PeakResult peak = dsp::FindPeak(scores);
+  if (peak.score < config_.score_threshold) return std::nullopt;
+  Detection d;
+  d.preamble_start = begin + peak.index;
+  d.score = peak.score;
+  d.search_begin = begin;
+  return d;
+}
+
+}  // namespace wearlock::modem

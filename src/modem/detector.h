@@ -1,0 +1,59 @@
+// Silence gating and preamble detection (paper §III-4).
+//
+// An energy detector first skips sections whose SPL stays below the
+// predefined noise gate; only then does the (more expensive) normalized
+// cross-correlator search for the chirp preamble and threshold its score
+// (the paper aborts below 0.05).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "audio/signal.h"
+#include "modem/frame.h"
+
+namespace wearlock::modem {
+
+struct DetectorConfig {
+  /// Normalized correlation score below which no preamble is declared.
+  double score_threshold = 0.05;
+  /// Energy gate: SPL (dB) above the measured noise floor that marks
+  /// "signal present".
+  double energy_gate_db = 6.0;
+  /// Window for the energy detector (samples).
+  std::size_t energy_window = 256;
+};
+
+struct Detection {
+  std::size_t preamble_start = 0;  ///< sample index of the chirp start
+  double score = 0.0;              ///< normalized correlation peak
+  std::size_t search_begin = 0;    ///< where the energy gate opened
+};
+
+class PreambleDetector {
+ public:
+  PreambleDetector(FrameSpec spec, DetectorConfig config = {});
+
+  /// Find the preamble in a recording. Returns nullopt if the energy
+  /// gate never opens or the correlation peak is under threshold.
+  std::optional<Detection> Detect(const audio::Samples& recording) const;
+
+  /// Raw normalized correlation scores against the preamble template
+  /// (exposed for the NLOS delay-profile analysis).
+  std::vector<double> Scores(const audio::Samples& recording) const;
+
+  /// First sample index whose surrounding window exceeds the noise floor
+  /// by the energy gate, or nullopt if the recording stays silent.
+  /// The noise floor is estimated from the quietest decile of windows.
+  std::optional<std::size_t> FindSignalOnset(const audio::Samples& recording) const;
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  FrameSpec spec_;
+  DetectorConfig config_;
+  audio::Samples preamble_;
+};
+
+}  // namespace wearlock::modem

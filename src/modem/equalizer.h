@@ -1,0 +1,56 @@
+// Pilot-based channel estimation and one-tap equalization (paper §III-6).
+//
+// Pilots are equal-spaced, unit-power, and known a-priori. Extracting
+// them post-FFT gives H at the pilot bins; an FFT-based interpolation
+// expands that comb to every in-band bin, and equalization divides each
+// received bin by its estimate: s_hat(k) = z(k) / H(k).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "modem/frame.h"
+
+namespace wearlock::modem {
+
+/// Channel frequency response over the pilot span.
+class ChannelEstimate {
+ public:
+  ChannelEstimate() = default;
+  ChannelEstimate(std::size_t first_bin, dsp::ComplexVec response);
+
+  /// H(bin). Bins outside the estimated span clamp to the nearest edge
+  /// estimate (data bins are kept inside the span by construction).
+  dsp::Complex At(std::size_t bin) const;
+
+  /// |H| averaged over the span (sanity/diagnostic).
+  double MeanMagnitude() const;
+
+  /// Elementwise average with another estimate (same span required);
+  /// used to combine estimates from repeated probe symbols.
+  static ChannelEstimate Average(const std::vector<ChannelEstimate>& estimates);
+
+  std::size_t first_bin() const { return first_bin_; }
+  std::size_t last_bin() const { return first_bin_ + response_.size() - 1; }
+  bool empty() const { return response_.empty(); }
+
+ private:
+  std::size_t first_bin_ = 0;
+  dsp::ComplexVec response_;
+};
+
+/// Estimate the channel from one received symbol spectrum using the
+/// plan's pilot set. Pilots must be equally spaced (validated).
+/// @throws std::invalid_argument if pilots are not equally spaced.
+ChannelEstimate EstimateChannel(const FrameSpec& spec,
+                                const dsp::ComplexVec& spectrum);
+
+/// Equalize the listed bins of a spectrum: returns s_hat(k) = z(k)/H(k)
+/// in the same order as `bins`. Bins where |H| is tiny (deep fade) pass
+/// through scaled by 1/epsilon to avoid blowups.
+std::vector<dsp::Complex> Equalize(const ChannelEstimate& estimate,
+                                   const dsp::ComplexVec& spectrum,
+                                   const std::vector<std::size_t>& bins);
+
+}  // namespace wearlock::modem

@@ -1,0 +1,75 @@
+#include "modem/frame.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/chirp.h"
+
+namespace wearlock::modem {
+
+dsp::Complex PilotValue(std::size_t bin) {
+  // Golden-ratio phase scrambling: decorrelated phases, |value| = 1.
+  constexpr double kGolden = 0.6180339887498949;
+  const double frac = std::fmod(static_cast<double>(bin) * kGolden, 1.0);
+  return std::polar(1.0, 2.0 * std::numbers::pi * frac);
+}
+
+audio::Samples MakePreamble(const FrameSpec& spec) {
+  std::size_t lo = spec.plan.fft_size, hi = 0;
+  for (std::size_t b : spec.plan.pilots) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  for (std::size_t b : spec.plan.data) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  dsp::ChirpSpec chirp;
+  chirp.f_min_hz = spec.plan.FrequencyOfBin(lo);
+  chirp.f_max_hz = spec.plan.FrequencyOfBin(hi);
+  chirp.length_samples = spec.preamble_samples;
+  chirp.sample_rate_hz = spec.plan.sample_rate_hz;
+  chirp.amplitude = 1.0;
+  chirp.edge_fade_samples = spec.preamble_samples / 16;
+  return dsp::MakeChirp(chirp);
+}
+
+audio::Samples BuildSymbol(const FrameSpec& spec,
+                           const std::map<std::size_t, dsp::Complex>& loads) {
+  const std::size_t n = spec.fft_size();
+  dsp::ComplexVec spectrum(n, dsp::Complex(0.0, 0.0));
+  for (const auto& [bin, value] : loads) {
+    if (bin == 0 || bin >= n / 2) {
+      throw std::invalid_argument("BuildSymbol: bin out of (0, N/2)");
+    }
+    spectrum[bin] = value;
+    spectrum[n - bin] = std::conj(value);  // Hermitian -> real signal
+  }
+  audio::Samples body = dsp::IfftReal(std::move(spectrum));
+  // Cyclic prefix: copy of the tail, prepended.
+  audio::Samples symbol;
+  symbol.reserve(spec.cyclic_prefix_samples + n);
+  symbol.insert(symbol.end(), body.end() - static_cast<long>(spec.cyclic_prefix_samples),
+                body.end());
+  symbol.insert(symbol.end(), body.begin(), body.end());
+  return symbol;
+}
+
+dsp::ComplexVec SymbolSpectrum(const FrameSpec& spec,
+                               const audio::Samples& body) {
+  if (body.size() != spec.fft_size()) {
+    throw std::invalid_argument("SymbolSpectrum: body size != FFT size");
+  }
+  return dsp::FftReal(body);
+}
+
+void NormalizeFrame(const FrameSpec& spec, audio::Samples& frame) {
+  double peak = 0.0;
+  for (double v : frame) peak = std::max(peak, std::abs(v));
+  if (peak <= 0.0) return;
+  const double g = spec.peak_amplitude / peak;
+  for (double& v : frame) v *= g;
+}
+
+}  // namespace wearlock::modem

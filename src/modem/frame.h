@@ -1,0 +1,80 @@
+// Physical frame layout and OFDM symbol construction (Fig. 3 TX path).
+//
+// A WearLock frame is:
+//   [chirp preamble | post-preamble guard | (CP + symbol body) x n]
+// with paper defaults: 256-sample preamble, 1024-sample guard, 128-sample
+// cyclic prefix, 256-point FFT at 44.1 kHz.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "audio/signal.h"
+#include "dsp/fft.h"
+#include "modem/subchannel.h"
+
+namespace wearlock::modem {
+
+struct FrameSpec {
+  SubchannelPlan plan = SubchannelPlan::Audible();
+  std::size_t preamble_samples = 256;
+  std::size_t preamble_guard_samples = 1024;
+  std::size_t cyclic_prefix_samples = 128;
+  /// Block-pilot symbols in the RTS probe frame; more symbols average
+  /// down the pilot-SNR estimation noise that the secure-range bound
+  /// keys on.
+  std::size_t probe_symbols = 3;
+  /// Frames are peak-normalized to this digital amplitude before hitting
+  /// the speaker (avoids driver clipping).
+  double peak_amplitude = 0.95;
+
+  std::size_t fft_size() const { return plan.fft_size; }
+  std::size_t symbol_samples() const {
+    return cyclic_prefix_samples + plan.fft_size;
+  }
+  /// Samples before the first OFDM symbol.
+  std::size_t header_samples() const {
+    return preamble_samples + preamble_guard_samples;
+  }
+  /// Total frame length for n symbols.
+  std::size_t FrameSamples(std::size_t n_symbols) const {
+    return header_samples() + n_symbols * symbol_samples();
+  }
+  /// Symbol duration including guard (Tg + Ts in the rate formula).
+  double SymbolSeconds() const {
+    return static_cast<double>(symbol_samples()) / plan.sample_rate_hz;
+  }
+  /// Raw data rate R = |D| * log2(M) / (Tg + Ts) for a modulation with
+  /// `bits_per_symbol` bits (rc = 1, no channel coding).
+  double DataRateBps(unsigned bits_per_symbol) const {
+    return static_cast<double>(plan.data.size()) *
+           static_cast<double>(bits_per_symbol) / SymbolSeconds();
+  }
+};
+
+/// Deterministic unit-magnitude pilot value for a bin (pseudo-random
+/// phase; keeps the pilot symbol's PAPR low while staying known a-priori
+/// on both sides).
+dsp::Complex PilotValue(std::size_t bin);
+
+/// The frame's chirp preamble: an LFM sweep across the plan's occupied
+/// band (Doppler-tolerant, strong autocorrelation).
+audio::Samples MakePreamble(const FrameSpec& spec);
+
+/// Build one time-domain OFDM symbol (CP prepended) from bin loads.
+/// Bins not present in `loads` stay zero. Hermitian symmetry is applied
+/// internally so the output is real.
+/// @throws std::invalid_argument if a bin is out of (0, N/2).
+audio::Samples BuildSymbol(const FrameSpec& spec,
+                           const std::map<std::size_t, dsp::Complex>& loads);
+
+/// FFT of one received symbol body (CP already stripped): returns the
+/// complex spectrum (size N).
+dsp::ComplexVec SymbolSpectrum(const FrameSpec& spec,
+                               const audio::Samples& body);
+
+/// Peak-normalize a frame to spec.peak_amplitude (no-op on silence).
+void NormalizeFrame(const FrameSpec& spec, audio::Samples& frame);
+
+}  // namespace wearlock::modem

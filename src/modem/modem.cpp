@@ -1,0 +1,70 @@
+#include "modem/modem.h"
+
+#include <stdexcept>
+
+namespace wearlock::modem {
+
+std::vector<std::uint8_t> BitsFromWord(std::uint32_t word) {
+  std::vector<std::uint8_t> bits(32);
+  for (int i = 0; i < 32; ++i) {
+    bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((word >> (31 - i)) & 1u);
+  }
+  return bits;
+}
+
+std::uint32_t WordFromBits(const std::vector<std::uint8_t>& bits) {
+  if (bits.size() != 32) {
+    throw std::invalid_argument("WordFromBits: need exactly 32 bits");
+  }
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    word = (word << 1) | static_cast<std::uint32_t>(bits[i] & 1u);
+  }
+  return word;
+}
+
+AcousticModem::AcousticModem(FrameSpec spec, DemodConfig demod_config)
+    : spec_(spec),
+      demod_config_(demod_config),
+      modulator_(spec),
+      demodulator_(spec, demod_config) {}
+
+TxFrame AcousticModem::Modulate(Modulation m,
+                                const std::vector<std::uint8_t>& bits) const {
+  return modulator_.ModulateBits(m, bits);
+}
+
+TxFrame AcousticModem::MakeProbeFrame() const {
+  return modulator_.MakeProbeFrame();
+}
+
+std::optional<DemodResult> AcousticModem::Demodulate(
+    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+  return demodulator_.Demodulate(recording, m, n_bits);
+}
+
+std::optional<std::vector<double>> AcousticModem::DemodulateSoft(
+    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+  return demodulator_.DemodulateSoft(recording, m, n_bits);
+}
+
+std::optional<ProbeAnalysis> AcousticModem::AnalyzeProbe(
+    const audio::Samples& recording) const {
+  return demodulator_.AnalyzeProbe(recording);
+}
+
+AcousticModem AcousticModem::WithSelectedSubchannels(
+    const std::vector<double>& noise_power) const {
+  FrameSpec spec = spec_;
+  spec.plan = SelectSubchannels(spec_.plan, noise_power);
+  return AcousticModem(spec, demod_config_);
+}
+
+AcousticModem AcousticModem::WithPlan(const SubchannelPlan& plan) const {
+  FrameSpec spec = spec_;
+  spec.plan = plan;
+  return AcousticModem(spec, demod_config_);
+}
+
+}  // namespace wearlock::modem

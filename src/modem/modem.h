@@ -1,0 +1,60 @@
+// AcousticModem: the shared TX/RX facade (the paper implements the modem
+// as one common module used by both the phone and watch apps).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "modem/adaptive.h"
+#include "modem/demodulator.h"
+#include "modem/modulator.h"
+
+namespace wearlock::modem {
+
+/// Convert a 32-bit word into its bit vector (MSB first) and back -
+/// the OTP token's on-air representation.
+std::vector<std::uint8_t> BitsFromWord(std::uint32_t word);
+std::uint32_t WordFromBits(const std::vector<std::uint8_t>& bits);
+
+class AcousticModem {
+ public:
+  explicit AcousticModem(FrameSpec spec = {}, DemodConfig demod_config = {});
+
+  /// TX: data frame carrying `bits` under modulation `m`.
+  TxFrame Modulate(Modulation m, const std::vector<std::uint8_t>& bits) const;
+
+  /// TX: RTS channel-probing frame.
+  TxFrame MakeProbeFrame() const;
+
+  /// RX: recover n_bits from a recording.
+  std::optional<DemodResult> Demodulate(const audio::Samples& recording,
+                                        Modulation m, std::size_t n_bits) const;
+
+  /// RX: soft per-bit LLRs for soft-decision decoding.
+  std::optional<std::vector<double>> DemodulateSoft(
+      const audio::Samples& recording, Modulation m, std::size_t n_bits) const;
+
+  /// RX: analyze an RTS probe.
+  std::optional<ProbeAnalysis> AnalyzeProbe(const audio::Samples& recording) const;
+
+  /// Re-plan data sub-channels from probed per-bin noise and return a
+  /// modem configured with the new plan (modems are cheap value types).
+  AcousticModem WithSelectedSubchannels(const std::vector<double>& noise_power) const;
+
+  /// Replace the whole plan (e.g. after the TX side receives the chosen
+  /// plan over the control channel).
+  AcousticModem WithPlan(const SubchannelPlan& plan) const;
+
+  const FrameSpec& spec() const { return spec_; }
+  const Modulator& modulator() const { return modulator_; }
+  const Demodulator& demodulator() const { return demodulator_; }
+
+ private:
+  FrameSpec spec_;
+  DemodConfig demod_config_;
+  Modulator modulator_;
+  Demodulator demodulator_;
+};
+
+}  // namespace wearlock::modem

@@ -1,0 +1,71 @@
+#include "modem/modulator.h"
+
+#include <algorithm>
+
+#include "dsp/window.h"
+
+namespace wearlock::modem {
+
+Modulator::Modulator(FrameSpec spec) : spec_(spec), preamble_(MakePreamble(spec)) {
+  spec_.plan.Validate();
+}
+
+std::size_t Modulator::SymbolsForBits(Modulation m, std::size_t n_bits) const {
+  const std::size_t bits_per_ofdm =
+      spec_.plan.data.size() * BitsPerSymbol(m);
+  return (n_bits + bits_per_ofdm - 1) / bits_per_ofdm;
+}
+
+TxFrame Modulator::ModulateBits(Modulation m,
+                                const std::vector<std::uint8_t>& bits) const {
+  const Constellation& c = Constellation::Get(m);
+  std::vector<dsp::Complex> symbols = MapBits(m, bits);
+  // Pad the symbol stream to a whole number of OFDM symbols.
+  const std::size_t per_ofdm = spec_.plan.data.size();
+  while (symbols.size() % per_ofdm != 0) symbols.push_back(c.Map(0));
+  const std::size_t n_ofdm = symbols.size() / per_ofdm;
+
+  // Data bins are filled in ascending frequency order.
+  std::vector<std::size_t> data_bins = spec_.plan.data;
+  std::sort(data_bins.begin(), data_bins.end());
+
+  TxFrame frame;
+  frame.n_bits = bits.size();
+  frame.n_symbols = n_ofdm;
+  frame.samples = preamble_;
+  audio::Append(frame.samples,
+                audio::Silence(spec_.preamble_guard_samples));
+  for (std::size_t s = 0; s < n_ofdm; ++s) {
+    std::map<std::size_t, dsp::Complex> loads;
+    for (std::size_t b : spec_.plan.pilots) loads[b] = PilotValue(b);
+    for (std::size_t i = 0; i < per_ofdm; ++i) {
+      loads[data_bins[i]] = symbols[s * per_ofdm + i];
+    }
+    audio::Append(frame.samples, BuildSymbol(spec_, loads));
+  }
+  NormalizeFrame(spec_, frame.samples);
+  // Soften the very start against the speaker rise effect.
+  dsp::ApplyFadeIn(frame.samples, 8);
+  return frame;
+}
+
+TxFrame Modulator::MakeProbeFrame() const {
+  TxFrame frame;
+  frame.n_bits = 0;
+  frame.n_symbols = spec_.probe_symbols;
+  frame.samples = preamble_;
+  audio::Append(frame.samples,
+                audio::Silence(spec_.preamble_guard_samples));
+  std::map<std::size_t, dsp::Complex> loads;
+  for (std::size_t b : spec_.plan.pilots) loads[b] = PilotValue(b);
+  for (std::size_t b : spec_.plan.data) loads[b] = PilotValue(b);
+  const audio::Samples symbol = BuildSymbol(spec_, loads);
+  for (std::size_t s = 0; s < spec_.probe_symbols; ++s) {
+    audio::Append(frame.samples, symbol);
+  }
+  NormalizeFrame(spec_, frame.samples);
+  dsp::ApplyFadeIn(frame.samples, 8);
+  return frame;
+}
+
+}  // namespace wearlock::modem

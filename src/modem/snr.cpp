@@ -1,0 +1,71 @@
+#include "modem/snr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/spl.h"
+
+namespace wearlock::modem {
+namespace {
+
+double MeanBinPower(const dsp::ComplexVec& spectrum,
+                    const std::vector<std::size_t>& bins) {
+  if (bins.empty()) throw std::invalid_argument("MeanBinPower: empty bin set");
+  double acc = 0.0;
+  for (std::size_t b : bins) acc += std::norm(spectrum[b]);
+  return acc / static_cast<double>(bins.size());
+}
+
+}  // namespace
+
+double PilotSnrLinear(const FrameSpec& spec, const dsp::ComplexVec& spectrum) {
+  const double p_pilot = MeanBinPower(spectrum, spec.plan.pilots);
+  const double p_null = MeanBinPower(spectrum, spec.plan.nulls);
+  if (p_null <= 0.0) return p_pilot > 0.0 ? 1e12 : 0.0;
+  return std::max(0.0, (p_pilot - p_null) / p_null);
+}
+
+double PilotSnrDb(const FrameSpec& spec, const dsp::ComplexVec& spectrum) {
+  const double lin = PilotSnrLinear(spec, spectrum);
+  if (lin <= 0.0) return -100.0;
+  return 10.0 * std::log10(lin);
+}
+
+double EbN0Db(const FrameSpec& spec, Modulation m, double snr_db) {
+  const double bandwidth = spec.plan.OccupiedBandwidthHz();
+  const double rate = spec.DataRateBps(BitsPerSymbol(m));
+  return dsp::EbN0FromSnrDb(snr_db, bandwidth, rate);
+}
+
+std::vector<double> NoisePowerPerBin(
+    const FrameSpec& spec, const std::vector<dsp::ComplexVec>& spectra) {
+  if (spectra.empty()) {
+    throw std::invalid_argument("NoisePowerPerBin: no spectra");
+  }
+  std::vector<double> power(spec.fft_size(), 0.0);
+  for (const dsp::ComplexVec& s : spectra) {
+    if (s.size() != spec.fft_size()) {
+      throw std::invalid_argument("NoisePowerPerBin: spectrum size mismatch");
+    }
+    for (std::size_t k = 0; k < s.size(); ++k) power[k] += std::norm(s[k]);
+  }
+  for (double& p : power) p /= static_cast<double>(spectra.size());
+  return power;
+}
+
+std::vector<double> NoisePowerFromAmbient(const FrameSpec& spec,
+                                          const audio::Samples& ambient) {
+  const std::size_t n = spec.fft_size();
+  if (ambient.size() < n) {
+    throw std::invalid_argument("NoisePowerFromAmbient: recording shorter than FFT");
+  }
+  std::vector<dsp::ComplexVec> spectra;
+  for (std::size_t i = 0; i + n <= ambient.size(); i += n) {
+    audio::Samples window(ambient.begin() + static_cast<long>(i),
+                          ambient.begin() + static_cast<long>(i + n));
+    spectra.push_back(dsp::FftReal(window));
+  }
+  return NoisePowerPerBin(spec, spectra);
+}
+
+}  // namespace wearlock::modem

@@ -1,0 +1,111 @@
+#include "modem/streaming.h"
+
+#include <algorithm>
+
+namespace wearlock::modem {
+
+std::string ToString(StreamState state) {
+  switch (state) {
+    case StreamState::kSearching: return "searching";
+    case StreamState::kCollecting: return "collecting";
+    case StreamState::kDone: return "done";
+    case StreamState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+DetectorConfig StreamingDetector(const StreamingConfig& config) {
+  DetectorConfig det = config.demod.detector;
+  det.score_threshold = config.detection_threshold;
+  return det;
+}
+
+}  // namespace
+
+StreamingReceiver::StreamingReceiver(FrameSpec spec, StreamingConfig config)
+    : spec_(spec),
+      config_(config),
+      detector_(spec, StreamingDetector(config)),
+      demodulator_(spec, config.demod) {
+  spec_.plan.Validate();
+}
+
+void StreamingReceiver::Reset() {
+  buffer_.clear();
+  decode_attempts_ = 0;
+  consumed_ = 0;
+  discarded_ = 0;
+  preamble_start_ = 0;
+  state_ = StreamState::kSearching;
+  result_.reset();
+}
+
+StreamState StreamingReceiver::Push(const audio::Samples& chunk) {
+  if (state_ == StreamState::kDone || state_ == StreamState::kFailed) {
+    return state_;
+  }
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  consumed_ += chunk.size();
+
+  if (state_ == StreamState::kSearching) {
+    TrySearch();
+    // Bound memory while idle: drop audio that can no longer contain the
+    // start of a frame we would still catch.
+    if (state_ == StreamState::kSearching &&
+        buffer_.size() > config_.search_retain_samples) {
+      const std::size_t drop = buffer_.size() - config_.search_retain_samples;
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+      discarded_ += drop;
+    }
+  }
+  if (state_ == StreamState::kCollecting) TryDecode();
+  return state_;
+}
+
+void StreamingReceiver::TrySearch() {
+  // Cheap gate first; the correlator only runs when energy shows up.
+  const auto detection = detector_.Detect(buffer_);
+  if (!detection) return;
+  // A peak at the very end of the buffer may be the rising edge of a
+  // still-arriving chirp; wait for the next chunk to confirm it is a
+  // maximum rather than a slope.
+  if (detection->preamble_start + 2 * spec_.preamble_samples > buffer_.size()) {
+    return;
+  }
+  preamble_start_ = discarded_ + detection->preamble_start;
+  state_ = StreamState::kCollecting;
+}
+
+void StreamingReceiver::TryDecode() {
+  const Modulator shape(spec_);
+  const std::size_t n_symbols =
+      shape.SymbolsForBits(config_.modulation, config_.payload_bits);
+  const std::size_t local_start = preamble_start_ - discarded_;
+  const std::size_t need = local_start + spec_.FrameSamples(n_symbols) +
+                           config_.guard_tail_samples;
+  if (buffer_.size() < need) return;  // keep collecting
+
+  const auto result = demodulator_.Demodulate(buffer_, config_.modulation,
+                                              config_.payload_bits);
+  if (result) {
+    result_ = result;
+    state_ = StreamState::kDone;
+    return;
+  }
+  // A decode failure usually means the lock was a false positive (noise
+  // peak) or the frame was clipped; discard through the suspect preamble
+  // and re-arm, giving up after a few attempts.
+  if (++decode_attempts_ >= config_.max_decode_attempts) {
+    state_ = StreamState::kFailed;
+    return;
+  }
+  const std::size_t drop =
+      std::min(buffer_.size(), preamble_start_ - discarded_ + 1);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+  discarded_ += drop;
+  state_ = StreamState::kSearching;
+}
+
+}  // namespace wearlock::modem

@@ -1,0 +1,40 @@
+// Fine time-domain synchronization using the cyclic prefix (paper Eq. 2).
+//
+// Coarse sync comes from the preamble correlation peak; residual offset
+// (fractional propagation delay, speaker group delay) is recovered per
+// symbol by sliding a +/-tau window and finding where the CP best matches
+// the symbol tail it was copied from.
+#pragma once
+
+#include <cstddef>
+
+#include "audio/signal.h"
+#include "modem/frame.h"
+
+namespace wearlock::modem {
+
+struct FineSyncResult {
+  long offset = 0;     ///< best tf in [-tau, tau]
+  double metric = 0.0; ///< normalized CP correlation at the best offset
+};
+
+/// Search tf in [-search_range, +search_range] around `cp_start` (the
+/// nominal first sample of the cyclic prefix) maximizing the normalized
+/// correlation between the CP window and the window one FFT-size later.
+/// Out-of-bounds offsets are skipped; if nothing is in bounds, offset 0 /
+/// metric 0 is returned.
+FineSyncResult FineSync(const audio::Samples& recording, std::size_t cp_start,
+                        const FrameSpec& spec, long search_range);
+
+/// Joint fine sync: the timing offset is common to every symbol of a
+/// frame (it is a property of the propagation path, not of the symbol),
+/// so summing the CP metric across all `n_symbols` before picking the
+/// argmax averages out per-symbol noise. This also disambiguates probe
+/// frames whose repeated identical symbols make the single-symbol metric
+/// flat: the first and last symbols border silence and anchor the true
+/// offset.
+FineSyncResult FineSyncJoint(const audio::Samples& recording,
+                             std::size_t symbols_start, std::size_t n_symbols,
+                             const FrameSpec& spec, long search_range);
+
+}  // namespace wearlock::modem

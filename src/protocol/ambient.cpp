@@ -1,0 +1,69 @@
+#include "protocol/ambient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/correlate.h"
+#include "dsp/filter.h"
+
+namespace wearlock::protocol {
+namespace {
+
+audio::Samples BandPass(const audio::Samples& x, double lo_hz, double hi_hz) {
+  audio::Samples y = x;
+  if (lo_hz > 0.0 && lo_hz < audio::kSampleRate / 2.0) {
+    auto hp = dsp::Biquad::HighPass(lo_hz, audio::kSampleRate);
+    y = hp.ProcessBlock(y);
+  }
+  if (hi_hz > 0.0 && hi_hz < audio::kSampleRate / 2.0) {
+    auto lp = dsp::Biquad::LowPass(hi_hz, audio::kSampleRate);
+    y = lp.ProcessBlock(y);
+  }
+  return y;
+}
+
+}  // namespace
+
+namespace {
+
+// One-directional search: slide a template cut from the head of `b`
+// across `a` (covers the case where b's content appears later in a).
+double OneSidedSimilarity(const audio::Samples& a, const audio::Samples& b,
+                          std::size_t max_lag) {
+  max_lag = std::min(max_lag, a.size() / 4);
+  std::size_t tmpl_len = std::min(b.size(), a.size());
+  if (tmpl_len + max_lag > a.size()) {
+    tmpl_len = a.size() > max_lag ? a.size() - max_lag : a.size();
+  }
+  if (tmpl_len < 256) return 0.0;
+  audio::Samples tmpl(b.begin(), b.begin() + static_cast<long>(tmpl_len));
+  const std::vector<double> scores = dsp::NormalizedCrossCorrelate(a, tmpl);
+  double best = 0.0;
+  for (double s : scores) best = std::max(best, std::abs(s));
+  return best;
+}
+
+}  // namespace
+
+double AmbientSimilarity(const audio::Samples& phone_ambient,
+                         const audio::Samples& watch_ambient,
+                         const AmbientSimilarityConfig& config) {
+  if (phone_ambient.size() < 256 || watch_ambient.size() < 256) return 0.0;
+  const audio::Samples a =
+      BandPass(phone_ambient, config.band_low_hz, config.band_high_hz);
+  const audio::Samples b =
+      BandPass(watch_ambient, config.band_low_hz, config.band_high_hz);
+  // Either device may lag the other (mic-chain group delay, recording
+  // start skew), so search both directions.
+  return std::max(OneSidedSimilarity(a, b, config.max_lag),
+                  OneSidedSimilarity(b, a, config.max_lag));
+}
+
+bool AmbientSuggestsCoLocation(const audio::Samples& phone_ambient,
+                               const audio::Samples& watch_ambient,
+                               const AmbientSimilarityConfig& config) {
+  return AmbientSimilarity(phone_ambient, watch_ambient, config) >=
+         config.threshold;
+}
+
+}  // namespace wearlock::protocol

@@ -1,0 +1,78 @@
+#include "protocol/attacks.h"
+
+#include "modem/modem.h"
+
+namespace wearlock::protocol {
+
+BruteForceResult BruteForceAttack(OtpService& otp, Keyguard& keyguard,
+                                  sim::Rng& rng, double required_ber,
+                                  std::size_t max_attempts) {
+  BruteForceResult result;
+  // The validator needs issued tokens to compare against; a deployment
+  // always has at least the current one outstanding.
+  otp.NextTokenBits();
+  for (std::size_t i = 0; i < max_attempts; ++i) {
+    if (!keyguard.CanAttemptWearlock()) {
+      result.locked_out = keyguard.state() == LockState::kLockedOut;
+      break;
+    }
+    ++result.attempts;
+    const std::uint32_t guess =
+        static_cast<std::uint32_t>(rng.UniformInt(0, 0xFFFFFFFFull));
+    const TokenValidation v =
+        otp.ValidateBits(modem::BitsFromWord(guess), required_ber);
+    if (v.accepted) {
+      result.succeeded = true;
+      keyguard.ReportSuccess();
+      break;
+    }
+    keyguard.ReportFailure();
+  }
+  return result;
+}
+
+CoLocatedAttackResult CoLocatedAttack(ScenarioConfig scenario,
+                                      double distance_m) {
+  scenario.scene.distance_m = distance_m;
+  // The attacker's arm motion does not match the victim's wrist, but the
+  // attacker can hold still next to a still victim; assume motion gets
+  // through (worst case for the defender) and let the modem's range
+  // bound do the work.
+  scenario.phone.enable_sensor_filter = false;
+  UnlockSession session(scenario);
+  const UnlockReport report = session.Attempt();
+  CoLocatedAttackResult result;
+  result.distance_m = distance_m;
+  result.outcome = report.outcome;
+  result.unlocked = report.unlocked;
+  result.token_ber = report.token_ber;
+  return result;
+}
+
+ReplayAttackResult ReplayAttack(ScenarioConfig scenario,
+                                double eavesdrop_distance_m,
+                                sim::Millis replay_delay_ms) {
+  UnlockSession session(scenario);
+  ReplayAttackResult result;
+
+  // Step 1: tape a legitimate unlock from nearby.
+  AttackInjection tap;
+  tap.eavesdrop_distance_m = eavesdrop_distance_m;
+  const UnlockReport legit = session.Attempt(tap);
+  if (!legit.eavesdropped_recording) return result;
+  result.capture_succeeded = true;
+
+  // Step 2: inject the tape into a fresh session. The phone has re-armed
+  // (screen re-locked); the attacker's player adds handling latency.
+  session.keyguard().Relock();
+  AttackInjection replay;
+  replay.replayed_phase2_recording = legit.eavesdropped_recording;
+  replay.extra_acoustic_delay_ms = replay_delay_ms;
+  const UnlockReport replayed = session.Attempt(replay);
+  result.replay_outcome = replayed.outcome;
+  result.unlocked = replayed.unlocked;
+  result.replay_token_ber = replayed.token_ber;
+  return result;
+}
+
+}  // namespace wearlock::protocol

@@ -1,0 +1,55 @@
+// Attacker harness (paper §IV "Security Discussion"): brute force,
+// co-located, and record-and-replay attacks against a live deployment.
+// Each function simulates the attack end-to-end and reports why (or
+// whether) it fails.
+#pragma once
+
+#include <cstddef>
+
+#include "protocol/session.h"
+
+namespace wearlock::protocol {
+
+struct BruteForceResult {
+  std::size_t attempts = 0;
+  bool succeeded = false;
+  bool locked_out = false;
+};
+
+/// The attacker holds the phone out of acoustic range and fires random
+/// 32-bit token guesses at the validator. The 3-strike keyguard policy
+/// locks WearLock out long before the 2^32 keyspace matters.
+BruteForceResult BruteForceAttack(OtpService& otp, Keyguard& keyguard,
+                                  sim::Rng& rng, double required_ber = 0.1,
+                                  std::size_t max_attempts = 100);
+
+struct CoLocatedAttackResult {
+  double distance_m = 0.0;
+  UnlockOutcome outcome = UnlockOutcome::kTokenRejected;
+  bool unlocked = false;
+  double token_ber = 1.0;
+};
+
+/// The attacker carries the victim's phone to `distance_m` from the
+/// watch and presses power. Inside ~1 m the modem still closes; beyond,
+/// propagation loss pushes BER over the bound.
+CoLocatedAttackResult CoLocatedAttack(ScenarioConfig scenario,
+                                      double distance_m);
+
+struct ReplayAttackResult {
+  bool capture_succeeded = false;
+  UnlockOutcome replay_outcome = UnlockOutcome::kTokenRejected;
+  bool unlocked = false;
+  double replay_token_ber = 1.0;
+};
+
+/// Record-and-replay: the attacker tapes Phase 2 of a legitimate unlock
+/// from `eavesdrop_distance_m`, then replays it into a later session
+/// after `replay_delay_ms` of handling latency. Defeated twice over: the
+/// OTP counter has moved on (stale token) and the added latency trips
+/// the timing window.
+ReplayAttackResult ReplayAttack(ScenarioConfig scenario,
+                                double eavesdrop_distance_m,
+                                sim::Millis replay_delay_ms);
+
+}  // namespace wearlock::protocol

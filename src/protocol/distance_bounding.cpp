@@ -1,0 +1,59 @@
+#include "protocol/distance_bounding.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "modem/detector.h"
+
+namespace wearlock::protocol {
+
+RangingResult AcousticRange(audio::TwoMicScene& scene,
+                            const modem::FrameSpec& frame_spec, double volume,
+                            sim::Rng& rng, const RangingConfig& config,
+                            double relay_delay_ms) {
+  RangingResult result;
+
+  // The phone emits the bare chirp; both sides record.
+  const audio::Samples chirp = modem::MakePreamble(frame_spec);
+  const audio::SceneReception rx = scene.TransmitFromPhone(chirp, volume);
+
+  const modem::PreambleDetector detector(frame_spec);
+  const auto detection = detector.Detect(rx.watch_recording);
+  if (!detection) return result;
+  result.chirp_detected = true;
+
+  // The watch knows when its recording began relative to the (BT-synced)
+  // shared clock; arrival time = recording start + sample offset.
+  const double arrival_ms =
+      static_cast<double>(detection->preamble_start - rx.signal_start) /
+          audio::kSampleRate * 1000.0 +
+      relay_delay_ms + rng.Gaussian(config.clock_sync_error_std_ms) +
+      rng.Gaussian(config.detection_jitter_std_ms);
+
+  result.estimated_distance_m =
+      std::max(0.0, arrival_ms / 1000.0 * audio::kSpeedOfSound);
+  result.within_bound = result.estimated_distance_m <= config.max_distance_m;
+  return result;
+}
+
+RangingResult AcousticRangeMedian(audio::TwoMicScene& scene,
+                                  const modem::FrameSpec& frame_spec,
+                                  double volume, sim::Rng& rng, int rounds,
+                                  const RangingConfig& config,
+                                  double relay_delay_ms) {
+  RangingResult result;
+  std::vector<double> estimates;
+  for (int i = 0; i < rounds; ++i) {
+    const RangingResult one = AcousticRange(scene, frame_spec, volume, rng,
+                                            config, relay_delay_ms);
+    if (one.chirp_detected) estimates.push_back(one.estimated_distance_m);
+  }
+  if (estimates.empty()) return result;
+  result.chirp_detected = true;
+  std::sort(estimates.begin(), estimates.end());
+  result.estimated_distance_m = estimates[estimates.size() / 2];
+  result.within_bound = result.estimated_distance_m <= config.max_distance_m;
+  return result;
+}
+
+}  // namespace wearlock::protocol

@@ -1,0 +1,54 @@
+// Acoustic distance bounding - the paper's other proposed relay defense
+// (§IV, citing Brands-Chaum [26]).
+//
+// Sound is slow: 1 m of air costs 2.9 ms, an eternity next to radio.
+// The phone timestamps the chirp's emission; the watch timestamps its
+// arrival (clocks are coarsely synchronized over the wireless link) and
+// reports it back. distance ~= c * (t_arrive - t_emit). Any relay must
+// add capture + re-emission + propagation time, inflating the estimate
+// well past the secure bound - a relay cannot make sound travel faster.
+//
+// The dominant error source is the BT clock synchronization (sub-ms with
+// NTP-style exchange over the link), modeled as Gaussian skew.
+#pragma once
+
+#include "audio/scene.h"
+#include "modem/frame.h"
+#include "sim/rng.h"
+
+namespace wearlock::protocol {
+
+struct RangingConfig {
+  /// Stddev of the phone-watch clock synchronization error (ms). 0.3 ms
+  /// ~= 10 cm of ranging error.
+  double clock_sync_error_std_ms = 0.3;
+  /// Fixed processing latency between "sample hits the mic" and the
+  /// watch's timestamp (known and compensated; only its jitter hurts).
+  double detection_jitter_std_ms = 0.15;
+  /// The secure bound: estimates beyond this are rejected.
+  double max_distance_m = 1.3;
+};
+
+struct RangingResult {
+  bool chirp_detected = false;
+  double estimated_distance_m = 0.0;
+  bool within_bound = false;
+};
+
+/// One ranging round against a scene. `relay_delay_ms` injects the extra
+/// latency a live relay adds (capture, transport, re-emission); 0 for
+/// the legitimate case.
+RangingResult AcousticRange(audio::TwoMicScene& scene,
+                            const modem::FrameSpec& frame_spec, double volume,
+                            sim::Rng& rng, const RangingConfig& config = {},
+                            double relay_delay_ms = 0.0);
+
+/// Multi-round ranging: median of `rounds` estimates (robust to single
+/// outliers), with the same bound check.
+RangingResult AcousticRangeMedian(audio::TwoMicScene& scene,
+                                  const modem::FrameSpec& frame_spec,
+                                  double volume, sim::Rng& rng, int rounds,
+                                  const RangingConfig& config = {},
+                                  double relay_delay_ms = 0.0);
+
+}  // namespace wearlock::protocol

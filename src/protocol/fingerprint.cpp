@@ -1,0 +1,112 @@
+#include "protocol/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wearlock::protocol {
+namespace {
+
+double WrapPhase(double phi) {
+  while (phi > std::numbers::pi) phi -= 2.0 * std::numbers::pi;
+  while (phi < -std::numbers::pi) phi += 2.0 * std::numbers::pi;
+  return phi;
+}
+
+}  // namespace
+
+std::vector<double> FingerprintFeatures(const modem::ChannelEstimate& estimate,
+                                        const modem::SubchannelPlan& plan) {
+  // Sample H at every bin of the in-band span.
+  const std::size_t lo = estimate.first_bin();
+  const std::size_t hi = estimate.last_bin();
+  if (hi <= lo + 2) return {};
+  (void)plan;
+
+  // Smooth the complex response over 3 bins first: estimation noise is
+  // white across bins while the ripple's period (~5 bins) survives.
+  std::vector<dsp::Complex> h_raw;
+  for (std::size_t b = lo; b <= hi; ++b) h_raw.push_back(estimate.At(b));
+  std::vector<double> mag, phase;
+  for (std::size_t i = 0; i < h_raw.size(); ++i) {
+    dsp::Complex acc(0.0, 0.0);
+    int n = 0;
+    for (long j = static_cast<long>(i) - 1; j <= static_cast<long>(i) + 1; ++j) {
+      if (j < 0 || j >= static_cast<long>(h_raw.size())) continue;
+      acc += h_raw[static_cast<std::size_t>(j)];
+      ++n;
+    }
+    const dsp::Complex h = acc / static_cast<double>(n);
+    mag.push_back(std::log(std::max(std::abs(h), 1e-9)));
+    phase.push_back(std::arg(h));
+  }
+
+  std::vector<double> features;
+  features.reserve(2 * mag.size());
+  // Phase curvature: second difference of phase across bins kills both
+  // constant offset and linear (bulk-delay) phase, keeping the driver's
+  // ripple realization. This is the discriminative part - magnitude
+  // shape is dominated by the microphone and room response, which an
+  // attacker's relay shares, so it only gets a small weight via its own
+  // second difference (fine comb structure from the driver's ringing).
+  for (std::size_t i = 1; i + 1 < phase.size(); ++i) {
+    const double d1 = WrapPhase(phase[i] - phase[i - 1]);
+    const double d2 = WrapPhase(phase[i + 1] - phase[i]);
+    features.push_back(WrapPhase(d2 - d1));
+  }
+  constexpr double kMagWeight = 0.2;
+  for (std::size_t i = 1; i + 1 < mag.size(); ++i) {
+    features.push_back(kMagWeight * (mag[i + 1] - 2.0 * mag[i] + mag[i - 1]));
+  }
+  return features;
+}
+
+double FingerprintSimilarity(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("FingerprintSimilarity: length mismatch");
+  }
+  double dot = 0.0, ea = 0.0, eb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    ea += a[i] * a[i];
+    eb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(ea * eb);
+  return denom > 1e-30 ? dot / denom : 0.0;
+}
+
+SpeakerVerifier::SpeakerVerifier(FingerprintConfig config) : config_(config) {
+  if (config_.enroll_count == 0) {
+    throw std::invalid_argument("SpeakerVerifier: enroll_count must be > 0");
+  }
+}
+
+bool SpeakerVerifier::Enroll(const std::vector<double>& features) {
+  if (features.empty()) {
+    throw std::invalid_argument("SpeakerVerifier::Enroll: empty features");
+  }
+  if (enrolled_) return true;
+  if (accumulated_.empty()) {
+    accumulated_.assign(features.size(), 0.0);
+  } else if (accumulated_.size() != features.size()) {
+    throw std::invalid_argument("SpeakerVerifier::Enroll: size changed");
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    accumulated_[i] += features[i];
+  }
+  ++observations_;
+  if (observations_ >= config_.enroll_count) {
+    for (double& v : accumulated_) v /= static_cast<double>(observations_);
+    enrolled_ = true;
+  }
+  return enrolled_;
+}
+
+double SpeakerVerifier::Match(const std::vector<double>& features) const {
+  if (!enrolled_) throw std::logic_error("SpeakerVerifier: not enrolled");
+  return FingerprintSimilarity(accumulated_, features);
+}
+
+}  // namespace wearlock::protocol

@@ -1,0 +1,71 @@
+// Acoustic hardware fingerprinting - the paper's proposed counter-measure
+// against relay attacks (§IV): "we can use fingerprinting method to
+// unique identify those acoustic hardware to check if there are relays."
+//
+// Every speaker driver has a stable, unit-specific frequency signature
+// (our model: the phase-ripple realization plus band response). A relay
+// necessarily re-emits through its own speaker, stacking a second
+// signature onto the channel. The watch enrolls the paired phone's
+// signature from probe-phase channel estimates and flags transmissions
+// whose signature drifts.
+//
+// Feature design: per-bin channel phase *curvature* (second difference of
+// unwrapped phase across bins) plus normalized log-magnitude shape.
+// Both are invariant to distance (scalar gain), bulk delay (linear
+// phase), and volume - exactly the nuisances that vary between unlocks -
+// while the ripple's fine structure survives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "modem/equalizer.h"
+#include "modem/subchannel.h"
+
+namespace wearlock::protocol {
+
+/// Distance/delay/volume-invariant signature of a channel estimate.
+std::vector<double> FingerprintFeatures(const modem::ChannelEstimate& estimate,
+                                        const modem::SubchannelPlan& plan);
+
+/// Cosine similarity of two feature vectors in [-1, 1] (0 for degenerate
+/// inputs). @throws std::invalid_argument on length mismatch.
+double FingerprintSimilarity(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+struct FingerprintConfig {
+  /// Probes averaged during enrollment.
+  std::size_t enroll_count = 5;
+  /// Similarity below this flags a foreign speaker in the loop.
+  double match_threshold = 0.85;
+};
+
+/// Enrollment-then-match verifier for the paired phone's speaker.
+class SpeakerVerifier {
+ public:
+  explicit SpeakerVerifier(FingerprintConfig config = {});
+
+  /// Feed one enrollment observation; returns true once enrollment is
+  /// complete (enroll_count observations seen).
+  bool Enroll(const std::vector<double>& features);
+
+  bool enrolled() const { return enrolled_; }
+
+  /// Similarity of an observation against the enrolled template.
+  /// @throws std::logic_error if not yet enrolled.
+  double Match(const std::vector<double>& features) const;
+
+  bool Accept(const std::vector<double>& features) const {
+    return Match(features) >= config_.match_threshold;
+  }
+
+  const FingerprintConfig& config() const { return config_; }
+
+ private:
+  FingerprintConfig config_;
+  std::vector<double> accumulated_;
+  std::size_t observations_ = 0;
+  bool enrolled_ = false;
+};
+
+}  // namespace wearlock::protocol

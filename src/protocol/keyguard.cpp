@@ -1,0 +1,31 @@
+#include "protocol/keyguard.h"
+
+namespace wearlock::protocol {
+
+Keyguard::Keyguard(std::size_t max_consecutive_failures)
+    : max_failures_(max_consecutive_failures) {}
+
+void Keyguard::ReportSuccess() {
+  if (state_ == LockState::kLockedOut) return;
+  failures_ = 0;
+  state_ = LockState::kUnlocked;
+}
+
+void Keyguard::ReportFailure() {
+  if (state_ == LockState::kLockedOut) return;
+  ++failures_;
+  if (failures_ >= max_failures_) {
+    state_ = LockState::kLockedOut;
+  }
+}
+
+void Keyguard::Relock() {
+  if (state_ == LockState::kUnlocked) state_ = LockState::kLocked;
+}
+
+void Keyguard::UnlockWithCredential() {
+  failures_ = 0;
+  state_ = LockState::kUnlocked;
+}
+
+}  // namespace wearlock::protocol

@@ -1,0 +1,32 @@
+#include "protocol/offload.h"
+
+namespace wearlock::protocol {
+
+std::string ToString(ProcessingSite site) {
+  return site == ProcessingSite::kWatchLocal ? "watch-local" : "offload-to-phone";
+}
+
+StepCost OffloadPlanner::Cost(sim::Millis host_ms, std::size_t recording_bytes,
+                              sim::WirelessLink& link) const {
+  StepCost cost;
+  if (site == ProcessingSite::kWatchLocal) {
+    cost.compute_ms = watch.ScaleCompute(host_ms);
+    cost.watch_energy_mj =
+        sim::DeviceProfile::EnergyMj(cost.compute_ms, watch.compute_power_mw);
+    return cost;
+  }
+  cost.transfer_ms = link.SampleFileDelay(recording_bytes);
+  cost.compute_ms = phone.ScaleCompute(host_ms);
+  const double radio_power = link.radio() == sim::Radio::kBluetooth
+                                 ? watch.bt_power_mw
+                                 : watch.wifi_power_mw;
+  cost.watch_energy_mj =
+      sim::DeviceProfile::EnergyMj(cost.transfer_ms, radio_power);
+  cost.phone_energy_mj =
+      sim::DeviceProfile::EnergyMj(cost.compute_ms, phone.compute_power_mw);
+  return cost;
+}
+
+std::size_t RecordingBytes(std::size_t n_samples) { return n_samples * 2; }
+
+}  // namespace wearlock::protocol

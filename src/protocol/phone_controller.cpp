@@ -1,0 +1,369 @@
+#include "protocol/phone_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dsp/spl.h"
+#include "modem/snr.h"
+
+namespace wearlock::protocol {
+namespace {
+
+sim::Millis AudioMs(std::size_t samples) {
+  return static_cast<double>(samples) / audio::kSampleRate * 1000.0;
+}
+
+}  // namespace
+
+std::string ToString(UnlockOutcome outcome) {
+  switch (outcome) {
+    case UnlockOutcome::kUnlocked: return "unlocked";
+    case UnlockOutcome::kLockedOut: return "locked-out";
+    case UnlockOutcome::kNoWirelessLink: return "no-wireless-link";
+    case UnlockOutcome::kNoPreamble: return "no-preamble";
+    case UnlockOutcome::kAmbientMismatch: return "ambient-mismatch";
+    case UnlockOutcome::kMotionMismatch: return "motion-mismatch";
+    case UnlockOutcome::kInsufficientSnr: return "insufficient-snr";
+    case UnlockOutcome::kNlosAborted: return "nlos-aborted";
+    case UnlockOutcome::kTokenRejected: return "token-rejected";
+    case UnlockOutcome::kTimingViolation: return "timing-violation";
+  }
+  return "?";
+}
+
+PhoneController::PhoneController(PhoneConfig config, OtpService* otp,
+                                 Keyguard* keyguard)
+    : config_(config), otp_(otp), keyguard_(keyguard) {
+  config_.frame.plan.Validate();
+}
+
+UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
+                                      WatchController& watch,
+                                      sim::WirelessLink& link,
+                                      const sensors::MotionPair& motion,
+                                      const OffloadPlanner& offload,
+                                      sim::VirtualClock& clock,
+                                      const AttackInjection& attack) {
+  UnlockReport report;
+  const std::uint64_t session_id = next_session_id_++;
+  auto trace = [&](const std::string& step, const std::string& detail) {
+    report.trace.push_back({step, detail, clock.now()});
+  };
+  auto fmt = [](double v, int prec = 2) {
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(prec);
+    oss << v;
+    return oss.str();
+  };
+
+  if (!keyguard_->CanAttemptWearlock()) {
+    report.outcome = UnlockOutcome::kLockedOut;
+    return report;
+  }
+  // Filter 0: no wireless link, no WearLock (cheapest possible skip).
+  if (!link.connected()) {
+    report.outcome = UnlockOutcome::kNoWirelessLink;
+    trace("link-check", "no wireless link, aborting");
+    return report;
+  }
+  trace("link-check", "wireless link up");
+
+  modem::AcousticModem modem(config_.frame, config_.demod);
+
+  // --- Phase 1: channel probing -------------------------------------
+  // Start message + watch ack.
+  report.timings.phase1_comm_ms += link.SampleRoundTrip();
+
+  // Phone self-records a short ambient window to size the probe volume
+  // (paper: "The noise level is also used to set proper speaker volume").
+  const std::size_t ambient_n =
+      audio::SamplesFromSeconds(config_.ambient_window_s);
+  const auto [phone_ambient_pre, watch_ambient_pre] =
+      scene.RecordAmbientPair(ambient_n);
+  report.timings.phase1_audio_ms += AudioMs(ambient_n);
+  report.ambient_spl_db = dsp::SplOf(phone_ambient_pre);
+
+  const double target_spl =
+      modem::ProbeTxSpl(report.ambient_spl_db, config_.snr_min_db,
+                        config_.secure_range_m,
+                        scene.config().propagation.reference_distance_m) +
+      config_.frame_papr_db;
+  report.probe_volume =
+      scene.config().phone_speaker.VolumeForSpl(target_spl);
+  trace("volume-rule", "ambient " + fmt(report.ambient_spl_db, 1) +
+                           " dB -> volume " + fmt(report.probe_volume));
+
+  // Emit the RTS probe; both mics record.
+  const modem::TxFrame probe_tx = modem.MakeProbeFrame();
+  const audio::SceneReception probe_rx =
+      scene.TransmitFromPhone(probe_tx.samples, report.probe_volume);
+  report.timings.phase1_audio_ms += AudioMs(probe_rx.watch_recording.size());
+
+  // The watch ships its Phase-1 data (recording + sensors).
+  const Phase1Report phase1 = watch.MakePhase1Report(
+      session_id, probe_rx.watch_recording, motion.watch);
+
+  // Probe processing runs at the offload site.
+  std::optional<modem::ProbeAnalysis> probe;
+  const sim::Millis probe_host_ms = sim::TimeHostMs(
+      [&] { probe = modem.AnalyzeProbe(phase1.recording); });
+  const StepCost phase1_cost = offload.Cost(
+      probe_host_ms, RecordingBytes(phase1.recording.size()),
+      link);
+  report.timings.phase1_compute_ms += phase1_cost.compute_ms;
+  report.timings.phase1_comm_ms += phase1_cost.transfer_ms;
+  report.watch_energy_mj += phase1_cost.watch_energy_mj;
+  report.phone_energy_mj += phase1_cost.phone_energy_mj;
+  // Recording the probe costs the watch energy too.
+  report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
+      AudioMs(phase1.recording.size()), offload.watch.record_power_mw);
+
+  clock.Advance(report.timings.phase1_audio_ms +
+                report.timings.phase1_comm_ms +
+                report.timings.phase1_compute_ms);
+
+  if (!probe) {
+    report.outcome = UnlockOutcome::kNoPreamble;
+    trace("probe-analysis", "no preamble found in the watch recording");
+    return report;
+  }
+  report.preamble_score = probe->preamble_score;
+  trace("probe-analysis",
+        "score " + fmt(probe->preamble_score) + ", pilot SNR " +
+            fmt(probe->pilot_snr_db, 1) + " dB" +
+            (probe->nlos ? ", NLOS detected" : ""));
+  report.nlos = probe->nlos;
+  report.pilot_snr_db = probe->pilot_snr_db;
+
+  // Ambient-noise co-location filter (Sound-Proof style), on the
+  // pre-signal windows of both sides.
+  if (config_.enable_ambient_filter) {
+    report.ambient_similarity =
+        AmbientSimilarity(phone_ambient_pre, watch_ambient_pre, config_.ambient);
+    if (report.ambient_similarity < config_.ambient.threshold) {
+      report.outcome = UnlockOutcome::kAmbientMismatch;
+      trace("ambient-filter",
+            "similarity " + fmt(report.ambient_similarity) + " below " +
+                fmt(config_.ambient.threshold) + ": not co-located");
+      return report;
+    }
+    trace("ambient-filter", "similarity " + fmt(report.ambient_similarity));
+  }
+
+  // Motion filter (Algorithm 1).
+  double required_ber = config_.adaptive.max_ber;
+  bool skip_phase2 = false;
+  if (config_.enable_sensor_filter) {
+    const sensors::FilterResult motion_result = sensors::SensorBasedFilter(
+        motion.phone, phase1.sensor_trace, config_.sensor_thresholds);
+    report.dtw_score = motion_result.score;
+    trace("motion-filter", "DTW score " + fmt(motion_result.score, 3));
+    switch (motion_result.decision) {
+      case sensors::FilterDecision::kAbort:
+        report.outcome = UnlockOutcome::kMotionMismatch;
+        return report;
+      case sensors::FilterDecision::kSkipSecondPhase:
+        if (config_.sensor_policy == SensorSkipPolicy::kSkipSecondPhase) {
+          skip_phase2 = true;
+        } else {
+          required_ber = std::max(required_ber, config_.sensor_relaxed_ber);
+        }
+        break;
+      case sensors::FilterDecision::kContinue:
+        break;
+    }
+  }
+
+  // NLOS handling (case study: relax required BER to 0.25, or abort).
+  if (report.nlos) {
+    if (config_.nlos_policy == NlosPolicy::kAbort) {
+      report.outcome = UnlockOutcome::kNlosAborted;
+      return report;
+    }
+    required_ber = std::max(required_ber, config_.nlos_relaxed_ber);
+  }
+  report.required_ber = required_ber;
+
+  // Secure-range bound: a receiver at secure_range_m, given the volume
+  // actually used, would measure this much pilot SNR; anything below it
+  // is farther away. Do NOT adapt the modulation down to reach it.
+  {
+    const double achieved_tx_spl =
+        scene.config().phone_speaker.SplAtVolume(report.probe_volume);
+    const double expected_at_range =
+        achieved_tx_spl - config_.frame_papr_db -
+        dsp::SpreadingLossDb(config_.secure_range_m,
+                             scene.config().propagation.reference_distance_m) -
+        report.ambient_spl_db;
+    double gate = std::max(expected_at_range - config_.pilot_snr_domain_offset_db,
+                           config_.min_pilot_snr_floor_db);
+    if (report.nlos && config_.nlos_policy == NlosPolicy::kRelaxMaxBer) {
+      gate = std::max(gate - config_.nlos_gate_relief_db,
+                      config_.min_pilot_snr_floor_db);
+    }
+    if (report.pilot_snr_db < gate && !config_.force_transmit) {
+      report.outcome = UnlockOutcome::kInsufficientSnr;
+      trace("range-gate", "pilot SNR " + fmt(report.pilot_snr_db, 1) +
+                              " dB under gate " + fmt(gate, 1) +
+                              ": receiver beyond secure range");
+      return report;
+    }
+    trace("range-gate", "pilot SNR clears gate " + fmt(gate, 1) + " dB");
+  }
+
+  if (skip_phase2) {
+    // Algorithm 1 fast path: motion similarity alone vouches for
+    // co-location; skip the acoustic token round.
+    keyguard_->ReportSuccess();
+    report.outcome = UnlockOutcome::kUnlocked;
+    report.unlocked = true;
+    return report;
+  }
+
+  // Sub-channel selection from the probed noise ranking.
+  report.plan = config_.frame.plan;
+  if (config_.enable_subchannel_selection) {
+    report.plan = modem::SelectSubchannels(config_.frame.plan,
+                                           probe->noise_power);
+    modem = modem.WithPlan(report.plan);
+  }
+
+  // Transmission-mode decision from the probed SNR. The adaptive config's
+  // max_ber follows any relaxation decided above. Under detected NLOS the
+  // Fig. 5 thresholds (measured on a LOS channel) no longer hold for the
+  // dense phase constellations - delay-spread ICI hits 8PSK first - so
+  // the candidate set shrinks to the robust modes, matching the paper's
+  // field test where every body-blocked cell ran QPSK.
+  modem::AdaptiveConfig adaptive = config_.adaptive;
+  adaptive.max_ber = required_ber;
+  if (report.nlos) {
+    adaptive.modes = {modem::Modulation::kQpsk, modem::Modulation::kQask};
+  }
+  auto mode =
+      modem::SelectModeFromSnr(modem.spec(), report.pilot_snr_db, adaptive);
+  if (!mode) {
+    if (!config_.force_transmit) {
+      report.outcome = UnlockOutcome::kInsufficientSnr;
+      trace("mode-select", "no mode meets MaxBER " + fmt(required_ber));
+      return report;
+    }
+    // Measurement campaign: transmit anyway with the measurably most
+    // robust candidate (lowest required Eb/N0 at a loose bound) and let
+    // the BER land where it lands.
+    double best_req = 1e30;
+    for (modem::Modulation candidate : adaptive.modes) {
+      const double req = modem::MeasuredRequiredEbN0Db(candidate, 0.2);
+      if (req < best_req) {
+        best_req = req;
+        mode = candidate;
+      }
+    }
+    trace("mode-select", "forced " + ToString(*mode) + " (campaign mode)");
+  }
+  report.mode = *mode;
+  trace("mode-select", ToString(*mode) + " at MaxBER " + fmt(required_ber));
+  report.ebn0_db = modem::EbN0Db(modem.spec(), *mode, report.pilot_snr_db);
+
+  // Ship the Phase-2 configuration to the watch over the control channel.
+  Phase2Config phase2_config;
+  phase2_config.session_id = session_id;
+  phase2_config.plan = report.plan;
+  phase2_config.modulation = *mode;
+  phase2_config.payload_bits = 32;
+  watch.ApplyPhase2Config(phase2_config);
+  report.timings.phase2_comm_ms += link.SampleMessageDelay();
+
+  // --- Phase 2: OFDM-modulated OTP ------------------------------------
+  const std::vector<std::uint8_t> token_bits = otp_->NextTokenBits();
+  const modem::TxFrame data_tx = modem.Modulate(*mode, token_bits);
+  const audio::SceneReception data_rx =
+      scene.TransmitFromPhone(data_tx.samples, report.probe_volume);
+  report.timings.phase2_audio_ms += AudioMs(data_rx.watch_recording.size());
+
+  // Optional eavesdropper tap on the same emission.
+  if (attack.eavesdrop_distance_m) {
+    report.eavesdropped_recording = scene.RecordAtDistance(
+        data_tx.samples, report.probe_volume, *attack.eavesdrop_distance_m,
+        audio::PropagationSpec::IndoorLos());
+  }
+
+  // Replay attacker substitution / added path latency.
+  const audio::Samples& phase2_recording =
+      attack.replayed_phase2_recording ? *attack.replayed_phase2_recording
+                                       : data_rx.watch_recording;
+  report.timings.phase2_audio_ms += attack.extra_acoustic_delay_ms;
+
+  // Timing-window replay defense: the acoustic phase cannot take longer
+  // than frame duration + stack slack.
+  const sim::Millis expected_audio_ms = AudioMs(data_rx.watch_recording.size());
+  if (report.timings.phase2_audio_ms >
+      expected_audio_ms + config_.timing_slack_ms) {
+    clock.Advance(report.timings.phase2_audio_ms);
+    keyguard_->ReportFailure();
+    report.outcome = UnlockOutcome::kTimingViolation;
+    return report;
+  }
+
+  // Demodulation at the offload site.
+  const bool watch_local = offload.site == ProcessingSite::kWatchLocal;
+  sim::Millis watch_host_ms = 0.0;
+  const Phase2Report phase2 = watch.MakePhase2Report(
+      session_id, phase2_recording, phase2_config, watch_local,
+      &watch_host_ms);
+
+  std::vector<std::uint8_t> bits;
+  if (watch_local) {
+    bits = phase2.demodulated_bits;
+    const sim::Millis t = offload.watch.ScaleCompute(watch_host_ms);
+    report.timings.phase2_compute_ms += t;
+    report.watch_energy_mj +=
+        sim::DeviceProfile::EnergyMj(t, offload.watch.compute_power_mw);
+    // Result bits travel back as a small message.
+    report.timings.phase2_comm_ms += link.SampleMessageDelay();
+  } else {
+    std::optional<modem::DemodResult> demod;
+    const sim::Millis host_ms = sim::TimeHostMs([&] {
+      demod = modem.Demodulate(phase2.recording, *mode,
+                               phase2_config.payload_bits);
+    });
+    const StepCost cost = offload.Cost(
+        host_ms, RecordingBytes(phase2.recording.size()), link);
+    report.timings.phase2_compute_ms += cost.compute_ms;
+    report.timings.phase2_comm_ms += cost.transfer_ms;
+    report.watch_energy_mj += cost.watch_energy_mj;
+    report.phone_energy_mj += cost.phone_energy_mj;
+    if (demod) bits = demod->bits;
+  }
+  report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
+      AudioMs(data_rx.watch_recording.size()), offload.watch.record_power_mw);
+
+  clock.Advance(report.timings.phase2_audio_ms +
+                report.timings.phase2_comm_ms +
+                report.timings.phase2_compute_ms);
+
+  if (bits.size() != phase2_config.payload_bits) {
+    keyguard_->ReportFailure();
+    report.outcome = UnlockOutcome::kTokenRejected;
+    return report;
+  }
+
+  // Token validation: BER against the expected counter window.
+  const TokenValidation validation = otp_->ValidateBits(bits, required_ber);
+  report.token_ber = validation.ber;
+  trace("token-validate", "BER " + fmt(validation.ber, 3) + " vs bound " +
+                              fmt(required_ber) +
+                              (validation.accepted ? ": accepted" : ": rejected"));
+  if (!validation.accepted) {
+    keyguard_->ReportFailure();
+    report.outcome = UnlockOutcome::kTokenRejected;
+    return report;
+  }
+  keyguard_->ReportSuccess();
+  report.outcome = UnlockOutcome::kUnlocked;
+  report.unlocked = true;
+  return report;
+}
+
+}  // namespace wearlock::protocol

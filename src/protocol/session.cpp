@@ -1,0 +1,99 @@
+#include "protocol/session.h"
+
+#include <cmath>
+
+namespace wearlock::protocol {
+namespace {
+
+sim::LinkModel LinkFor(sim::Radio radio) {
+  return radio == sim::Radio::kBluetooth ? sim::LinkModel::Bluetooth()
+                                         : sim::LinkModel::Wifi();
+}
+
+}  // namespace
+
+ScenarioConfig ScenarioConfig::Config1() {
+  ScenarioConfig c;
+  c.radio = sim::Radio::kWifi;
+  c.processing = ProcessingSite::kOffloadToPhone;
+  c.phone_profile = sim::DeviceProfile::Nexus6();
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::Config2() {
+  ScenarioConfig c;
+  c.radio = sim::Radio::kBluetooth;
+  c.processing = ProcessingSite::kOffloadToPhone;
+  c.phone_profile = sim::DeviceProfile::GalaxyNexus();
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::Config3() {
+  ScenarioConfig c;
+  c.radio = sim::Radio::kBluetooth;
+  c.processing = ProcessingSite::kWatchLocal;
+  c.phone_profile = sim::DeviceProfile::Nexus6();
+  return c;
+}
+
+UnlockSession::UnlockSession(ScenarioConfig config)
+    : config_(config),
+      rng_(config.seed),
+      scene_(config.scene, rng_.Fork()),
+      link_(LinkFor(config.radio), rng_.Fork(), config.wireless_connected),
+      keyguard_(),
+      otp_(config.otp_key),
+      watch_controller_(config.phone.frame, config.watch_profile),
+      phone_controller_(config.phone, &otp_, &keyguard_),
+      offload_{.site = config.processing,
+               .watch = config.watch_profile,
+               .phone = config.phone_profile},
+      motion_sim_(rng_.Fork()) {}
+
+sensors::MotionPair UnlockSession::SampleMotion() {
+  if (config_.same_body) {
+    return motion_sim_.CoLocatedPair(config_.activity, config_.motion_samples);
+  }
+  // Different people: phone holder's activity per config, watch wearer
+  // doing something else.
+  const sensors::Activity other =
+      config_.activity == sensors::Activity::kSitting
+          ? sensors::Activity::kWalking
+          : sensors::Activity::kSitting;
+  return motion_sim_.IndependentPair(config_.activity, other,
+                                     config_.motion_samples);
+}
+
+UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
+  const sensors::MotionPair motion = SampleMotion();
+  return phone_controller_.Attempt(scene_, watch_controller_, link_, motion,
+                                   offload_, clock_, attack);
+}
+
+UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
+                                               const AttackInjection& attack) {
+  UnlockReport report = Attempt(attack);
+  for (int retry = 0; retry < max_retries && !report.unlocked; ++retry) {
+    switch (report.outcome) {
+      case UnlockOutcome::kTokenRejected:
+      case UnlockOutcome::kNoPreamble:
+      case UnlockOutcome::kInsufficientSnr:
+        break;  // transient: worth retrying
+      default:
+        return report;  // structural refusal: stop
+    }
+    if (!keyguard_.CanAttemptWearlock()) return report;
+    report = Attempt(attack);
+  }
+  return report;
+}
+
+sim::Millis PinEntryModel::Sample4Digit(sim::Rng& rng) const {
+  return median_4digit_ms * std::exp(rng.Gaussian(jitter_sigma));
+}
+
+sim::Millis PinEntryModel::Sample6Digit(sim::Rng& rng) const {
+  return median_6digit_ms * std::exp(rng.Gaussian(jitter_sigma));
+}
+
+}  // namespace wearlock::protocol

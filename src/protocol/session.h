@@ -1,0 +1,100 @@
+// UnlockSession: wires a complete WearLock deployment (scene + watch +
+// link + OTP + keyguard + offload planner) from one declarative scenario
+// description. This is the top-level entry point the examples, field
+// tests and delay benchmarks drive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "audio/scene.h"
+#include "protocol/phone_controller.h"
+#include "sensors/motion_sim.h"
+#include "sim/wireless.h"
+
+namespace wearlock::protocol {
+
+struct ScenarioConfig {
+  audio::SceneConfig scene{};
+  PhoneConfig phone{};
+  /// What the user is doing during the unlock.
+  sensors::Activity activity = sensors::Activity::kSitting;
+  /// Devices on the same body (true) or different people (false).
+  bool same_body = true;
+  /// Motion-trace length (samples at 50 Hz; paper: 50-150).
+  std::size_t motion_samples = 100;
+  /// Control-channel transport.
+  sim::Radio radio = sim::Radio::kBluetooth;
+  bool wireless_connected = true;
+  /// Where the DSP runs.
+  ProcessingSite processing = ProcessingSite::kOffloadToPhone;
+  sim::DeviceProfile phone_profile = sim::DeviceProfile::Nexus6();
+  sim::DeviceProfile watch_profile = sim::DeviceProfile::Moto360();
+  /// Shared OTP secret (defaults to the RFC 4226 test key).
+  std::vector<std::uint8_t> otp_key = {'1', '2', '3', '4', '5', '6', '7',
+                                       '8', '9', '0', '1', '2', '3', '4',
+                                       '5', '6', '7', '8', '9', '0'};
+  std::uint64_t seed = 1;
+
+  /// The paper's three delay configurations (Fig. 12).
+  static ScenarioConfig Config1();  ///< WiFi offload to Nexus 6 (fastest)
+  static ScenarioConfig Config2();  ///< BT offload to Galaxy Nexus (slowest)
+  static ScenarioConfig Config3();  ///< local processing on Moto 360
+};
+
+class UnlockSession {
+ public:
+  explicit UnlockSession(ScenarioConfig config);
+
+  /// One power-button press.
+  UnlockReport Attempt(const AttackInjection& attack = {});
+
+  /// Press-and-retry, the way the case-study participants actually used
+  /// the system: re-attempt on transient failures (token rejection, lost
+  /// probe, insufficient SNR) up to `max_retries` extra rounds. Gives up
+  /// immediately on structural refusals (no link, co-location filters,
+  /// lockout). Returns the last attempt's report; timings accumulate on
+  /// the session clock.
+  UnlockReport AttemptWithRetries(int max_retries,
+                                  const AttackInjection& attack = {});
+
+  /// Fresh co-located (or not, per config) motion traces for an attempt.
+  sensors::MotionPair SampleMotion();
+
+  audio::TwoMicScene& scene() { return scene_; }
+  sim::WirelessLink& link() { return link_; }
+  Keyguard& keyguard() { return keyguard_; }
+  OtpService& otp() { return otp_; }
+  PhoneController& phone() { return phone_controller_; }
+  WatchController& watch() { return watch_controller_; }
+  sim::VirtualClock& clock() { return clock_; }
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  ScenarioConfig config_;
+  sim::Rng rng_;
+  audio::TwoMicScene scene_;
+  sim::WirelessLink link_;
+  Keyguard keyguard_;
+  OtpService otp_;
+  WatchController watch_controller_;
+  PhoneController phone_controller_;
+  OffloadPlanner offload_;
+  sensors::MotionSimulator motion_sim_;
+  sim::VirtualClock clock_;
+};
+
+/// Manual PIN-entry latency model for the Fig. 12 comparison, aligned to
+/// the medians reported by Harbach et al. (SOUPS'14), the paper's [2]:
+/// unlocking with a PIN takes seconds once reaction and input time are
+/// counted.
+struct PinEntryModel {
+  sim::Millis median_4digit_ms = 4200.0;
+  sim::Millis median_6digit_ms = 5300.0;
+  double jitter_sigma = 0.18;  ///< lognormal spread across attempts
+
+  sim::Millis Sample4Digit(sim::Rng& rng) const;
+  sim::Millis Sample6Digit(sim::Rng& rng) const;
+};
+
+}  // namespace wearlock::protocol

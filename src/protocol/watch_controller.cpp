@@ -1,0 +1,46 @@
+#include "protocol/watch_controller.h"
+
+namespace wearlock::protocol {
+
+WatchController::WatchController(modem::FrameSpec frame_spec,
+                                 sim::DeviceProfile profile)
+    : modem_(frame_spec), profile_(std::move(profile)) {}
+
+Phase1Report WatchController::MakePhase1Report(
+    std::uint64_t session_id, audio::Samples recording,
+    sensors::AccelTrace sensor_trace) const {
+  Phase1Report report;
+  report.session_id = session_id;
+  report.recording = std::move(recording);
+  report.sensor_trace = std::move(sensor_trace);
+  report.bluetooth_ok = true;
+  return report;
+}
+
+void WatchController::ApplyPhase2Config(const Phase2Config& config) {
+  modem_ = modem_.WithPlan(config.plan);
+}
+
+Phase2Report WatchController::MakePhase2Report(std::uint64_t session_id,
+                                               audio::Samples recording,
+                                               const Phase2Config& config,
+                                               bool demodulate_locally,
+                                               sim::Millis* host_compute_ms) const {
+  Phase2Report report;
+  report.session_id = session_id;
+  if (!demodulate_locally) {
+    report.recording = std::move(recording);
+    if (host_compute_ms != nullptr) *host_compute_ms = 0.0;
+    return report;
+  }
+  // Config3: the watch runs the shared DSP itself.
+  std::optional<modem::DemodResult> result;
+  const sim::Millis host_ms = sim::TimeHostMs([&] {
+    result = modem_.Demodulate(recording, config.modulation, config.payload_bits);
+  });
+  if (host_compute_ms != nullptr) *host_compute_ms = host_ms;
+  if (result) report.demodulated_bits = result->bits;
+  return report;
+}
+
+}  // namespace wearlock::protocol

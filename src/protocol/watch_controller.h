@@ -1,0 +1,50 @@
+// Watch-side WearLock controller: "a thin client, which cooperates with
+// the smartphone controller" (paper §II). It records audio on request,
+// samples its accelerometer, and either uploads raw recordings (offload)
+// or runs the shared modem code locally.
+#pragma once
+
+#include <cstdint>
+
+#include "messages.h"
+#include "modem/modem.h"
+#include "protocol/offload.h"
+#include "sensors/motion_sim.h"
+#include "sim/device.h"
+
+namespace wearlock::protocol {
+
+class WatchController {
+ public:
+  WatchController(modem::FrameSpec frame_spec,
+                  sim::DeviceProfile profile = sim::DeviceProfile::Moto360());
+
+  /// Phase 1 response: wraps the recording captured by the scene plus the
+  /// current accelerometer window.
+  Phase1Report MakePhase1Report(std::uint64_t session_id,
+                                audio::Samples recording,
+                                sensors::AccelTrace sensor_trace) const;
+
+  /// Phase 2 response. When `demodulate_locally`, the watch runs the
+  /// shared demodulator itself (Config3 in the paper) and the report
+  /// carries bits; `host_compute_ms` returns the host-measured kernel
+  /// time so the caller can charge it to this device's profile.
+  Phase2Report MakePhase2Report(std::uint64_t session_id,
+                                audio::Samples recording,
+                                const Phase2Config& config,
+                                bool demodulate_locally,
+                                sim::Millis* host_compute_ms) const;
+
+  /// Reconfigure the shared modem for Phase 2 (plan arrives over the
+  /// control channel).
+  void ApplyPhase2Config(const Phase2Config& config);
+
+  const sim::DeviceProfile& profile() const { return profile_; }
+  const modem::AcousticModem& modem() const { return modem_; }
+
+ private:
+  modem::AcousticModem modem_;
+  sim::DeviceProfile profile_;
+};
+
+}  // namespace wearlock::protocol

@@ -1,0 +1,32 @@
+#include "sensors/filter.h"
+
+#include <stdexcept>
+
+namespace wearlock::sensors {
+
+FilterResult SensorBasedFilter(const AccelTrace& phone, const AccelTrace& watch,
+                               const FilterThresholds& thresholds,
+                               const DtwOptions& dtw_options) {
+  if (phone.empty() || watch.empty()) {
+    throw std::invalid_argument("SensorBasedFilter: empty trace");
+  }
+  if (thresholds.d_low > thresholds.d_high) {
+    throw std::invalid_argument("SensorBasedFilter: d_low > d_high");
+  }
+  const std::vector<double> sp = Preprocess(phone);
+  const std::vector<double> sw = Preprocess(watch);
+  const DtwResult dtw = Dtw(sp, sw, dtw_options);
+
+  FilterResult result;
+  result.score = dtw.normalized;
+  if (result.score > thresholds.d_high) {
+    result.decision = FilterDecision::kAbort;
+  } else if (result.score < thresholds.d_low) {
+    result.decision = FilterDecision::kSkipSecondPhase;
+  } else {
+    result.decision = FilterDecision::kContinue;
+  }
+  return result;
+}
+
+}  // namespace wearlock::sensors

@@ -1,0 +1,41 @@
+// Sensor-based filtering (paper Algorithm 1).
+//
+// During Phase 1 both devices record accelerometer traces. The DTW score
+// of the preprocessed magnitudes drives a dual-threshold decision:
+//   score > d_h  -> devices are moving differently: abort the protocol
+//   score < d_l  -> devices move identically (same body, high
+//                   confidence): skip the Phase-2 safeguards' stricter
+//                   settings / reduce MaxBER / skip redundant checks
+//   otherwise    -> continue to Phase 2 normally.
+#pragma once
+
+#include "sensors/dtw.h"
+#include "sensors/trace.h"
+
+namespace wearlock::sensors {
+
+enum class FilterDecision {
+  kSkipSecondPhase,  ///< score < d_l: strong co-location evidence
+  kContinue,         ///< between thresholds: run Phase 2 normally
+  kAbort,            ///< score > d_h: motion mismatch, stay locked
+};
+
+struct FilterThresholds {
+  /// The paper works with a single 0.1 threshold; the dual thresholds
+  /// bracket our calibrated scores (co-located 0.04-0.12, different ~0.43).
+  double d_low = 0.05;
+  double d_high = 0.20;
+};
+
+struct FilterResult {
+  FilterDecision decision = FilterDecision::kContinue;
+  double score = 0.0;
+};
+
+/// Algorithm 1: preprocess both traces, DTW, threshold.
+/// @throws std::invalid_argument on empty traces or d_low > d_high.
+FilterResult SensorBasedFilter(const AccelTrace& phone, const AccelTrace& watch,
+                               const FilterThresholds& thresholds = {},
+                               const DtwOptions& dtw_options = {});
+
+}  // namespace wearlock::sensors

@@ -1,0 +1,133 @@
+#include "sensors/motion_sim.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wearlock::sensors {
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kGravity = 9.81;
+}  // namespace
+
+std::string ToString(Activity activity) {
+  switch (activity) {
+    case Activity::kSitting: return "Sitting";
+    case Activity::kWalking: return "Walking";
+    case Activity::kRunning: return "Running";
+  }
+  return "?";
+}
+
+ActivityModel ActivityModel::For(Activity activity) {
+  switch (activity) {
+    case Activity::kSitting:
+      // No gait; shared postural sway/tremor dominates tiny sensor noise.
+      return ActivityModel{.gait_hz = 0.0,
+                           .gait_amp = 0.0,
+                           .harmonic2 = 0.0,
+                           .sway_amp = 0.5,
+                           .device_noise = 0.012,
+                           .watch_gain = 1.1,
+                           .watch_lag_s = 0.02};
+    case Activity::kWalking:
+      // ~1.9 Hz stride, strong and very similar on both devices.
+      return ActivityModel{.gait_hz = 1.9,
+                           .gait_amp = 2.2,
+                           .harmonic2 = 0.35,
+                           .sway_amp = 0.3,
+                           .device_noise = 0.03,
+                           .watch_gain = 1.5,
+                           .watch_lag_s = 0.02};
+    case Activity::kRunning:
+      // ~2.8 Hz, larger impacts, more independent limb jitter.
+      return ActivityModel{.gait_hz = 2.8,
+                           .gait_amp = 3.5,
+                           .harmonic2 = 0.5,
+                           .sway_amp = 0.5,
+                           .device_noise = 0.15,
+                           .watch_gain = 1.25,
+                           .watch_lag_s = 0.04};
+  }
+  throw std::invalid_argument("ActivityModel::For: unknown activity");
+}
+
+MotionSimulator::MotionSimulator(sim::Rng rng) : rng_(std::move(rng)) {}
+
+std::vector<double> MotionSimulator::SharedProcess(const ActivityModel& model,
+                                                   std::size_t n) {
+  std::vector<double> shared(n, 0.0);
+  const double phase0 = rng_.Uniform(0.0, 2.0 * kPi);
+  // Slow random drift of stride frequency (humans are not metronomes).
+  double freq = model.gait_hz * (1.0 + rng_.Uniform(-0.05, 0.05));
+  double phase = phase0;
+  // Postural sway: slow random walk, low-passed.
+  double sway = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dt = 1.0 / kSampleRateHz;
+    phase += 2.0 * kPi * freq * dt;
+    freq += rng_.Gaussian(0.002);
+    sway = 0.98 * sway + model.sway_amp * 0.2 * rng_.Gaussian(1.0);
+    double v = sway;
+    if (model.gait_hz > 0.0) {
+      v += model.gait_amp *
+           (std::sin(phase) + model.harmonic2 * std::sin(2.0 * phase + 0.7));
+    }
+    shared[i] = v;
+  }
+  return shared;
+}
+
+AccelTrace MotionSimulator::Render(const ActivityModel& model, std::size_t n,
+                                   const std::vector<double>& shared,
+                                   bool is_watch) {
+  // Device orientation: gravity split across axes by a random (fixed)
+  // rotation; the shared vertical motion projects mostly onto the
+  // gravity direction.
+  const double tilt = rng_.Uniform(0.0, kPi / 3.0);
+  const double yaw = rng_.Uniform(0.0, 2.0 * kPi);
+  const double gx = kGravity * std::sin(tilt) * std::cos(yaw);
+  const double gy = kGravity * std::sin(tilt) * std::sin(yaw);
+  const double gz = kGravity * std::cos(tilt);
+
+  const double gain = is_watch ? model.watch_gain : 1.0;
+  const std::size_t lag =
+      is_watch ? static_cast<std::size_t>(model.watch_lag_s * kSampleRateHz) : 0;
+
+  AccelTrace trace(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = i >= lag ? i - lag : 0;
+    const double body = gain * shared[src];
+    trace[i].x = gx + 0.3 * body + model.device_noise * rng_.Gaussian(1.0);
+    trace[i].y = gy + 0.2 * body + model.device_noise * rng_.Gaussian(1.0);
+    trace[i].z = gz + 0.9 * body + model.device_noise * rng_.Gaussian(1.0);
+  }
+  return trace;
+}
+
+MotionPair MotionSimulator::CoLocatedPair(Activity activity,
+                                          std::size_t n_samples) {
+  const ActivityModel model = ActivityModel::For(activity);
+  const std::vector<double> shared = SharedProcess(model, n_samples);
+  MotionPair pair;
+  pair.phone = Render(model, n_samples, shared, /*is_watch=*/false);
+  pair.watch = Render(model, n_samples, shared, /*is_watch=*/true);
+  return pair;
+}
+
+MotionPair MotionSimulator::IndependentPair(Activity phone_activity,
+                                            Activity watch_activity,
+                                            std::size_t n_samples) {
+  MotionPair pair;
+  pair.phone = Single(phone_activity, n_samples);
+  pair.watch = Single(watch_activity, n_samples);
+  return pair;
+}
+
+AccelTrace MotionSimulator::Single(Activity activity, std::size_t n_samples) {
+  const ActivityModel model = ActivityModel::For(activity);
+  const std::vector<double> shared = SharedProcess(model, n_samples);
+  return Render(model, n_samples, shared, /*is_watch=*/rng_.Chance(0.5));
+}
+
+}  // namespace wearlock::sensors

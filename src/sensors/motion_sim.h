@@ -1,0 +1,65 @@
+// Synthetic accelerometer traces for the sensor-based filter evaluation.
+//
+// Substitution for the paper's human-subject recordings (Table II): a
+// generative model in which two co-located devices observe one shared
+// body-motion process (gait oscillator or postural sway) through
+// device-specific gains, phase lags and sensor noise, while devices on
+// different people observe independent processes. The only property the
+// filter needs - DTW separation between same-body and different-body
+// pairs - is preserved by construction and calibrated against Table II.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sensors/trace.h"
+#include "sim/rng.h"
+
+namespace wearlock::sensors {
+
+enum class Activity { kSitting, kWalking, kRunning };
+
+std::string ToString(Activity activity);
+
+struct MotionPair {
+  AccelTrace phone;
+  AccelTrace watch;
+};
+
+struct ActivityModel {
+  double gait_hz = 0.0;        ///< fundamental stride frequency (0 = none)
+  double gait_amp = 0.0;       ///< oscillation amplitude (m/s^2)
+  double harmonic2 = 0.0;      ///< 2nd-harmonic fraction
+  double sway_amp = 0.0;       ///< low-frequency shared postural sway
+  double device_noise = 0.0;   ///< per-device independent jitter (m/s^2)
+  double watch_gain = 1.0;     ///< wrist sees the gait stronger
+  double watch_lag_s = 0.0;    ///< wrist swing phase lag
+
+  static ActivityModel For(Activity activity);
+};
+
+class MotionSimulator {
+ public:
+  static constexpr double kSampleRateHz = 50.0;  // typical Android rate
+
+  explicit MotionSimulator(sim::Rng rng);
+
+  /// Both devices on the same body performing `activity`.
+  MotionPair CoLocatedPair(Activity activity, std::size_t n_samples);
+
+  /// Devices on different bodies (independent motion processes).
+  MotionPair IndependentPair(Activity phone_activity, Activity watch_activity,
+                             std::size_t n_samples);
+
+  /// One standalone trace.
+  AccelTrace Single(Activity activity, std::size_t n_samples);
+
+ private:
+  AccelTrace Render(const ActivityModel& model, std::size_t n,
+                    const std::vector<double>& shared, bool is_watch);
+  std::vector<double> SharedProcess(const ActivityModel& model, std::size_t n);
+
+  sim::Rng rng_;
+};
+
+}  // namespace wearlock::sensors

@@ -1,0 +1,51 @@
+#include "sensors/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wearlock::sensors {
+
+std::vector<double> Magnitude(const AccelTrace& trace) {
+  std::vector<double> out(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Accel3& s = trace[i];
+    out[i] = std::sqrt(s.x * s.x + s.y * s.y + s.z * s.z);
+  }
+  return out;
+}
+
+std::vector<double> Normalized(const std::vector<double>& xs) {
+  if (xs.empty()) return {};
+  double mean = 0.0;
+  for (double v : xs) mean += v;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double v : xs) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(xs.size());
+  std::vector<double> out(xs.size());
+  if (var < 1e-12) return out;  // constant trace -> all zeros
+  const double inv_std = 1.0 / std::sqrt(var);
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - mean) * inv_std;
+  return out;
+}
+
+std::vector<double> Smooth(const std::vector<double>& xs, std::size_t window) {
+  if (window <= 1 || xs.empty()) return xs;
+  std::vector<double> out(xs.size());
+  const std::size_t half = window / 2;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(xs.size() - 1, i + half);
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) acc += xs[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> Preprocess(const AccelTrace& trace,
+                               std::size_t smooth_window) {
+  return Normalized(Smooth(Magnitude(trace), smooth_window));
+}
+
+}  // namespace wearlock::sensors

@@ -1,0 +1,36 @@
+// Accelerometer traces and the magnitude/normalization preprocessing of
+// the sensor-based filter (paper §V): 3-axis samples are reduced to
+// magnitude (orientation between watch and phone is unknowable) and
+// z-score normalized before DTW comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearlock::sensors {
+
+/// One 3-axis accelerometer sample (m/s^2).
+struct Accel3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+using AccelTrace = std::vector<Accel3>;
+
+/// s = sqrt(sx^2 + sy^2 + sz^2) per sample.
+std::vector<double> Magnitude(const AccelTrace& trace);
+
+/// Z-score normalization: zero mean, unit variance. Constant traces map
+/// to all-zeros (variance guard).
+std::vector<double> Normalized(const std::vector<double>& xs);
+
+/// Centered moving-average smoothing (the light filtering Android's
+/// sensor HAL applies before apps see samples). window <= 1 is identity.
+std::vector<double> Smooth(const std::vector<double>& xs, std::size_t window);
+
+/// Convenience: Normalized(Smooth(Magnitude(trace), smooth_window)).
+std::vector<double> Preprocess(const AccelTrace& trace,
+                               std::size_t smooth_window = 5);
+
+}  // namespace wearlock::sensors

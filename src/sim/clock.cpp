@@ -1,0 +1,14 @@
+#include "sim/clock.h"
+
+#include <stdexcept>
+
+namespace wearlock::sim {
+
+void VirtualClock::Advance(Millis delta_ms) {
+  if (delta_ms < 0.0) {
+    throw std::invalid_argument("VirtualClock: negative time advance");
+  }
+  now_ms_ += delta_ms;
+}
+
+}  // namespace wearlock::sim

@@ -1,0 +1,28 @@
+// Virtual monotonic clock.
+//
+// Protocol timing (the record-and-replay defense examines an expected
+// timing window; Figs. 10-12 account per-phase latencies) runs against
+// simulated time so experiments are deterministic and fast.
+#pragma once
+
+#include <cstdint>
+
+namespace wearlock::sim {
+
+/// Milliseconds of virtual time, as a double for sub-ms modeling.
+using Millis = double;
+
+class VirtualClock {
+ public:
+  Millis now() const { return now_ms_; }
+
+  /// Advance time; negative advances are a programming error.
+  void Advance(Millis delta_ms);
+
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  Millis now_ms_ = 0.0;
+};
+
+}  // namespace wearlock::sim

@@ -1,0 +1,12 @@
+#include "sim/rng.h"
+
+namespace wearlock::sim {
+
+std::vector<double> Rng::GaussianVector(std::size_t n, double stddev) {
+  std::vector<double> v(n);
+  std::normal_distribution<double> dist(0.0, stddev);
+  for (double& x : v) x = dist(engine_);
+  return v;
+}
+
+}  // namespace wearlock::sim

@@ -1,0 +1,51 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic element of the simulation (noise, jammer placement,
+// link jitter, motion traces) draws from an explicitly seeded Rng so that
+// tests and benchmark tables are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace wearlock::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Standard normal (mean 0, stddev 1) scaled by `stddev`.
+  double Gaussian(double stddev = 1.0) {
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// n iid Gaussian samples.
+  std::vector<double> GaussianVector(std::size_t n, double stddev = 1.0);
+
+  /// Derive an independent child stream (for giving each subsystem its
+  /// own deterministic sequence).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wearlock::sim

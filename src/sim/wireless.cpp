@@ -1,0 +1,60 @@
+#include "sim/wireless.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wearlock::sim {
+
+std::string ToString(Radio radio) {
+  return radio == Radio::kBluetooth ? "Bluetooth" : "WiFi";
+}
+
+LinkModel LinkModel::Bluetooth() {
+  // Android Wear MessageAPI over BT LE / BR-EDR: tens-of-ms messages;
+  // ChannelAPI bulk transfers crawl (~60 KB/s) with a large setup cost,
+  // matching the slow BT file transfers the paper measures in Fig. 11.
+  return LinkModel{
+      .radio = Radio::kBluetooth,
+      .message_base_ms = 70.0,
+      .throughput_bytes_per_ms = 60.0,
+      .file_setup_ms = 400.0,
+      .jitter_sigma = 0.35,
+  };
+}
+
+LinkModel LinkModel::Wifi() {
+  // Same APIs routed over WiFi: ~15 ms messages, ~2 MB/s bulk.
+  return LinkModel{
+      .radio = Radio::kWifi,
+      .message_base_ms = 15.0,
+      .throughput_bytes_per_ms = 2000.0,
+      .file_setup_ms = 40.0,
+      .jitter_sigma = 0.25,
+  };
+}
+
+WirelessLink::WirelessLink(LinkModel model, Rng rng, bool connected)
+    : model_(model), rng_(std::move(rng)), connected_(connected) {}
+
+double WirelessLink::Jitter() {
+  // Lognormal multiplicative jitter with median 1.0.
+  return std::exp(rng_.Gaussian(model_.jitter_sigma));
+}
+
+Millis WirelessLink::SampleMessageDelay() {
+  if (!connected_) throw std::logic_error("WirelessLink: link is down");
+  return model_.message_base_ms * Jitter();
+}
+
+Millis WirelessLink::SampleFileDelay(std::size_t bytes) {
+  if (!connected_) throw std::logic_error("WirelessLink: link is down");
+  const Millis transfer =
+      static_cast<double>(bytes) / model_.throughput_bytes_per_ms;
+  return (model_.file_setup_ms + transfer) * Jitter();
+}
+
+Millis WirelessLink::SampleRoundTrip() {
+  return SampleMessageDelay() + SampleMessageDelay();
+}
+
+}  // namespace wearlock::sim

@@ -1,0 +1,297 @@
+// Acoustic hardware/channel model tests: signal ops, speaker,
+// microphone, propagation, noise sources, jammer, channel, scene.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/medium.h"
+#include "audio/scene.h"
+#include "dsp/fft.h"
+#include "dsp/spl.h"
+#include "sim/rng.h"
+
+namespace wearlock::audio {
+namespace {
+
+Samples Tone(double freq_hz, std::size_t n, double amplitude = 1.0) {
+  Samples x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amplitude * std::sin(2.0 * std::numbers::pi * freq_hz *
+                                static_cast<double>(i) / kSampleRate);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------- signal
+TEST(Signal, MixGrowsAndAdds) {
+  Samples y = {1.0, 1.0};
+  MixIntoAt(y, {0.5, 0.5}, 1);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0], 1.0);
+  EXPECT_EQ(y[1], 1.5);
+  EXPECT_EQ(y[2], 0.5);
+}
+
+TEST(Signal, ScaleClipAppend) {
+  Samples x = {0.5, -2.0};
+  Scale(x, 2.0);
+  EXPECT_EQ(x[0], 1.0);
+  Clip(x, 1.5);
+  EXPECT_EQ(x[1], -1.5);
+  Append(x, {3.0});
+  EXPECT_EQ(x.size(), 3u);
+  EXPECT_EQ(SamplesFromSeconds(1.0), 44100u);
+}
+
+// --------------------------------------------------------------- speaker
+TEST(Speaker, VolumeControlsSpl) {
+  const SpeakerModel speaker;
+  EXPECT_NEAR(speaker.SplAtVolume(1.0), speaker.spec().max_spl_at_d0, 1e-9);
+  EXPECT_NEAR(speaker.SplAtVolume(0.5), speaker.spec().max_spl_at_d0 - 6.02, 0.01);
+  EXPECT_NEAR(speaker.VolumeForSpl(speaker.spec().max_spl_at_d0 - 20.0), 0.1,
+              1e-6);
+  EXPECT_EQ(speaker.VolumeForSpl(200.0), 1.0);  // clamped
+}
+
+TEST(Speaker, EmittedSplMatchesRating) {
+  const SpeakerModel speaker;
+  const Samples out = speaker.Emit(Tone(1000.0, 44100), 1.0);
+  // Full-scale sine at volume 1 -> max_spl_at_d0 (ripple/ringing alter it
+  // slightly).
+  EXPECT_NEAR(wearlock::dsp::SplOf(out), speaker.spec().max_spl_at_d0, 1.5);
+}
+
+TEST(Speaker, RingingExtendsOutput) {
+  const SpeakerModel speaker;
+  const Samples out = speaker.Emit(Tone(2000.0, 1000), 0.5);
+  EXPECT_GT(out.size(), 1000u);
+  // Tail must decay, not ring forever.
+  double tail_peak = 0.0;
+  for (std::size_t i = out.size() - 50; i < out.size(); ++i) {
+    tail_peak = std::max(tail_peak, std::abs(out[i]));
+  }
+  double body_peak = 0.0;
+  for (std::size_t i = 400; i < 600; ++i) {
+    body_peak = std::max(body_peak, std::abs(out[i]));
+  }
+  EXPECT_LT(tail_peak, 0.05 * body_peak);
+}
+
+TEST(Speaker, RiseEffectSoftensOnset) {
+  SpeakerSpec spec;
+  spec.phase_ripple_rad = 0.0;  // isolate the rise envelope
+  const SpeakerModel speaker(spec);
+  const Samples out = speaker.Emit(Samples(500, 1.0), 1.0);
+  EXPECT_LT(std::abs(out[0]), std::abs(out[300]) * 0.2);
+}
+
+TEST(Speaker, VolumeOutOfRangeThrows) {
+  const SpeakerModel speaker;
+  EXPECT_THROW(speaker.Emit({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(speaker.Emit({1.0}, 1.1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ microphone
+TEST(Microphone, WatchLowPassKillsNearUltrasound) {
+  const MicrophoneModel watch = MicrophoneModel::Watch();
+  // "the signal fades significantly from 5kHz to 7kHz".
+  EXPECT_GT(watch.ResponseAt(3000.0), 0.9);
+  EXPECT_GT(watch.ResponseAt(5000.0), 0.6);
+  EXPECT_LT(watch.ResponseAt(7000.0), 0.5);
+  EXPECT_LT(watch.ResponseAt(16000.0), 0.02);
+}
+
+TEST(Microphone, PhoneIsFullBand) {
+  const MicrophoneModel phone = MicrophoneModel::Phone();
+  EXPECT_NEAR(phone.ResponseAt(18000.0), 1.0, 1e-9);
+}
+
+TEST(Microphone, CaptureAppliesFilterAndClip) {
+  const MicrophoneModel watch = MicrophoneModel::Watch();
+  const Samples in = Tone(16000.0, 4096, 1.0);
+  const Samples out = watch.Capture(in);
+  EXPECT_LT(wearlock::dsp::Rms(out), 0.05 * wearlock::dsp::Rms(in));
+  // Clipping.
+  const MicrophoneModel phone = MicrophoneModel::Phone();
+  const Samples clipped = phone.Capture(Samples(10, 100.0));
+  for (double v : clipped) EXPECT_LE(std::abs(v), phone.spec().clip_level);
+}
+
+// ----------------------------------------------------------- propagation
+TEST(Propagation, SixDbPerDoubling) {
+  const PropagationModel prop{PropagationSpec::Los()};
+  EXPECT_NEAR(prop.LossDbAt(0.2), 6.02, 0.01);
+  EXPECT_NEAR(prop.LossDbAt(0.4), 12.04, 0.01);
+  EXPECT_NEAR(prop.GainAt(0.1), 1.0, 1e-9);
+}
+
+TEST(Propagation, DelayMatchesSpeedOfSound) {
+  const PropagationModel prop{PropagationSpec::Los()};
+  Samples impulse(10, 0.0);
+  impulse[0] = 1.0;
+  const Samples out = prop.Propagate(impulse, 1.0);
+  // 1 m / 343 m/s * 44100 ~ 128.6 samples.
+  double peak = 0.0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (std::abs(out[i]) > peak) {
+      peak = std::abs(out[i]);
+      peak_at = i;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(peak_at), 128.6, 2.0);
+}
+
+TEST(Propagation, NlosSpreadsEnergy) {
+  const PropagationModel los{PropagationSpec::Los()};
+  const PropagationModel nlos{PropagationSpec::BodyBlockedNlos()};
+  Samples impulse(10, 0.0);
+  impulse[0] = 1.0;
+  const Samples out_los = los.Propagate(impulse, 0.5);
+  const Samples out_nlos = nlos.Propagate(impulse, 0.5);
+  EXPECT_GT(out_nlos.size(), out_los.size());  // late reflections
+  // Direct tap much weaker under body blocking.
+  double los_peak = 0.0, nlos_peak = 0.0;
+  for (double v : out_los) los_peak = std::max(los_peak, std::abs(v));
+  for (double v : out_nlos) nlos_peak = std::max(nlos_peak, std::abs(v));
+  EXPECT_LT(nlos_peak, 0.5 * los_peak);
+}
+
+TEST(Propagation, RejectsTooClose) {
+  const PropagationModel prop{PropagationSpec::Los()};
+  EXPECT_THROW(prop.Propagate({1.0}, 0.01), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- noise
+TEST(Noise, CalibratedSpl) {
+  sim::Rng rng(31);
+  for (Environment env :
+       {Environment::kQuietRoom, Environment::kOffice, Environment::kCafe}) {
+    NoiseSource source(env, rng.Fork());
+    const Samples noise = source.Generate(44100);
+    EXPECT_NEAR(wearlock::dsp::SplOf(noise), NoiseProfile::For(env).spl_db, 0.5)
+        << ToString(env);
+  }
+}
+
+TEST(Noise, EnvironmentOrdering) {
+  // Quiet room is the paper's 15-20 dB reference; everything else louder.
+  const double quiet = NoiseProfile::For(Environment::kQuietRoom).spl_db;
+  EXPECT_GE(quiet, 15.0);
+  EXPECT_LE(quiet, 20.0);
+  EXPECT_GT(NoiseProfile::For(Environment::kOffice).spl_db, quiet);
+  EXPECT_GT(NoiseProfile::For(Environment::kCafe).spl_db,
+            NoiseProfile::For(Environment::kOffice).spl_db);
+}
+
+TEST(Noise, JammerHitsRequestedBins) {
+  const ToneJammer jammer({20, 24}, 256, 60.0);
+  const Samples jam = jammer.Generate(8192);
+  EXPECT_NEAR(wearlock::dsp::SplOf(jam), 60.0, 0.5);
+  // Spectral check: energy concentrated at bins 20/24 of a 256-FFT.
+  std::vector<double> window(jam.begin(), jam.begin() + 256);
+  const auto spec = wearlock::dsp::FftReal(window);
+  const double jammed = std::norm(spec[20]) + std::norm(spec[24]);
+  double elsewhere = 0.0;
+  for (std::size_t k = 1; k < 128; ++k) {
+    if (k != 20 && k != 24) elsewhere += std::norm(spec[k]);
+  }
+  EXPECT_GT(jammed, 10.0 * elsewhere);
+}
+
+TEST(Noise, JammerLimits) {
+  EXPECT_THROW(ToneJammer({1, 2, 3, 4, 5, 6, 7}, 256, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(ToneJammer({1}, 0, 50.0), std::invalid_argument);
+  const ToneJammer silent({}, 256, 50.0);
+  for (double v : silent.Generate(100)) EXPECT_EQ(v, 0.0);
+}
+
+// --------------------------------------------------------------- channel
+TEST(Channel, ReceptionGeometry) {
+  sim::Rng rng(32);
+  ChannelConfig config;
+  config.distance_m = 0.5;
+  AcousticChannel channel(config, std::move(rng));
+  const Samples signal = Tone(3000.0, 2000, 0.5);
+  const Reception r = channel.Transmit(signal, 0.8);
+  EXPECT_EQ(r.signal_start, config.lead_in_samples);
+  EXPECT_GT(r.recording.size(),
+            config.lead_in_samples + signal.size() + config.lead_out_samples - 1);
+  EXPECT_GT(r.spl_signal_at_rx, r.spl_noise_at_rx);  // quiet room, close
+}
+
+TEST(Channel, SplFallsWithDistance) {
+  ChannelConfig config;
+  const Samples signal = Tone(3000.0, 2000, 0.5);
+  sim::Rng rng(33);
+  config.distance_m = 0.2;
+  AcousticChannel near(config, rng.Fork());
+  config.distance_m = 1.6;
+  AcousticChannel far(config, rng.Fork());
+  const double spl_near = near.Transmit(signal, 0.8).spl_signal_at_rx;
+  const double spl_far = far.Transmit(signal, 0.8).spl_signal_at_rx;
+  // 0.2 -> 1.6 m: 3 doublings ~ 18 dB (multipath perturbs slightly).
+  EXPECT_NEAR(spl_near - spl_far, 18.0, 2.5);
+}
+
+// ----------------------------------------------------------------- scene
+TEST(Scene, CoLocatedAmbientIsShared) {
+  SceneConfig config;
+  config.co_located = true;
+  TwoMicScene scene(config, sim::Rng(34));
+  const auto [phone, watch] = scene.RecordAmbientPair(8192);
+  // Correlation of the raw ambient windows (normalized dot at lag 0).
+  double dot = 0.0, ep = 0.0, ew = 0.0;
+  for (std::size_t i = 0; i < phone.size(); ++i) {
+    dot += phone[i] * watch[i];
+    ep += phone[i] * phone[i];
+    ew += watch[i] * watch[i];
+  }
+  EXPECT_GT(dot / std::sqrt(ep * ew), 0.7);
+}
+
+TEST(Scene, SeparatedAmbientIsIndependent) {
+  SceneConfig config;
+  config.co_located = false;
+  TwoMicScene scene(config, sim::Rng(35));
+  const auto [phone, watch] = scene.RecordAmbientPair(8192);
+  double dot = 0.0, ep = 0.0, ew = 0.0;
+  for (std::size_t i = 0; i < phone.size(); ++i) {
+    dot += phone[i] * watch[i];
+    ep += phone[i] * phone[i];
+    ew += watch[i] * watch[i];
+  }
+  EXPECT_LT(std::abs(dot) / std::sqrt(ep * ew), 0.3);
+}
+
+TEST(Scene, PhoneSelfRecordingIsLouderThanWatch) {
+  SceneConfig config;
+  config.distance_m = 0.8;
+  TwoMicScene scene(config, sim::Rng(36));
+  const auto r = scene.TransmitFromPhone(Tone(3000.0, 2000, 0.5), 0.5);
+  // The phone's own mic sits at d0; the watch is 0.8 m away.
+  Samples phone_sig(r.phone_recording.begin() + 4096,
+                    r.phone_recording.begin() + 6000);
+  Samples watch_sig(r.watch_recording.begin() + 4096,
+                    r.watch_recording.begin() + 6000);
+  EXPECT_GT(wearlock::dsp::SplOf(phone_sig),
+            wearlock::dsp::SplOf(watch_sig) + 10.0);
+}
+
+TEST(Scene, EavesdropperHearsLessFurtherAway) {
+  SceneConfig config;
+  TwoMicScene scene(config, sim::Rng(37));
+  const Samples signal = Tone(3000.0, 2000, 0.5);
+  const Samples near = scene.RecordAtDistance(signal, 0.8, 0.3,
+                                              PropagationSpec::Los());
+  const Samples far = scene.RecordAtDistance(signal, 0.8, 2.4,
+                                             PropagationSpec::Los());
+  Samples near_sig(near.begin() + 4096, near.begin() + 6000);
+  Samples far_sig(far.begin() + 4096, far.begin() + 6000);
+  EXPECT_GT(wearlock::dsp::SplOf(near_sig), wearlock::dsp::SplOf(far_sig) + 12.0);
+}
+
+}  // namespace
+}  // namespace wearlock::audio

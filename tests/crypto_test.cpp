@@ -1,0 +1,163 @@
+// Crypto substrate tests against published vectors: FIPS 180-1 SHA-1,
+// RFC 2202 HMAC-SHA1, RFC 4226 HOTP (Appendix D).
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+#include "crypto/hotp.h"
+#include "crypto/sha1.h"
+
+namespace wearlock::crypto {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// ------------------------------------------------------------------ SHA1
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(ToHex(Sha1::Hash(std::string("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(ToHex(Sha1::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(ToHex(Sha1::Hash(std::string(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Sha1 h;
+  h.Update(std::string("hello "));
+  h.Update(std::string("world"));
+  EXPECT_EQ(ToHex(h.Finalize()), ToHex(Sha1::Hash(std::string("hello world"))));
+}
+
+TEST(Sha1, UpdateAfterFinalizeThrows) {
+  Sha1 h;
+  h.Update(std::string("x"));
+  h.Finalize();
+  EXPECT_THROW(h.Update(std::string("y")), std::logic_error);
+  EXPECT_THROW(h.Finalize(), std::logic_error);
+  h.Reset();
+  h.Update(std::string("abc"));
+  EXPECT_EQ(ToHex(h.Finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+// ------------------------------------------------------------------ HMAC
+TEST(Hmac, Rfc2202Vector1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(ToHex(HmacSha1(key, Bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(Hmac, Rfc2202Vector2) {
+  EXPECT_EQ(ToHex(HmacSha1(Bytes("Jefe"), Bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Hmac, Rfc2202LongKey) {
+  const std::vector<std::uint8_t> key(80, 0xaa);
+  EXPECT_EQ(ToHex(HmacSha1(
+                key, Bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(Hmac, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+// ------------------------------------------------------------------ HOTP
+// RFC 4226 Appendix D: key "12345678901234567890".
+class HotpRfcVectors : public ::testing::TestWithParam<
+                           std::tuple<std::uint64_t, std::uint32_t, std::string>> {
+ protected:
+  const std::vector<std::uint8_t> key_ = Bytes("12345678901234567890");
+};
+
+TEST_P(HotpRfcVectors, TruncatedValueAndCode) {
+  const auto [counter, truncated, code] = GetParam();
+  EXPECT_EQ(HotpValue(key_, counter), truncated);
+  EXPECT_EQ(HotpCode(key_, counter, 6), code);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4226AppendixD, HotpRfcVectors,
+    ::testing::Values(
+        std::make_tuple(0ull, 0x4c93cf18u, "755224"),
+        std::make_tuple(1ull, 0x41397eeau, "287082"),
+        std::make_tuple(2ull, 0x82fef30u, "359152"),
+        std::make_tuple(3ull, 0x66ef7655u, "969429"),
+        std::make_tuple(4ull, 0x61c5938au, "338314"),
+        std::make_tuple(5ull, 0x33c083d4u, "254676"),
+        std::make_tuple(6ull, 0x7256c032u, "287922"),
+        std::make_tuple(7ull, 0x4e5b397u, "162583"),
+        std::make_tuple(8ull, 0x2823443fu, "399871"),
+        std::make_tuple(9ull, 0x2679dc69u, "520489")));
+
+TEST(Hotp, CodeDigitsValidation) {
+  const auto key = Bytes("12345678901234567890");
+  EXPECT_THROW(HotpCode(key, 0, 0), std::invalid_argument);
+  EXPECT_THROW(HotpCode(key, 0, 10), std::invalid_argument);
+  EXPECT_EQ(HotpCode(key, 0, 9).size(), 9u);
+}
+
+TEST(Hotp, GeneratorValidatorRoundTrip) {
+  const auto key = Bytes("12345678901234567890");
+  HotpGenerator gen(key, 0);
+  HotpValidator val(key, 0, /*window=*/0);
+  for (int i = 0; i < 5; ++i) {
+    const std::uint32_t token = gen.Next();
+    const auto matched = val.Validate(token);
+    ASSERT_TRUE(matched.has_value()) << i;
+    EXPECT_EQ(*matched, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Hotp, ValidatorWindowResynchronizes) {
+  const auto key = Bytes("12345678901234567890");
+  HotpGenerator gen(key, 0);
+  HotpValidator val(key, 0, /*window=*/3);
+  gen.Next();  // token 0 lost in transit
+  gen.Next();  // token 1 lost in transit
+  const std::uint32_t token2 = gen.Next();
+  const auto matched = val.Validate(token2);
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_EQ(*matched, 2ull);
+  EXPECT_EQ(val.expected_counter(), 3ull);
+}
+
+TEST(Hotp, ReplayRejected) {
+  const auto key = Bytes("12345678901234567890");
+  HotpGenerator gen(key, 0);
+  HotpValidator val(key, 0, /*window=*/3);
+  const std::uint32_t token = gen.Next();
+  ASSERT_TRUE(val.Validate(token).has_value());
+  // The same token again: counter has advanced, replay must fail.
+  EXPECT_FALSE(val.Validate(token).has_value());
+}
+
+TEST(Hotp, OutsideWindowRejected) {
+  const auto key = Bytes("12345678901234567890");
+  HotpValidator val(key, 0, /*window=*/2);
+  // Token for counter 5 with window [0, 2]: rejected.
+  EXPECT_FALSE(val.Validate(HotpValue(key, 5)).has_value());
+}
+
+TEST(Hotp, TruncationOutputIs31Bits) {
+  const auto key = Bytes("12345678901234567890");
+  for (std::uint64_t c = 0; c < 50; ++c) {
+    EXPECT_EQ(HotpValue(key, c) >> 31, 0u) << c;
+  }
+}
+
+}  // namespace
+}  // namespace wearlock::crypto

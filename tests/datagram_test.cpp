@@ -1,0 +1,132 @@
+// Datagram layer tests: CRC, byte/bit packing, end-to-end framed
+// transfers over the simulated channel across modulation x code sweeps.
+#include <gtest/gtest.h>
+
+#include "audio/medium.h"
+#include "modem/datagram.h"
+#include "sim/rng.h"
+
+namespace wearlock::modem {
+namespace {
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+  EXPECT_EQ(Crc16(check), 0x29B1);
+  EXPECT_EQ(Crc16({}), 0xFFFF);
+}
+
+TEST(Crc16, DetectsSingleByteChange) {
+  std::vector<std::uint8_t> data = {10, 20, 30, 40};
+  const std::uint16_t original = Crc16(data);
+  data[2] ^= 0x01;
+  EXPECT_NE(Crc16(data), original);
+}
+
+TEST(Packing, BytesBitsRoundTrip) {
+  sim::Rng rng(81);
+  std::vector<std::uint8_t> bytes(33);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  EXPECT_EQ(BytesFromBits(BitsFromBytes(bytes)), bytes);
+  // Bit order: MSB first.
+  const auto bits = BitsFromBytes({0x80});
+  EXPECT_EQ(bits[0], 1);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[static_cast<std::size_t>(i)], 0);
+}
+
+class DatagramSweep
+    : public ::testing::TestWithParam<std::tuple<Modulation, CodeScheme>> {};
+
+TEST_P(DatagramSweep, RoundTripThroughQuietRoom) {
+  const auto [mod, code] = GetParam();
+  sim::Rng rng(82);
+  AcousticModem modem;
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 0.3;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+
+  DatagramConfig config;
+  config.modulation = mod;
+  config.code = code;
+  const std::string text = "WearLock datagram layer";
+  const std::vector<std::uint8_t> payload(text.begin(), text.end());
+
+  const auto tx = SendDatagram(modem, config, payload);
+  const auto rx = channel.Transmit(tx.samples, 0.4);
+  const auto result = ReceiveDatagram(modem, config, rx.recording);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->crc_ok);
+  EXPECT_EQ(result->payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DatagramSweep,
+    ::testing::Combine(::testing::Values(Modulation::kQpsk, Modulation::kQask,
+                                         Modulation::kBpsk),
+                       ::testing::Values(CodeScheme::kNone,
+                                         CodeScheme::kHamming74,
+                                         CodeScheme::kRepetition3)),
+    [](const auto& info) {
+      return ToString(std::get<0>(info.param)) + "_" +
+             (std::get<1>(info.param) == CodeScheme::kNone
+                  ? "none"
+                  : std::get<1>(info.param) == CodeScheme::kHamming74
+                        ? "hamming"
+                        : "rep3");
+    });
+
+TEST(Datagram, EmptyPayloadWorks) {
+  sim::Rng rng(83);
+  AcousticModem modem;
+  audio::ChannelConfig cfg;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  DatagramConfig config;
+  const auto tx = SendDatagram(modem, config, {});
+  const auto rx = channel.Transmit(tx.samples, 0.4);
+  const auto result = ReceiveDatagram(modem, config, rx.recording);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->crc_ok);
+  EXPECT_TRUE(result->payload.empty());
+}
+
+TEST(Datagram, OversizePayloadRejected) {
+  AcousticModem modem;
+  DatagramConfig config;
+  config.max_payload_bytes = 8;
+  EXPECT_THROW(SendDatagram(modem, config, std::vector<std::uint8_t>(9)),
+               std::invalid_argument);
+}
+
+TEST(Datagram, CorruptionFlaggedByCrc) {
+  // Force heavy corruption: transmit far beyond the working range.
+  sim::Rng rng(84);
+  AcousticModem modem;
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 2.5;
+  cfg.environment = audio::Environment::kCafe;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  DatagramConfig config;
+  config.code = CodeScheme::kNone;
+  const std::vector<std::uint8_t> payload(32, 0x5A);
+  const auto tx = SendDatagram(modem, config, payload);
+  const auto rx = channel.Transmit(tx.samples, 0.5);
+  const auto result = ReceiveDatagram(modem, config, rx.recording);
+  // Either the frame is lost entirely, the corrupted length field makes
+  // the header unusable, or the CRC flags the damage; silent corruption
+  // (crc_ok with wrong payload) must never happen.
+  if (result && result->crc_ok) {
+    EXPECT_EQ(result->payload, payload);
+  }
+}
+
+TEST(Datagram, NoFrameInSilence) {
+  sim::Rng rng(85);
+  AcousticModem modem;
+  DatagramConfig config;
+  const audio::Samples silence = rng.GaussianVector(16384, 1e-5);
+  EXPECT_FALSE(ReceiveDatagram(modem, config, silence).has_value());
+}
+
+}  // namespace
+}  // namespace wearlock::modem

@@ -1,0 +1,360 @@
+// Unit tests for the non-FFT DSP substrate: windows, chirps,
+// correlation, filters, fractional delay, SPL math, statistics, Hilbert.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/chirp.h"
+#include "dsp/correlate.h"
+#include "dsp/filter.h"
+#include "dsp/hilbert.h"
+#include "dsp/resample.h"
+#include "dsp/spl.h"
+#include "dsp/stats.h"
+#include "dsp/window.h"
+#include "sim/rng.h"
+
+namespace wearlock::dsp {
+namespace {
+
+// ---------------------------------------------------------------- window
+TEST(Window, HannEndpointsAndPeak) {
+  const auto w = MakeWindow(WindowType::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  for (double v : MakeWindow(WindowType::kRectangular, 9)) {
+    EXPECT_EQ(v, 1.0);
+  }
+}
+
+TEST(Window, DegenerateSizes) {
+  EXPECT_TRUE(MakeWindow(WindowType::kHann, 0).empty());
+  EXPECT_EQ(MakeWindow(WindowType::kBlackman, 1).size(), 1u);
+  EXPECT_EQ(MakeWindow(WindowType::kBlackman, 1)[0], 1.0);
+}
+
+TEST(Window, ApplyWindowSizeMismatchThrows) {
+  std::vector<double> x(4, 1.0);
+  EXPECT_THROW(ApplyWindow(x, MakeWindow(WindowType::kHann, 5)),
+               std::invalid_argument);
+}
+
+TEST(Window, EdgeFadeRampsBothEnds) {
+  std::vector<double> x(10, 1.0);
+  ApplyEdgeFade(x, 2);
+  EXPECT_LT(x[0], x[1]);
+  EXPECT_LT(x[9], x[8]);
+  EXPECT_EQ(x[5], 1.0);
+}
+
+TEST(Window, FadeInOnlyTouchesHead) {
+  std::vector<double> x(10, 1.0);
+  ApplyFadeIn(x, 4);
+  EXPECT_LT(x[0], 0.1);
+  EXPECT_EQ(x[9], 1.0);
+}
+
+// ----------------------------------------------------------------- chirp
+TEST(Chirp, LengthAmplitudeAndValidation) {
+  ChirpSpec spec;
+  spec.length_samples = 256;
+  const auto c = MakeChirp(spec);
+  EXPECT_EQ(c.size(), 256u);
+  double peak = 0.0;
+  for (double v : c) peak = std::max(peak, std::abs(v));
+  EXPECT_LE(peak, 1.0 + 1e-9);
+  EXPECT_GT(peak, 0.5);
+
+  ChirpSpec bad = spec;
+  bad.f_max_hz = bad.f_min_hz - 1.0;
+  EXPECT_THROW(MakeChirp(bad), std::invalid_argument);
+  bad = spec;
+  bad.length_samples = 0;
+  EXPECT_THROW(MakeChirp(bad), std::invalid_argument);
+}
+
+TEST(Chirp, AutocorrelationIsPeaky) {
+  ChirpSpec spec;
+  spec.length_samples = 256;
+  const auto c = MakeChirp(spec);
+  // Embed in silence and correlate.
+  std::vector<double> x(1024, 0.0);
+  for (std::size_t i = 0; i < c.size(); ++i) x[300 + i] = c[i];
+  const auto scores = NormalizedCrossCorrelate(x, c);
+  const auto peak = FindPeak(scores);
+  EXPECT_EQ(peak.index, 300u);
+  EXPECT_GT(peak.score, 0.99);
+  // Sidelobes well below the main peak.
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    if (k + 16 < peak.index || k > peak.index + 16) {
+      EXPECT_LT(std::abs(scores[k]), 0.5) << k;
+    }
+  }
+}
+
+// ------------------------------------------------------------- correlate
+TEST(Correlate, DirectMatchesFft) {
+  sim::Rng rng(17);
+  std::vector<double> x(300), y(64);
+  for (auto& v : x) v = rng.Gaussian();
+  for (auto& v : y) v = rng.Gaussian();
+  const auto direct = CrossCorrelate(x, y);
+  const auto fast = CrossCorrelateFft(x, y);
+  ASSERT_EQ(direct.size(), fast.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fast[i], 1e-6) << i;
+  }
+}
+
+TEST(Correlate, NormalizedScoresBounded) {
+  sim::Rng rng(18);
+  std::vector<double> x(512), y(32);
+  for (auto& v : x) v = rng.Gaussian();
+  for (auto& v : y) v = rng.Gaussian();
+  for (double s : NormalizedCrossCorrelate(x, y)) {
+    EXPECT_LE(std::abs(s), 1.0 + 1e-9);
+  }
+}
+
+TEST(Correlate, SelfMatchScoresOne) {
+  sim::Rng rng(19);
+  std::vector<double> y(64);
+  for (auto& v : y) v = rng.Gaussian();
+  const auto scores = NormalizedCrossCorrelate(y, y);
+  EXPECT_NEAR(scores[0], 1.0, 1e-9);
+}
+
+TEST(Correlate, ArgumentValidation) {
+  std::vector<double> x(4, 1.0);
+  EXPECT_THROW(CrossCorrelate(x, {}), std::invalid_argument);
+  EXPECT_THROW(CrossCorrelate(x, std::vector<double>(5, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(FindPeak({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- filter
+TEST(Filter, LowPassAttenuatesHighPassesLow) {
+  auto lpf = Biquad::LowPass(1000.0, 44100.0);
+  EXPECT_NEAR(lpf.MagnitudeAt(50.0, 44100.0), 1.0, 0.02);
+  EXPECT_NEAR(lpf.MagnitudeAt(1000.0, 44100.0), 1.0 / std::sqrt(2.0), 0.02);
+  EXPECT_LT(lpf.MagnitudeAt(8000.0, 44100.0), 0.05);
+}
+
+TEST(Filter, HighPassMirrorsLowPass) {
+  auto hpf = Biquad::HighPass(1000.0, 44100.0);
+  EXPECT_LT(hpf.MagnitudeAt(50.0, 44100.0), 0.01);
+  EXPECT_NEAR(hpf.MagnitudeAt(10000.0, 44100.0), 1.0, 0.05);
+}
+
+TEST(Filter, PeakingBoostsAtCenter) {
+  auto pk = Biquad::Peaking(2000.0, 44100.0, 6.0);
+  EXPECT_NEAR(pk.MagnitudeAt(2000.0, 44100.0), std::pow(10.0, 6.0 / 20.0), 0.05);
+  EXPECT_NEAR(pk.MagnitudeAt(100.0, 44100.0), 1.0, 0.05);
+}
+
+TEST(Filter, ButterworthCascadeSteeperThanSingle) {
+  auto single = BiquadCascade::ButterworthLowPass(6200.0, 44100.0, 1);
+  auto fourth = BiquadCascade::ButterworthLowPass(6200.0, 44100.0, 2);
+  EXPECT_LT(fourth.MagnitudeAt(12000.0, 44100.0),
+            single.MagnitudeAt(12000.0, 44100.0));
+  // Both are ~ -3 dB at cutoff.
+  EXPECT_NEAR(fourth.MagnitudeAt(6200.0, 44100.0), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Filter, ProcessBlockMatchesResponseForTone) {
+  auto lpf = Biquad::LowPass(2000.0, 44100.0);
+  std::vector<double> tone(8192);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = std::sin(2.0 * std::numbers::pi * 500.0 * static_cast<double>(i) /
+                       44100.0);
+  }
+  const auto out = lpf.ProcessBlock(tone);
+  // Steady-state amplitude ~ response at 500 Hz.
+  double peak = 0.0;
+  for (std::size_t i = 4096; i < out.size(); ++i) {
+    peak = std::max(peak, std::abs(out[i]));
+  }
+  EXPECT_NEAR(peak, lpf.MagnitudeAt(500.0, 44100.0), 0.02);
+}
+
+TEST(Filter, InvalidFrequenciesThrow) {
+  EXPECT_THROW(Biquad::LowPass(0.0, 44100.0), std::invalid_argument);
+  EXPECT_THROW(Biquad::LowPass(23000.0, 44100.0), std::invalid_argument);
+  EXPECT_THROW(BiquadCascade::ButterworthLowPass(100.0, 44100.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Filter, ConvolveLengthsAndIdentity) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> delta = {1.0};
+  EXPECT_EQ(Convolve(x, delta), x);
+  const auto y = Convolve(x, {0.0, 1.0});
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_EQ(y[1], 1.0);
+  EXPECT_EQ(y[3], 3.0);
+  EXPECT_TRUE(Convolve({}, x).empty());
+}
+
+// -------------------------------------------------------------- resample
+TEST(Resample, IntegerDelayShifts) {
+  const std::vector<double> x = {1.0, -1.0, 0.5};
+  const auto y = DelayInteger(x, 3);
+  ASSERT_EQ(y.size(), 6u);
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[3], 1.0);
+  EXPECT_EQ(y[5], 0.5);
+}
+
+TEST(Resample, FractionalDelayMovesCorrelationPeak) {
+  ChirpSpec spec;
+  spec.length_samples = 256;
+  const auto c = MakeChirp(spec);
+  std::vector<double> x(1024, 0.0);
+  for (std::size_t i = 0; i < c.size(); ++i) x[100 + i] = c[i];
+  const auto delayed = DelayFractional(x, 37.5);
+  const auto scores = CrossCorrelateFft(delayed, c);
+  const auto peak = FindPeak(scores);
+  // 100 + 37.5 -> peak at 137 or 138.
+  EXPECT_GE(peak.index, 137u);
+  EXPECT_LE(peak.index, 138u);
+}
+
+TEST(Resample, FractionalDelayPreservesEnergy) {
+  sim::Rng rng(23);
+  std::vector<double> x(512);
+  for (auto& v : x) v = rng.Gaussian();
+  const auto y = DelayFractional(x, 10.25);
+  EXPECT_NEAR(Rms(y) * std::sqrt(static_cast<double>(y.size())),
+              Rms(x) * std::sqrt(static_cast<double>(x.size())),
+              0.05 * Rms(x) * std::sqrt(static_cast<double>(x.size())));
+}
+
+TEST(Resample, Validation) {
+  const std::vector<double> x(8, 1.0);
+  EXPECT_THROW(DelayFractional(x, -1.0), std::invalid_argument);
+  EXPECT_THROW(DelayFractional(x, 1.5, 0), std::invalid_argument);
+  EXPECT_THROW(DelayFractional(x, 1.5, 4), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- spl
+TEST(Spl, FullScaleSineIsNear94Db) {
+  std::vector<double> tone(4410);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = std::sin(2.0 * std::numbers::pi * 1000.0 *
+                       static_cast<double>(i) / 44100.0);
+  }
+  EXPECT_NEAR(SplOf(tone), 94.0, 0.2);
+}
+
+TEST(Spl, RoundTripRmsSpl) {
+  for (double spl : {10.0, 40.0, 94.0}) {
+    EXPECT_NEAR(SplFromRms(RmsFromSpl(spl)), spl, 1e-9);
+  }
+}
+
+TEST(Spl, SpreadingLossSixDbPerDoubling) {
+  EXPECT_NEAR(SpreadingLossDb(0.2, 0.1), 6.02, 0.01);
+  EXPECT_NEAR(SpreadingLossDb(0.4, 0.1), 12.04, 0.01);
+  EXPECT_THROW(SpreadingLossDb(0.0, 0.1), std::invalid_argument);
+}
+
+TEST(Spl, EbN0Conversions) {
+  // B == R: Eb/N0 equals SNR.
+  EXPECT_NEAR(EbN0FromSnrDb(10.0, 1000.0, 1000.0), 10.0, 1e-12);
+  // Double bandwidth: +3 dB.
+  EXPECT_NEAR(EbN0FromSnrDb(10.0, 2000.0, 1000.0), 13.01, 0.01);
+  EXPECT_NEAR(SnrDbFromEbN0(EbN0FromSnrDb(7.0, 5000.0, 2756.0), 5000.0, 2756.0),
+              7.0, 1e-9);
+  EXPECT_THROW(EbN0FromSnrDb(10.0, 0.0, 1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- stats
+TEST(Stats, SummaryBasics) {
+  const auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.median, 2.5, 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_THROW(Summarize({}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_NEAR(Percentile({0.0, 10.0}, 50.0), 5.0, 1e-12);
+  EXPECT_NEAR(Percentile({1.0, 2.0, 3.0}, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Percentile({1.0, 2.0, 3.0}, 100.0), 3.0, 1e-12);
+  EXPECT_THROW(Percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const auto fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Stats, LogFitRecoversLogCurve) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * std::log(static_cast<double>(i)) + 1.0);
+  }
+  const auto fit = FitLogarithmic(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_THROW(FitLogarithmic({0.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- hilbert
+TEST(Hilbert, AnalyticSignalEnvelopeOfTone) {
+  std::vector<double> tone(1024);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = 0.7 * std::sin(2.0 * std::numbers::pi * 2000.0 *
+                             static_cast<double>(i) / 44100.0);
+  }
+  const auto analytic = AnalyticSignal(tone);
+  // Envelope ~ constant 0.7 away from the edges.
+  for (std::size_t i = 100; i + 100 < analytic.size(); ++i) {
+    EXPECT_NEAR(std::abs(analytic[i]), 0.7, 0.03) << i;
+  }
+}
+
+TEST(Hilbert, ZeroRotationIsIdentity) {
+  sim::Rng rng(4);
+  std::vector<double> x(256);
+  for (auto& v : x) v = rng.Gaussian();
+  const auto y = RotatePhase(x, std::vector<double>(x.size(), 0.0));
+  for (std::size_t i = 8; i + 8 < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-6);
+  }
+}
+
+TEST(Hilbert, RotationPreservesEnvelope) {
+  std::vector<double> tone(1024);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = std::sin(2.0 * std::numbers::pi * 3000.0 *
+                       static_cast<double>(i) / 44100.0);
+  }
+  const auto rotated = RotatePhase(tone, std::vector<double>(tone.size(), 0.5));
+  const auto analytic = AnalyticSignal(rotated);
+  for (std::size_t i = 100; i + 100 < analytic.size(); ++i) {
+    EXPECT_NEAR(std::abs(analytic[i]), 1.0, 0.05);
+  }
+}
+
+TEST(Hilbert, RotatePhaseSizeMismatchThrows) {
+  EXPECT_THROW(RotatePhase({1.0, 2.0}, {0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wearlock::dsp

@@ -1,0 +1,366 @@
+// Unit tests for the modem's internal stages: frame assembly, preamble
+// detection, CP fine sync, channel estimation/equalization, pilot SNR,
+// NLOS delay spread, adaptive mode selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/resample.h"
+#include "dsp/spl.h"
+#include "modem/adaptive.h"
+#include "modem/demodulator.h"
+#include "modem/detector.h"
+#include "modem/equalizer.h"
+#include "modem/modulator.h"
+#include "modem/nlos.h"
+#include "modem/snr.h"
+#include "modem/sync.h"
+#include "sim/rng.h"
+
+namespace wearlock::modem {
+namespace {
+
+FrameSpec DefaultSpec() { return FrameSpec{}; }
+
+// ----------------------------------------------------------------- frame
+TEST(Frame, LayoutArithmetic) {
+  const FrameSpec spec = DefaultSpec();
+  EXPECT_EQ(spec.fft_size(), 256u);
+  EXPECT_EQ(spec.symbol_samples(), 384u);   // 128 CP + 256 body
+  EXPECT_EQ(spec.header_samples(), 1280u);  // 256 preamble + 1024 guard
+  EXPECT_EQ(spec.FrameSamples(2), 1280u + 2 * 384u);
+  // Data rate: 12 bins * 2 bits / 8.71 ms ~ 2756 bps for QPSK.
+  EXPECT_NEAR(spec.DataRateBps(2), 2756.0, 5.0);
+}
+
+TEST(Frame, PilotValuesAreUnitMagnitude) {
+  for (std::size_t b : DefaultSpec().plan.pilots) {
+    EXPECT_NEAR(std::abs(PilotValue(b)), 1.0, 1e-12);
+  }
+  // Different bins get different phases (no trivially aligned comb).
+  EXPECT_GT(std::abs(PilotValue(7) - PilotValue(11)), 0.1);
+}
+
+TEST(Frame, BuildSymbolHasCyclicPrefix) {
+  const FrameSpec spec = DefaultSpec();
+  std::map<std::size_t, dsp::Complex> loads;
+  for (std::size_t b : spec.plan.pilots) loads[b] = PilotValue(b);
+  const auto symbol = BuildSymbol(spec, loads);
+  ASSERT_EQ(symbol.size(), spec.symbol_samples());
+  // CP == tail of the body.
+  for (std::size_t i = 0; i < spec.cyclic_prefix_samples; ++i) {
+    EXPECT_NEAR(symbol[i], symbol[i + spec.fft_size()], 1e-12) << i;
+  }
+}
+
+TEST(Frame, BuildSymbolIsReal) {
+  const FrameSpec spec = DefaultSpec();
+  std::map<std::size_t, dsp::Complex> loads{{20, {0.3, 0.8}}};
+  const auto symbol = BuildSymbol(spec, loads);
+  // Spectrum of the body must be Hermitian (it came out real), and the
+  // loaded bin must carry the value.
+  audio::Samples body(symbol.begin() + 128, symbol.end());
+  const auto spec_out = SymbolSpectrum(spec, body);
+  EXPECT_NEAR(spec_out[20].real(), 0.3, 1e-9);
+  EXPECT_NEAR(spec_out[20].imag(), 0.8, 1e-9);
+}
+
+TEST(Frame, BuildSymbolRejectsBadBins) {
+  const FrameSpec spec = DefaultSpec();
+  EXPECT_THROW(BuildSymbol(spec, {{0, {1.0, 0.0}}}), std::invalid_argument);
+  EXPECT_THROW(BuildSymbol(spec, {{128, {1.0, 0.0}}}), std::invalid_argument);
+}
+
+TEST(Frame, NormalizeFrameHitsPeak) {
+  const FrameSpec spec = DefaultSpec();
+  audio::Samples x = {0.1, -0.5, 0.2};
+  NormalizeFrame(spec, x);
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, spec.peak_amplitude, 1e-12);
+  audio::Samples silent(10, 0.0);
+  NormalizeFrame(spec, silent);  // no-op, no NaNs
+  for (double v : silent) EXPECT_EQ(v, 0.0);
+}
+
+// ------------------------------------------------------------- modulator
+TEST(Modulator, SymbolCountMatchesPayload) {
+  const Modulator mod(DefaultSpec());
+  // 32 bits / (12 bins * 2 bits) = 2 symbols for QPSK.
+  EXPECT_EQ(mod.SymbolsForBits(Modulation::kQpsk, 32), 2u);
+  EXPECT_EQ(mod.SymbolsForBits(Modulation::k8Psk, 32), 1u);
+  EXPECT_EQ(mod.SymbolsForBits(Modulation::kBask, 32), 3u);
+  const auto tx = mod.ModulateBits(Modulation::kQpsk,
+                                   std::vector<std::uint8_t>(32, 1));
+  EXPECT_EQ(tx.n_symbols, 2u);
+  EXPECT_EQ(tx.samples.size(), DefaultSpec().FrameSamples(2));
+}
+
+TEST(Modulator, FramePeakBounded) {
+  sim::Rng rng(3);
+  const Modulator mod(DefaultSpec());
+  std::vector<std::uint8_t> bits(64);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  const auto tx = mod.ModulateBits(Modulation::k16Qam, bits);
+  double peak = 0.0;
+  for (double v : tx.samples) peak = std::max(peak, std::abs(v));
+  EXPECT_LE(peak, DefaultSpec().peak_amplitude + 1e-9);
+}
+
+TEST(Modulator, ProbeFrameLoadsAllDataAndPilotBins) {
+  const FrameSpec spec = DefaultSpec();
+  const Modulator mod(spec);
+  const auto tx = mod.MakeProbeFrame();
+  // FFT the probe symbol body directly (known offsets, no channel).
+  const std::size_t body_start =
+      spec.header_samples() + spec.cyclic_prefix_samples;
+  audio::Samples body(tx.samples.begin() + static_cast<long>(body_start),
+                      tx.samples.begin() +
+                          static_cast<long>(body_start + spec.fft_size()));
+  const auto spectrum = SymbolSpectrum(spec, body);
+  double data_power = 0.0, null_power = 0.0;
+  for (std::size_t b : spec.plan.data) data_power += std::norm(spectrum[b]);
+  for (std::size_t b : spec.plan.nulls) null_power += std::norm(spectrum[b]);
+  EXPECT_GT(data_power, 1e3 * null_power);
+}
+
+// -------------------------------------------------------------- detector
+TEST(Detector, FindsPreambleInCleanRecording) {
+  const FrameSpec spec = DefaultSpec();
+  const PreambleDetector detector(spec);
+  audio::Samples rec(8000, 0.0);
+  const auto preamble = MakePreamble(spec);
+  for (std::size_t i = 0; i < preamble.size(); ++i) {
+    rec[3000 + i] = 0.01 * preamble[i];
+  }
+  // Add a tiny noise floor so the energy gate has a reference.
+  sim::Rng rng(9);
+  for (auto& v : rec) v += 1e-5 * rng.Gaussian();
+  const auto det = detector.Detect(rec);
+  ASSERT_TRUE(det.has_value());
+  EXPECT_NEAR(static_cast<double>(det->preamble_start), 3000.0, 2.0);
+  EXPECT_GT(det->score, 0.9);
+}
+
+TEST(Detector, SilenceYieldsNothing) {
+  const PreambleDetector detector(DefaultSpec());
+  sim::Rng rng(10);
+  audio::Samples rec = rng.GaussianVector(8000, 1e-5);  // noise only
+  EXPECT_FALSE(detector.Detect(rec).has_value());
+}
+
+TEST(Detector, BelowScoreThresholdRejected) {
+  DetectorConfig config;
+  config.score_threshold = 0.9;  // impossible bar for a noisy copy
+  const FrameSpec spec = DefaultSpec();
+  const PreambleDetector detector(spec, config);
+  sim::Rng rng(11);
+  audio::Samples rec = rng.GaussianVector(8000, 0.05);  // loud noise
+  EXPECT_FALSE(detector.Detect(rec).has_value());
+}
+
+TEST(Detector, EnergyGateLocatesOnset) {
+  const PreambleDetector detector(DefaultSpec());
+  sim::Rng rng(12);
+  audio::Samples rec = rng.GaussianVector(10000, 1e-5);
+  for (std::size_t i = 5000; i < 6000; ++i) rec[i] += 0.05;
+  const auto onset = detector.FindSignalOnset(rec);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_GE(*onset, 4500u);
+  EXPECT_LE(*onset, 5200u);
+}
+
+// ------------------------------------------------------------------ sync
+TEST(Sync, RecoversInjectedOffset) {
+  const FrameSpec spec = DefaultSpec();
+  const Modulator mod(spec);
+  sim::Rng rng(13);
+  std::vector<std::uint8_t> bits(24);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  const auto tx = mod.ModulateBits(Modulation::kQpsk, bits);
+
+  for (long shift : {-7L, 0L, 9L}) {
+    // Nominal CP start, deliberately mis-pointed by -shift.
+    audio::Samples rec = tx.samples;
+    const std::size_t nominal = spec.header_samples();
+    const long claimed = static_cast<long>(nominal) - shift;
+    const auto sync = FineSync(rec, static_cast<std::size_t>(claimed), spec, 16);
+    EXPECT_EQ(sync.offset, shift) << "shift " << shift;
+    EXPECT_GT(sync.metric, 0.9);
+  }
+}
+
+TEST(Sync, OutOfBoundsHandled) {
+  const FrameSpec spec = DefaultSpec();
+  audio::Samples tiny(10, 0.0);
+  const auto sync = FineSync(tiny, 5, spec, 4);
+  EXPECT_EQ(sync.offset, 0);
+  EXPECT_EQ(sync.metric, 0.0);
+}
+
+// ------------------------------------------------------------- equalizer
+TEST(Equalizer, RecoversFlatChannel) {
+  const FrameSpec spec = DefaultSpec();
+  std::map<std::size_t, dsp::Complex> loads;
+  for (std::size_t b : spec.plan.pilots) loads[b] = PilotValue(b);
+  const auto symbol = BuildSymbol(spec, loads);
+  audio::Samples body(symbol.begin() + 128, symbol.end());
+  const auto spectrum = SymbolSpectrum(spec, body);
+  const auto est = EstimateChannel(spec, spectrum);
+  // Flat unit channel: |H| ~ 1 across the band.
+  for (std::size_t b : spec.plan.data) {
+    EXPECT_NEAR(std::abs(est.At(b)), 1.0, 0.05) << b;
+  }
+}
+
+TEST(Equalizer, TracksAttenuationAndPhase) {
+  const FrameSpec spec = DefaultSpec();
+  std::map<std::size_t, dsp::Complex> loads;
+  for (std::size_t b : spec.plan.pilots) loads[b] = PilotValue(b);
+  loads[20] = dsp::Complex(1.0, 0.0);
+  auto symbol = BuildSymbol(spec, loads);
+  // Apply a one-sample delay = linear phase across frequency + gain 0.5.
+  audio::Samples degraded = dsp::DelayInteger(symbol, 1);
+  for (auto& v : degraded) v *= 0.5;
+  audio::Samples body(degraded.begin() + 129,
+                      degraded.begin() + 129 + 256);
+  const auto spectrum = SymbolSpectrum(spec, body);
+  const auto est = EstimateChannel(spec, spectrum);
+  const auto eq = Equalize(est, spectrum, {20});
+  EXPECT_NEAR(eq[0].real(), 1.0, 0.05);
+  EXPECT_NEAR(eq[0].imag(), 0.0, 0.05);
+}
+
+TEST(Equalizer, DeepFadeDoesNotBlowUp) {
+  ChannelEstimate est(7, dsp::ComplexVec(29, dsp::Complex(0.0, 0.0)));
+  dsp::ComplexVec spectrum(256, dsp::Complex(1.0, 0.0));
+  const auto eq = Equalize(est, spectrum, {16});
+  EXPECT_TRUE(std::isfinite(eq[0].real()));
+}
+
+TEST(Equalizer, UnequalPilotSpacingThrows) {
+  FrameSpec spec = DefaultSpec();
+  spec.plan.pilots = {7, 11, 16, 19, 23, 27, 31, 35};  // 11->16 gap differs
+  spec.plan.nulls.clear();
+  dsp::ComplexVec spectrum(256, dsp::Complex(1.0, 0.0));
+  EXPECT_THROW(EstimateChannel(spec, spectrum), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- snr
+TEST(Snr, PilotSnrSeparatesCleanFromNoisy) {
+  const FrameSpec spec = DefaultSpec();
+  std::map<std::size_t, dsp::Complex> loads;
+  for (std::size_t b : spec.plan.pilots) loads[b] = PilotValue(b);
+  const auto symbol = BuildSymbol(spec, loads);
+  audio::Samples body(symbol.begin() + 128, symbol.end());
+  const auto clean = SymbolSpectrum(spec, body);
+  EXPECT_GT(PilotSnrDb(spec, clean), 40.0);
+
+  sim::Rng rng(14);
+  audio::Samples noisy = body;
+  for (auto& v : noisy) v += 0.02 * rng.Gaussian();
+  const auto snr_noisy = PilotSnrDb(spec, SymbolSpectrum(spec, noisy));
+  EXPECT_LT(snr_noisy, 40.0);
+  EXPECT_GT(snr_noisy, 0.0);
+}
+
+TEST(Snr, NoisePowerFromAmbientShape) {
+  const FrameSpec spec = DefaultSpec();
+  sim::Rng rng(15);
+  // Tone at bin 20 over a small floor: bin 20 must dominate.
+  audio::Samples ambient(4096);
+  for (std::size_t i = 0; i < ambient.size(); ++i) {
+    ambient[i] = 0.1 * std::sin(2.0 * std::numbers::pi * 20.0 *
+                                static_cast<double>(i) / 256.0) +
+                 1e-4 * rng.Gaussian();
+  }
+  const auto power = NoisePowerFromAmbient(spec, ambient);
+  ASSERT_EQ(power.size(), 256u);
+  EXPECT_GT(power[20], 100.0 * power[24]);
+  EXPECT_THROW(NoisePowerFromAmbient(spec, audio::Samples(10, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Snr, EbN0AccountsForRate) {
+  const FrameSpec spec = DefaultSpec();
+  // Same SNR: lower-rate modulation gets more Eb/N0.
+  EXPECT_GT(EbN0Db(spec, Modulation::kBask, 10.0),
+            EbN0Db(spec, Modulation::kQpsk, 10.0));
+  EXPECT_GT(EbN0Db(spec, Modulation::kQpsk, 10.0),
+            EbN0Db(spec, Modulation::k16Qam, 10.0));
+}
+
+// ------------------------------------------------------------------ nlos
+TEST(Nlos, SharpProfileIsLos) {
+  std::vector<double> scores(1000, 0.0);
+  scores[500] = 1.0;  // single sharp arrival
+  const auto profile = ComputeDelayProfile(scores, 500, 44100.0);
+  EXPECT_LT(profile.rms_delay_s, 1e-4);
+  EXPECT_FALSE(IsNlos(profile));
+}
+
+TEST(Nlos, SpreadProfileIsNlos) {
+  std::vector<double> scores(4000, 0.0);
+  // Weak direct + strong late reflections over several ms.
+  scores[500] = 0.3;
+  for (int k = 0; k < 6; ++k) {
+    scores[700 + k * 300] = 0.25;
+  }
+  const auto profile = ComputeDelayProfile(scores, 500, 44100.0,
+                                           /*pre=*/64, /*post=*/2500);
+  EXPECT_GT(profile.rms_delay_s, 0.0015);
+  EXPECT_TRUE(IsNlos(profile));
+}
+
+TEST(Nlos, Validation) {
+  EXPECT_THROW(ComputeDelayProfile({}, 0, 44100.0), std::invalid_argument);
+  EXPECT_THROW(ComputeDelayProfile({1.0}, 5, 44100.0), std::invalid_argument);
+  EXPECT_THROW(ComputeDelayProfile({1.0}, 0, 0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- adaptive
+TEST(Adaptive, RequiredEbN0MonotoneInTarget) {
+  for (Modulation m : {Modulation::kQpsk, Modulation::k8Psk}) {
+    EXPECT_LT(RequiredEbN0Db(m, 0.1), RequiredEbN0Db(m, 0.01));
+    EXPECT_LT(RequiredEbN0Db(m, 0.01), RequiredEbN0Db(m, 0.001));
+  }
+  EXPECT_THROW(RequiredEbN0Db(Modulation::kQpsk, 0.0), std::invalid_argument);
+  EXPECT_THROW(RequiredEbN0Db(Modulation::kQpsk, 0.6), std::invalid_argument);
+}
+
+TEST(Adaptive, MeasuredTableHasFloors) {
+  // 8PSK and 16QAM cannot reach tight targets on this hardware.
+  EXPECT_TRUE(std::isinf(MeasuredRequiredEbN0Db(Modulation::k8Psk, 0.01)));
+  EXPECT_TRUE(std::isinf(MeasuredRequiredEbN0Db(Modulation::k16Qam, 0.01)));
+  // QPSK can.
+  EXPECT_TRUE(std::isfinite(MeasuredRequiredEbN0Db(Modulation::kQpsk, 0.01)));
+  EXPECT_GT(MeasuredBerFloor(Modulation::k8Psk), 0.01);
+}
+
+TEST(Adaptive, SelectsHighOrderWhenSnrIsHigh) {
+  AdaptiveConfig config;  // MaxBER 0.1, prefer 8PSK
+  const auto high = SelectMode(30.0, config);
+  ASSERT_TRUE(high.has_value());
+  EXPECT_EQ(*high, Modulation::k8Psk);
+  const auto mid = SelectMode(12.0, config);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(*mid, Modulation::kQpsk);
+  EXPECT_FALSE(SelectMode(-10.0, config).has_value());
+}
+
+TEST(Adaptive, TighterBerDisables8Psk) {
+  AdaptiveConfig config;
+  config.max_ber = 0.01;
+  const auto mode = SelectMode(30.0, config);
+  ASSERT_TRUE(mode.has_value());
+  EXPECT_EQ(*mode, Modulation::kQpsk);  // 8PSK floor excludes it
+}
+
+TEST(Adaptive, ProbeVolumeRule) {
+  // SPLtx = noise + SNRmin + spreading loss to the secure range.
+  const double spl = ProbeTxSpl(40.0, 15.0, 1.0, 0.1);
+  EXPECT_NEAR(spl, 40.0 + 15.0 + 20.0, 0.01);
+}
+
+}  // namespace
+}  // namespace wearlock::modem

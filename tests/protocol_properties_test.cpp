@@ -1,0 +1,147 @@
+// Cross-cutting protocol properties: determinism, accounting
+// consistency, gate monotonicity - invariants that should hold across
+// any scenario, checked over parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include "protocol/session.h"
+
+namespace wearlock::protocol {
+namespace {
+
+ScenarioConfig Scenario(std::uint64_t seed, audio::Environment env,
+                        double distance) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  config.seed = seed;
+  config.scene.environment = env;
+  config.scene.distance_m = distance;
+  return config;
+}
+
+class SeededScenarios
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(SeededScenarios, SameSeedSameOutcome) {
+  const auto [seed, distance] = GetParam();
+  // Two fresh sessions with identical configs must agree on everything
+  // observable (full determinism through DSP, RNG forks, link jitter).
+  const ScenarioConfig config =
+      Scenario(seed, audio::Environment::kOffice, distance);
+  UnlockSession a(config), b(config);
+  const auto ra = a.Attempt();
+  const auto rb = b.Attempt();
+  EXPECT_EQ(ra.outcome, rb.outcome);
+  EXPECT_EQ(ra.unlocked, rb.unlocked);
+  EXPECT_DOUBLE_EQ(ra.pilot_snr_db, rb.pilot_snr_db);
+  EXPECT_DOUBLE_EQ(ra.token_ber, rb.token_ber);
+  EXPECT_EQ(ra.mode.has_value(), rb.mode.has_value());
+  if (ra.mode && rb.mode) {
+    EXPECT_EQ(*ra.mode, *rb.mode);
+  }
+  EXPECT_EQ(ra.trace.size(), rb.trace.size());
+}
+
+TEST_P(SeededScenarios, TimingsAndEnergyNonNegative) {
+  const auto [seed, distance] = GetParam();
+  UnlockSession session(
+      Scenario(seed, audio::Environment::kClassroom, distance));
+  const auto r = session.Attempt();
+  EXPECT_GE(r.timings.phase1_audio_ms, 0.0);
+  EXPECT_GE(r.timings.phase1_comm_ms, 0.0);
+  EXPECT_GE(r.timings.phase1_compute_ms, 0.0);
+  EXPECT_GE(r.timings.phase2_audio_ms, 0.0);
+  EXPECT_GE(r.timings.phase2_comm_ms, 0.0);
+  EXPECT_GE(r.timings.phase2_compute_ms, 0.0);
+  EXPECT_GE(r.watch_energy_mj, 0.0);
+  EXPECT_GE(r.phone_energy_mj, 0.0);
+  // An unlocked attempt always went through both phases.
+  if (r.unlocked && r.mode) {
+    EXPECT_GT(r.timings.phase1_audio_ms, 0.0);
+    EXPECT_GT(r.timings.phase2_audio_ms, 0.0);
+  }
+}
+
+TEST_P(SeededScenarios, UnlockImpliesBoundsHeld) {
+  const auto [seed, distance] = GetParam();
+  UnlockSession session(Scenario(seed, audio::Environment::kOffice, distance));
+  const auto r = session.Attempt();
+  if (r.unlocked && r.mode) {
+    EXPECT_LE(r.token_ber, r.required_ber);
+    EXPECT_GT(r.preamble_score, 0.05);
+    EXPECT_GT(r.ambient_similarity, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeededScenarios,
+    ::testing::Combine(::testing::Values(10ull, 20ull, 30ull),
+                       ::testing::Values(0.2, 0.5, 1.0)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+TEST(ProtocolProperties, OutcomeDistancesAreMonotoneInAggregate) {
+  // Aggregate unlock rate must not increase with distance.
+  auto rate_at = [](double distance) {
+    int ok = 0;
+    for (std::uint64_t seed = 40; seed < 48; ++seed) {
+      UnlockSession session(
+          Scenario(seed, audio::Environment::kQuietRoom, distance));
+      if (session.Attempt().unlocked) ++ok;
+    }
+    return ok;
+  };
+  const int near = rate_at(0.3);
+  const int mid = rate_at(1.3);
+  const int far = rate_at(2.5);
+  EXPECT_GE(near, mid);
+  EXPECT_GE(mid, far);
+  EXPECT_EQ(far, 0);
+  EXPECT_GE(near, 7);
+}
+
+TEST(ProtocolProperties, ForceTransmitNeverLoosensValidation) {
+  // Campaign mode transmits more but must not accept worse tokens.
+  ScenarioConfig config = Scenario(50, audio::Environment::kCafe, 0.3);
+  config.phone.force_transmit = true;
+  UnlockSession session(config);
+  for (int i = 0; i < 5; ++i) {
+    session.keyguard().Relock();
+    if (!session.keyguard().CanAttemptWearlock()) {
+      session.keyguard().UnlockWithCredential();
+      session.keyguard().Relock();
+    }
+    const auto r = session.Attempt();
+    if (r.unlocked) {
+      EXPECT_LE(r.token_ber, r.required_ber);
+    }
+  }
+}
+
+TEST(ProtocolProperties, EnergySplitsFollowOffloadSite) {
+  // Offloading: phone pays compute energy; local: phone pays none.
+  ScenarioConfig remote = Scenario(60, audio::Environment::kQuietRoom, 0.3);
+  remote.processing = ProcessingSite::kOffloadToPhone;
+  UnlockSession rs(remote);
+  const auto rr = rs.Attempt();
+  ASSERT_TRUE(rr.unlocked);
+  EXPECT_GT(rr.phone_energy_mj, 0.0);
+
+  ScenarioConfig local = Scenario(60, audio::Environment::kQuietRoom, 0.3);
+  local.processing = ProcessingSite::kWatchLocal;
+  UnlockSession ls(local);
+  const auto lr = ls.Attempt();
+  ASSERT_TRUE(lr.unlocked);
+  EXPECT_EQ(lr.phone_energy_mj, 0.0);
+  EXPECT_GT(lr.watch_energy_mj, rr.watch_energy_mj);
+}
+
+TEST(ProtocolProperties, TraceTimesMatchClock) {
+  UnlockSession session(Scenario(70, audio::Environment::kOffice, 0.3));
+  const auto r = session.Attempt();
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_LE(r.trace.back().at_ms, session.clock().now() + 1e-9);
+}
+
+}  // namespace
+}  // namespace wearlock::protocol

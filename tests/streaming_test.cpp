@@ -1,0 +1,131 @@
+// StreamingReceiver: chunked, memory-bounded reception.
+#include <gtest/gtest.h>
+
+#include "audio/medium.h"
+#include "modem/modem.h"
+#include "modem/streaming.h"
+#include "sim/rng.h"
+
+namespace wearlock::modem {
+namespace {
+
+struct Tx {
+  std::vector<std::uint8_t> bits;
+  audio::Samples recording;
+};
+
+Tx MakeTransmission(std::uint64_t seed, double distance = 0.3,
+                       std::size_t lead_in = 4096) {
+  sim::Rng rng(seed);
+  AcousticModem modem;
+  audio::ChannelConfig cfg;
+  cfg.distance_m = distance;
+  cfg.lead_in_samples = lead_in;
+  audio::AcousticChannel channel(cfg, rng.Fork());
+  Tx s;
+  s.bits.resize(32);
+  for (auto& b : s.bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  const auto tx = modem.Modulate(Modulation::kQpsk, s.bits);
+  s.recording = channel.Transmit(tx.samples, 0.4).recording;
+  return s;
+}
+
+class ChunkSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkSizes, DecodesRegardlessOfChunking) {
+  const Tx s = MakeTransmission(91);
+  StreamingReceiver rx{FrameSpec{}};
+  const std::size_t chunk = GetParam();
+  for (std::size_t i = 0; i < s.recording.size(); i += chunk) {
+    const std::size_t end = std::min(i + chunk, s.recording.size());
+    audio::Samples piece(s.recording.begin() + static_cast<long>(i),
+                         s.recording.begin() + static_cast<long>(end));
+    if (rx.Push(piece) == StreamState::kDone) break;
+  }
+  ASSERT_EQ(rx.state(), StreamState::kDone);
+  ASSERT_TRUE(rx.result().has_value());
+  EXPECT_EQ(rx.result()->bits, s.bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunking, ChunkSizes,
+                         ::testing::Values(128, 441, 1024, 4096, 100000),
+                         [](const auto& info) {
+                           return "chunk" + std::to_string(info.param);
+                         });
+
+TEST(StreamingReceiver, MemoryBoundedWhileIdle) {
+  sim::Rng rng(92);
+  StreamingConfig config;
+  config.search_retain_samples = 8192;
+  StreamingReceiver rx{FrameSpec{}, config};
+  // Ten seconds of silence-ish room noise: buffer must not grow without
+  // bound.
+  for (int i = 0; i < 100; ++i) {
+    rx.Push(rng.GaussianVector(4410, 1e-5));
+    EXPECT_LE(rx.buffered_samples(), 8192u + 4410u);
+  }
+  EXPECT_EQ(rx.state(), StreamState::kSearching);
+  EXPECT_EQ(rx.consumed_samples(), 441000u);
+}
+
+TEST(StreamingReceiver, CatchesFrameAfterLongIdle) {
+  // A frame arriving after minutes of discarded idle audio must still
+  // decode (absolute/relative index bookkeeping).
+  sim::Rng rng(93);
+  const Tx s = MakeTransmission(93);
+  StreamingConfig config;
+  config.search_retain_samples = 8192;
+  StreamingReceiver rx{FrameSpec{}, config};
+  for (int i = 0; i < 50; ++i) rx.Push(rng.GaussianVector(4410, 1e-5));
+  for (std::size_t i = 0; i < s.recording.size(); i += 1000) {
+    const std::size_t end = std::min(i + 1000, s.recording.size());
+    rx.Push(audio::Samples(s.recording.begin() + static_cast<long>(i),
+                           s.recording.begin() + static_cast<long>(end)));
+  }
+  ASSERT_EQ(rx.state(), StreamState::kDone);
+  EXPECT_EQ(rx.result()->bits, s.bits);
+}
+
+TEST(StreamingReceiver, ResetRearmsForNextFrame) {
+  const Tx first = MakeTransmission(94);
+  const Tx second = MakeTransmission(95);
+  StreamingReceiver rx{FrameSpec{}};
+  rx.Push(first.recording);
+  ASSERT_EQ(rx.state(), StreamState::kDone);
+  EXPECT_EQ(rx.result()->bits, first.bits);
+  rx.Reset();
+  EXPECT_EQ(rx.state(), StreamState::kSearching);
+  rx.Push(second.recording);
+  ASSERT_EQ(rx.state(), StreamState::kDone);
+  EXPECT_EQ(rx.result()->bits, second.bits);
+}
+
+TEST(StreamingReceiver, PushAfterDoneIsIgnored) {
+  const Tx s = MakeTransmission(96);
+  StreamingReceiver rx{FrameSpec{}};
+  rx.Push(s.recording);
+  ASSERT_EQ(rx.state(), StreamState::kDone);
+  const auto bits = rx.result()->bits;
+  sim::Rng rng(96);
+  rx.Push(rng.GaussianVector(10000, 0.1));
+  EXPECT_EQ(rx.state(), StreamState::kDone);
+  EXPECT_EQ(rx.result()->bits, bits);
+}
+
+TEST(StreamingReceiver, MatchesBatchDemodulator) {
+  const Tx s = MakeTransmission(97);
+  AcousticModem batch;
+  const auto batch_result = batch.Demodulate(s.recording, Modulation::kQpsk, 32);
+  StreamingReceiver rx{FrameSpec{}};
+  for (std::size_t i = 0; i < s.recording.size(); i += 777) {
+    const std::size_t end = std::min(i + 777, s.recording.size());
+    rx.Push(audio::Samples(s.recording.begin() + static_cast<long>(i),
+                           s.recording.begin() + static_cast<long>(end)));
+  }
+  ASSERT_TRUE(batch_result.has_value());
+  ASSERT_EQ(rx.state(), StreamState::kDone);
+  EXPECT_EQ(rx.result()->bits, batch_result->bits);
+}
+
+}  // namespace
+}  // namespace wearlock::modem

@@ -1,0 +1,110 @@
+// Command-line acoustic modem: frame text into a WAV file and recover it
+// back - the quickest way to poke at the modem with real audio tools
+// (play the WAV through actual speakers, re-record, feed it back).
+//
+// Usage:
+//   wearlock_modem_cli send "hello watch" out.wav [qpsk|qask|8psk] [none|hamming|rep3]
+//   wearlock_modem_cli recv in.wav [qpsk|qask|8psk] [none|hamming|rep3]
+//   wearlock_modem_cli probe out.wav
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "audio/wav.h"
+#include "dsp/spectrogram.h"
+#include "modem/datagram.h"
+
+namespace {
+
+using namespace wearlock;
+
+modem::Modulation ParseModulation(const char* s) {
+  if (std::strcmp(s, "qask") == 0) return modem::Modulation::kQask;
+  if (std::strcmp(s, "8psk") == 0) return modem::Modulation::k8Psk;
+  if (std::strcmp(s, "bpsk") == 0) return modem::Modulation::kBpsk;
+  if (std::strcmp(s, "bask") == 0) return modem::Modulation::kBask;
+  if (std::strcmp(s, "16qam") == 0) return modem::Modulation::k16Qam;
+  return modem::Modulation::kQpsk;
+}
+
+modem::CodeScheme ParseCode(const char* s) {
+  if (std::strcmp(s, "hamming") == 0) return modem::CodeScheme::kHamming74;
+  if (std::strcmp(s, "rep3") == 0) return modem::CodeScheme::kRepetition3;
+  return modem::CodeScheme::kNone;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wearlock_modem_cli send <text> <out.wav> [mod] [code]\n"
+               "  wearlock_modem_cli recv <in.wav> [mod] [code]\n"
+               "  wearlock_modem_cli probe <out.wav>\n"
+               "  wearlock_modem_cli spectrogram <in.wav>\n"
+               "  mod:  qpsk (default) | qask | 8psk | bpsk | bask | 16qam\n"
+               "  code: none (default) | hamming | rep3\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  modem::AcousticModem acoustic_modem;
+
+  try {
+    if (command == "send" && argc >= 4) {
+      modem::DatagramConfig config;
+      if (argc >= 5) config.modulation = ParseModulation(argv[4]);
+      if (argc >= 6) config.code = ParseCode(argv[5]);
+      const std::string text = argv[2];
+      const std::vector<std::uint8_t> payload(text.begin(), text.end());
+      const auto tx = modem::SendDatagram(acoustic_modem, config, payload);
+      audio::WriteWav(argv[3], tx.samples);
+      std::printf("wrote %zu samples (%.2f s, %zu OFDM symbols, %s/%s) to %s\n",
+                  tx.samples.size(),
+                  static_cast<double>(tx.samples.size()) / audio::kSampleRate,
+                  tx.n_symbols, ToString(config.modulation).c_str(),
+                  ToString(config.code).c_str(), argv[3]);
+      return 0;
+    }
+    if (command == "recv") {
+      modem::DatagramConfig config;
+      if (argc >= 4) config.modulation = ParseModulation(argv[3]);
+      if (argc >= 5) config.code = ParseCode(argv[4]);
+      const audio::WavData wav = audio::ReadWav(argv[2]);
+      const auto result =
+          modem::ReceiveDatagram(acoustic_modem, config, wav.samples);
+      if (!result) {
+        std::printf("no frame found in %s\n", argv[2]);
+        return 1;
+      }
+      const std::string text(result->payload.begin(), result->payload.end());
+      std::printf("payload (%zu bytes, CRC %s, preamble score %.2f):\n%s\n",
+                  result->payload.size(), result->crc_ok ? "OK" : "BAD",
+                  result->preamble_score, text.c_str());
+      return result->crc_ok ? 0 : 1;
+    }
+    if (command == "spectrogram") {
+      const audio::WavData wav = audio::ReadWav(argv[2]);
+      const auto spec = dsp::ComputeSpectrogram(wav.samples);
+      std::printf("%s", dsp::RenderAscii(spec).c_str());
+      std::printf("%zu frames x %zu bins, %.1f Hz/bin, %.1f ms/frame\n",
+                  spec.power_db.size(),
+                  spec.power_db.empty() ? 0 : spec.power_db.front().size(),
+                  spec.bin_hz, spec.frame_s * 1000.0);
+      return 0;
+    }
+    if (command == "probe") {
+      const auto tx = acoustic_modem.MakeProbeFrame();
+      audio::WriteWav(argv[2], tx.samples);
+      std::printf("wrote RTS probe frame (%zu samples) to %s\n",
+                  tx.samples.size(), argv[2]);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

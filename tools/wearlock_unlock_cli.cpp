@@ -1,0 +1,105 @@
+// Run a complete WearLock unlock session from the command line and print
+// the protocol trace - the fastest way to explore how environment,
+// distance, grip and configuration interact.
+//
+// Usage:
+//   wearlock_unlock_cli [--env quiet|office|classroom|cafe|grocery]
+//                       [--distance 0.3] [--same-hand] [--different-body]
+//                       [--different-room] [--no-link] [--config 1|2|3]
+//                       [--activity sitting|walking|running]
+//                       [--attempts N] [--seed S] [--retries R]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "protocol/session.h"
+
+namespace {
+using namespace wearlock;
+using namespace wearlock::protocol;
+
+audio::Environment ParseEnv(const char* s) {
+  if (std::strcmp(s, "office") == 0) return audio::Environment::kOffice;
+  if (std::strcmp(s, "classroom") == 0) return audio::Environment::kClassroom;
+  if (std::strcmp(s, "cafe") == 0) return audio::Environment::kCafe;
+  if (std::strcmp(s, "grocery") == 0) return audio::Environment::kGroceryStore;
+  return audio::Environment::kQuietRoom;
+}
+
+sensors::Activity ParseActivity(const char* s) {
+  if (std::strcmp(s, "walking") == 0) return sensors::Activity::kWalking;
+  if (std::strcmp(s, "running") == 0) return sensors::Activity::kRunning;
+  return sensors::Activity::kSitting;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  config.scene.distance_m = 0.3;
+  int attempts = 1;
+  int retries = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--env") {
+      config.scene.environment = ParseEnv(next());
+    } else if (arg == "--distance") {
+      config.scene.distance_m = std::atof(next());
+    } else if (arg == "--same-hand") {
+      config.scene.distance_m = 0.15;
+      config.scene.propagation = audio::PropagationSpec::BodyBlockedNlos();
+    } else if (arg == "--different-body") {
+      config.same_body = false;
+    } else if (arg == "--different-room") {
+      config.scene.co_located = false;
+      config.same_body = false;
+    } else if (arg == "--no-link") {
+      config.wireless_connected = false;
+    } else if (arg == "--config") {
+      const int n = std::atoi(next());
+      if (n == 2) config = ScenarioConfig::Config2();
+      if (n == 3) config = ScenarioConfig::Config3();
+    } else if (arg == "--activity") {
+      config.activity = ParseActivity(next());
+    } else if (arg == "--attempts") {
+      attempts = std::atoi(next());
+    } else if (arg == "--retries") {
+      retries = std::atoi(next());
+    } else if (arg == "--seed") {
+      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  UnlockSession session(config);
+  int unlocked = 0;
+  for (int a = 0; a < attempts; ++a) {
+    session.keyguard().Relock();
+    if (!session.keyguard().CanAttemptWearlock()) {
+      session.keyguard().UnlockWithCredential();
+      session.keyguard().Relock();
+    }
+    const UnlockReport report = session.AttemptWithRetries(retries);
+    if (report.unlocked) ++unlocked;
+    std::printf("attempt %d: %s", a + 1, ToString(report.outcome).c_str());
+    if (report.mode) {
+      std::printf(" (%s, token BER %.3f, %.0f ms)",
+                  ToString(*report.mode).c_str(), report.token_ber,
+                  report.timings.total_ms());
+    }
+    std::printf("\n");
+    for (const auto& event : report.trace) {
+      std::printf("  [%7.0f ms] %-14s %s\n", event.at_ms, event.step.c_str(),
+                  event.detail.c_str());
+    }
+  }
+  std::printf("unlocked %d/%d\n", unlocked, attempts);
+  return unlocked > 0 ? 0 : 1;
+}
