@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coding.dir/abl_coding.cpp.o"
+  "CMakeFiles/abl_coding.dir/abl_coding.cpp.o.d"
+  "CMakeFiles/abl_coding.dir/bench_util.cpp.o"
+  "CMakeFiles/abl_coding.dir/bench_util.cpp.o.d"
+  "abl_coding"
+  "abl_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cp_length.dir/abl_cp_length.cpp.o"
+  "CMakeFiles/abl_cp_length.dir/abl_cp_length.cpp.o.d"
+  "CMakeFiles/abl_cp_length.dir/bench_util.cpp.o"
+  "CMakeFiles/abl_cp_length.dir/bench_util.cpp.o.d"
+  "abl_cp_length"
+  "abl_cp_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cp_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_equalizer.dir/abl_equalizer.cpp.o"
+  "CMakeFiles/abl_equalizer.dir/abl_equalizer.cpp.o.d"
+  "CMakeFiles/abl_equalizer.dir/bench_util.cpp.o"
+  "CMakeFiles/abl_equalizer.dir/bench_util.cpp.o.d"
+  "abl_equalizer"
+  "abl_equalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_equalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

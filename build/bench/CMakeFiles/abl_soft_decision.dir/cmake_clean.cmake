@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_soft_decision.dir/abl_soft_decision.cpp.o"
+  "CMakeFiles/abl_soft_decision.dir/abl_soft_decision.cpp.o.d"
+  "CMakeFiles/abl_soft_decision.dir/bench_util.cpp.o"
+  "CMakeFiles/abl_soft_decision.dir/bench_util.cpp.o.d"
+  "abl_soft_decision"
+  "abl_soft_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_soft_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

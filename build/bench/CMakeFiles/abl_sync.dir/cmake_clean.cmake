@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync.dir/abl_sync.cpp.o"
+  "CMakeFiles/abl_sync.dir/abl_sync.cpp.o.d"
+  "CMakeFiles/abl_sync.dir/bench_util.cpp.o"
+  "CMakeFiles/abl_sync.dir/bench_util.cpp.o.d"
+  "abl_sync"
+  "abl_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compute_delay.dir/bench_util.cpp.o"
+  "CMakeFiles/fig10_compute_delay.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig10_compute_delay.dir/fig10_compute_delay.cpp.o"
+  "CMakeFiles/fig10_compute_delay.dir/fig10_compute_delay.cpp.o.d"
+  "fig10_compute_delay"
+  "fig10_compute_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compute_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

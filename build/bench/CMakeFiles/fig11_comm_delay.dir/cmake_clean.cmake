@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_comm_delay.dir/bench_util.cpp.o"
+  "CMakeFiles/fig11_comm_delay.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig11_comm_delay.dir/fig11_comm_delay.cpp.o"
+  "CMakeFiles/fig11_comm_delay.dir/fig11_comm_delay.cpp.o.d"
+  "fig11_comm_delay"
+  "fig11_comm_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_comm_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_total_delay.dir/bench_util.cpp.o"
+  "CMakeFiles/fig12_total_delay.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig12_total_delay.dir/fig12_total_delay.cpp.o"
+  "CMakeFiles/fig12_total_delay.dir/fig12_total_delay.cpp.o.d"
+  "fig12_total_delay"
+  "fig12_total_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_total_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

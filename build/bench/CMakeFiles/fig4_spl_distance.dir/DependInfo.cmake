@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cpp" "bench/CMakeFiles/fig4_spl_distance.dir/bench_util.cpp.o" "gcc" "bench/CMakeFiles/fig4_spl_distance.dir/bench_util.cpp.o.d"
+  "/root/repo/bench/fig4_spl_distance.cpp" "bench/CMakeFiles/fig4_spl_distance.dir/fig4_spl_distance.cpp.o" "gcc" "bench/CMakeFiles/fig4_spl_distance.dir/fig4_spl_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wearlock_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

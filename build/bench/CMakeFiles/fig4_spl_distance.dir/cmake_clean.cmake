@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spl_distance.dir/bench_util.cpp.o"
+  "CMakeFiles/fig4_spl_distance.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig4_spl_distance.dir/fig4_spl_distance.cpp.o"
+  "CMakeFiles/fig4_spl_distance.dir/fig4_spl_distance.cpp.o.d"
+  "fig4_spl_distance"
+  "fig4_spl_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spl_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ber_ebn0.dir/bench_util.cpp.o"
+  "CMakeFiles/fig5_ber_ebn0.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig5_ber_ebn0.dir/fig5_ber_ebn0.cpp.o"
+  "CMakeFiles/fig5_ber_ebn0.dir/fig5_ber_ebn0.cpp.o.d"
+  "fig5_ber_ebn0"
+  "fig5_ber_ebn0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ber_ebn0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_offloading.dir/bench_util.cpp.o"
+  "CMakeFiles/fig6_offloading.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig6_offloading.dir/fig6_offloading.cpp.o"
+  "CMakeFiles/fig6_offloading.dir/fig6_offloading.cpp.o.d"
+  "fig6_offloading"
+  "fig6_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

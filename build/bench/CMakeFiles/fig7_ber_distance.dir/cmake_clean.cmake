@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ber_distance.dir/bench_util.cpp.o"
+  "CMakeFiles/fig7_ber_distance.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig7_ber_distance.dir/fig7_ber_distance.cpp.o"
+  "CMakeFiles/fig7_ber_distance.dir/fig7_ber_distance.cpp.o.d"
+  "fig7_ber_distance"
+  "fig7_ber_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ber_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_adaptive.dir/bench_util.cpp.o"
+  "CMakeFiles/fig8_adaptive.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig8_adaptive.dir/fig8_adaptive.cpp.o"
+  "CMakeFiles/fig8_adaptive.dir/fig8_adaptive.cpp.o.d"
+  "fig8_adaptive"
+  "fig8_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_jamming.dir/bench_util.cpp.o"
+  "CMakeFiles/fig9_jamming.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig9_jamming.dir/fig9_jamming.cpp.o"
+  "CMakeFiles/fig9_jamming.dir/fig9_jamming.cpp.o.d"
+  "fig9_jamming"
+  "fig9_jamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

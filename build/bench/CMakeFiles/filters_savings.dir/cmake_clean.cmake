@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_savings.dir/bench_util.cpp.o"
+  "CMakeFiles/filters_savings.dir/bench_util.cpp.o.d"
+  "CMakeFiles/filters_savings.dir/filters_savings.cpp.o"
+  "CMakeFiles/filters_savings.dir/filters_savings.cpp.o.d"
+  "filters_savings"
+  "filters_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_eavesdropper.dir/bench_util.cpp.o"
+  "CMakeFiles/security_eavesdropper.dir/bench_util.cpp.o.d"
+  "CMakeFiles/security_eavesdropper.dir/security_eavesdropper.cpp.o"
+  "CMakeFiles/security_eavesdropper.dir/security_eavesdropper.cpp.o.d"
+  "security_eavesdropper"
+  "security_eavesdropper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_eavesdropper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_field_test.dir/bench_util.cpp.o"
+  "CMakeFiles/table1_field_test.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table1_field_test.dir/table1_field_test.cpp.o"
+  "CMakeFiles/table1_field_test.dir/table1_field_test.cpp.o.d"
+  "table1_field_test"
+  "table1_field_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

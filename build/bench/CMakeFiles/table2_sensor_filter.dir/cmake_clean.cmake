@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sensor_filter.dir/bench_util.cpp.o"
+  "CMakeFiles/table2_sensor_filter.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table2_sensor_filter.dir/table2_sensor_filter.cpp.o"
+  "CMakeFiles/table2_sensor_filter.dir/table2_sensor_filter.cpp.o.d"
+  "table2_sensor_filter"
+  "table2_sensor_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sensor_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

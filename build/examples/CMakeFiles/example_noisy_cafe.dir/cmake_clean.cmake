@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noisy_cafe.dir/noisy_cafe.cpp.o"
+  "CMakeFiles/example_noisy_cafe.dir/noisy_cafe.cpp.o.d"
+  "example_noisy_cafe"
+  "example_noisy_cafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noisy_cafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

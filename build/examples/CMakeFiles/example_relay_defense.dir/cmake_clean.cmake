@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_relay_defense.dir/relay_defense.cpp.o"
+  "CMakeFiles/example_relay_defense.dir/relay_defense.cpp.o.d"
+  "example_relay_defense"
+  "example_relay_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_relay_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_unlock_session.dir/unlock_session.cpp.o"
+  "CMakeFiles/example_unlock_session.dir/unlock_session.cpp.o.d"
+  "example_unlock_session"
+  "example_unlock_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_unlock_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/medium.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/medium.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/medium.cpp.o.d"
+  "/root/repo/src/audio/microphone.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/microphone.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/microphone.cpp.o.d"
+  "/root/repo/src/audio/noise.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/noise.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/noise.cpp.o.d"
+  "/root/repo/src/audio/propagation.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/propagation.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/propagation.cpp.o.d"
+  "/root/repo/src/audio/scene.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/scene.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/scene.cpp.o.d"
+  "/root/repo/src/audio/signal.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/signal.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/signal.cpp.o.d"
+  "/root/repo/src/audio/speaker.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/speaker.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/speaker.cpp.o.d"
+  "/root/repo/src/audio/wav.cpp" "src/CMakeFiles/wearlock_audio.dir/audio/wav.cpp.o" "gcc" "src/CMakeFiles/wearlock_audio.dir/audio/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wearlock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_audio.dir/audio/medium.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/medium.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/microphone.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/microphone.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/noise.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/noise.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/propagation.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/propagation.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/scene.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/scene.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/signal.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/signal.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/speaker.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/speaker.cpp.o.d"
+  "CMakeFiles/wearlock_audio.dir/audio/wav.cpp.o"
+  "CMakeFiles/wearlock_audio.dir/audio/wav.cpp.o.d"
+  "libwearlock_audio.a"
+  "libwearlock_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

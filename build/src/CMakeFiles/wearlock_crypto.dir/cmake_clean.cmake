@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/wearlock_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/wearlock_crypto.dir/crypto/hotp.cpp.o"
+  "CMakeFiles/wearlock_crypto.dir/crypto/hotp.cpp.o.d"
+  "CMakeFiles/wearlock_crypto.dir/crypto/sha1.cpp.o"
+  "CMakeFiles/wearlock_crypto.dir/crypto/sha1.cpp.o.d"
+  "libwearlock_crypto.a"
+  "libwearlock_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

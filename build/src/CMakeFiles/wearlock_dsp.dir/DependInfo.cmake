@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/chirp.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/chirp.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/chirp.cpp.o.d"
+  "/root/repo/src/dsp/correlate.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/correlate.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/correlate.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/filter.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/filter.cpp.o.d"
+  "/root/repo/src/dsp/hilbert.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/hilbert.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/hilbert.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/resample.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/resample.cpp.o.d"
+  "/root/repo/src/dsp/spectrogram.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/spectrogram.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "/root/repo/src/dsp/spl.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/spl.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/spl.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/stats.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/stats.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/wearlock_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/wearlock_dsp.dir/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_dsp.dir/dsp/chirp.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/chirp.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/correlate.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/correlate.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/filter.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/filter.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/hilbert.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/hilbert.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/resample.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/resample.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/spectrogram.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/spl.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/spl.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/stats.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/stats.cpp.o.d"
+  "CMakeFiles/wearlock_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/wearlock_dsp.dir/dsp/window.cpp.o.d"
+  "libwearlock_dsp.a"
+  "libwearlock_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modem/adaptive.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/adaptive.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/adaptive.cpp.o.d"
+  "/root/repo/src/modem/coding.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/coding.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/coding.cpp.o.d"
+  "/root/repo/src/modem/constellation.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/constellation.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/constellation.cpp.o.d"
+  "/root/repo/src/modem/datagram.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/datagram.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/datagram.cpp.o.d"
+  "/root/repo/src/modem/demodulator.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/demodulator.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/demodulator.cpp.o.d"
+  "/root/repo/src/modem/detector.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/detector.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/detector.cpp.o.d"
+  "/root/repo/src/modem/equalizer.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/equalizer.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/equalizer.cpp.o.d"
+  "/root/repo/src/modem/frame.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/frame.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/frame.cpp.o.d"
+  "/root/repo/src/modem/modem.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/modem.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/modem.cpp.o.d"
+  "/root/repo/src/modem/modulator.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/modulator.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/modulator.cpp.o.d"
+  "/root/repo/src/modem/nlos.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/nlos.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/nlos.cpp.o.d"
+  "/root/repo/src/modem/snr.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/snr.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/snr.cpp.o.d"
+  "/root/repo/src/modem/streaming.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/streaming.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/streaming.cpp.o.d"
+  "/root/repo/src/modem/subchannel.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/subchannel.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/subchannel.cpp.o.d"
+  "/root/repo/src/modem/sync.cpp" "src/CMakeFiles/wearlock_modem.dir/modem/sync.cpp.o" "gcc" "src/CMakeFiles/wearlock_modem.dir/modem/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wearlock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

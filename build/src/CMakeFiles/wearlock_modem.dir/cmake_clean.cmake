@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_modem.dir/modem/adaptive.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/adaptive.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/coding.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/coding.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/constellation.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/constellation.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/datagram.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/datagram.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/demodulator.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/demodulator.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/detector.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/detector.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/equalizer.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/equalizer.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/frame.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/frame.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/modem.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/modem.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/modulator.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/modulator.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/nlos.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/nlos.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/snr.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/snr.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/streaming.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/streaming.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/subchannel.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/subchannel.cpp.o.d"
+  "CMakeFiles/wearlock_modem.dir/modem/sync.cpp.o"
+  "CMakeFiles/wearlock_modem.dir/modem/sync.cpp.o.d"
+  "libwearlock_modem.a"
+  "libwearlock_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwearlock_modem.a"
+)

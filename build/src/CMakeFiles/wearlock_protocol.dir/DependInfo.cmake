@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/ambient.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/ambient.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/ambient.cpp.o.d"
+  "/root/repo/src/protocol/attacks.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/attacks.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/attacks.cpp.o.d"
+  "/root/repo/src/protocol/distance_bounding.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/distance_bounding.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/distance_bounding.cpp.o.d"
+  "/root/repo/src/protocol/fingerprint.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/fingerprint.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/fingerprint.cpp.o.d"
+  "/root/repo/src/protocol/keyguard.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/keyguard.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/keyguard.cpp.o.d"
+  "/root/repo/src/protocol/offload.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/offload.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/offload.cpp.o.d"
+  "/root/repo/src/protocol/otp_service.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/otp_service.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/otp_service.cpp.o.d"
+  "/root/repo/src/protocol/phone_controller.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/phone_controller.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/phone_controller.cpp.o.d"
+  "/root/repo/src/protocol/session.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/session.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/session.cpp.o.d"
+  "/root/repo/src/protocol/watch_controller.cpp" "src/CMakeFiles/wearlock_protocol.dir/protocol/watch_controller.cpp.o" "gcc" "src/CMakeFiles/wearlock_protocol.dir/protocol/watch_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wearlock_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_protocol.dir/protocol/ambient.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/ambient.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/attacks.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/attacks.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/distance_bounding.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/distance_bounding.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/fingerprint.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/fingerprint.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/keyguard.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/keyguard.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/offload.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/offload.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/otp_service.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/otp_service.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/phone_controller.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/phone_controller.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/session.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/session.cpp.o.d"
+  "CMakeFiles/wearlock_protocol.dir/protocol/watch_controller.cpp.o"
+  "CMakeFiles/wearlock_protocol.dir/protocol/watch_controller.cpp.o.d"
+  "libwearlock_protocol.a"
+  "libwearlock_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/dtw.cpp" "src/CMakeFiles/wearlock_sensors.dir/sensors/dtw.cpp.o" "gcc" "src/CMakeFiles/wearlock_sensors.dir/sensors/dtw.cpp.o.d"
+  "/root/repo/src/sensors/filter.cpp" "src/CMakeFiles/wearlock_sensors.dir/sensors/filter.cpp.o" "gcc" "src/CMakeFiles/wearlock_sensors.dir/sensors/filter.cpp.o.d"
+  "/root/repo/src/sensors/motion_sim.cpp" "src/CMakeFiles/wearlock_sensors.dir/sensors/motion_sim.cpp.o" "gcc" "src/CMakeFiles/wearlock_sensors.dir/sensors/motion_sim.cpp.o.d"
+  "/root/repo/src/sensors/trace.cpp" "src/CMakeFiles/wearlock_sensors.dir/sensors/trace.cpp.o" "gcc" "src/CMakeFiles/wearlock_sensors.dir/sensors/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wearlock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wearlock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

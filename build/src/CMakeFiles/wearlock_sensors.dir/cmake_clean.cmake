@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_sensors.dir/sensors/dtw.cpp.o"
+  "CMakeFiles/wearlock_sensors.dir/sensors/dtw.cpp.o.d"
+  "CMakeFiles/wearlock_sensors.dir/sensors/filter.cpp.o"
+  "CMakeFiles/wearlock_sensors.dir/sensors/filter.cpp.o.d"
+  "CMakeFiles/wearlock_sensors.dir/sensors/motion_sim.cpp.o"
+  "CMakeFiles/wearlock_sensors.dir/sensors/motion_sim.cpp.o.d"
+  "CMakeFiles/wearlock_sensors.dir/sensors/trace.cpp.o"
+  "CMakeFiles/wearlock_sensors.dir/sensors/trace.cpp.o.d"
+  "libwearlock_sensors.a"
+  "libwearlock_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

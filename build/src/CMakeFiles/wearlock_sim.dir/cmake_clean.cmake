@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/wearlock_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/wearlock_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/wearlock_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/wearlock_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/wearlock_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/wearlock_sim.dir/sim/wireless.cpp.o"
+  "CMakeFiles/wearlock_sim.dir/sim/wireless.cpp.o.d"
+  "libwearlock_sim.a"
+  "libwearlock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagram_test.dir/datagram_test.cpp.o"
+  "CMakeFiles/datagram_test.dir/datagram_test.cpp.o.d"
+  "datagram_test"
+  "datagram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppler_test.dir/doppler_test.cpp.o"
+  "CMakeFiles/doppler_test.dir/doppler_test.cpp.o.d"
+  "doppler_test"
+  "doppler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

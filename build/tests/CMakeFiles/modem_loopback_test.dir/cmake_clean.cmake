@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modem_loopback_test.dir/modem_loopback_test.cpp.o"
+  "CMakeFiles/modem_loopback_test.dir/modem_loopback_test.cpp.o.d"
+  "modem_loopback_test"
+  "modem_loopback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modem_loopback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modem_parts_test.dir/modem_parts_test.cpp.o"
+  "CMakeFiles/modem_parts_test.dir/modem_parts_test.cpp.o.d"
+  "modem_parts_test"
+  "modem_parts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modem_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

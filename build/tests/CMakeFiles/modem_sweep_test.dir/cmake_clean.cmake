@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modem_sweep_test.dir/modem_sweep_test.cpp.o"
+  "CMakeFiles/modem_sweep_test.dir/modem_sweep_test.cpp.o.d"
+  "modem_sweep_test"
+  "modem_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modem_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

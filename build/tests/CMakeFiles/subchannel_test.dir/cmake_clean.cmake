@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subchannel_test.dir/subchannel_test.cpp.o"
+  "CMakeFiles/subchannel_test.dir/subchannel_test.cpp.o.d"
+  "subchannel_test"
+  "subchannel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subchannel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

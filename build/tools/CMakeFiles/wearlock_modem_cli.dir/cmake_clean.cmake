@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_modem_cli.dir/wearlock_modem_cli.cpp.o"
+  "CMakeFiles/wearlock_modem_cli.dir/wearlock_modem_cli.cpp.o.d"
+  "wearlock_modem_cli"
+  "wearlock_modem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_modem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlock_unlock_cli.dir/wearlock_unlock_cli.cpp.o"
+  "CMakeFiles/wearlock_unlock_cli.dir/wearlock_unlock_cli.cpp.o.d"
+  "wearlock_unlock_cli"
+  "wearlock_unlock_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlock_unlock_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
