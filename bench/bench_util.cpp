@@ -32,6 +32,13 @@ void PrintTable(const std::vector<std::string>& header,
   for (const auto& row : rows) print_row(row);
 }
 
+dsp::Summary SeriesSummary(const obs::MetricsRegistry& registry,
+                           const std::string& name,
+                           const std::vector<double>& fallback) {
+  const std::vector<double> values = registry.SeriesValues(name);
+  return dsp::Summarize(values.empty() ? fallback : values);
+}
+
 std::string Fmt(double value, int precision) {
   std::ostringstream oss;
   oss.setf(std::ios::fixed);

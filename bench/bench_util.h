@@ -6,12 +6,22 @@
 #include <string>
 #include <vector>
 
+#include "dsp/stats.h"
+#include "obs/metrics.h"
+
 namespace wearlock::bench {
 
 /// Print a fixed-width table: header row then data rows. Column widths
 /// adapt to the longest cell.
 void PrintTable(const std::vector<std::string>& header,
                 const std::vector<std::vector<std::string>>& rows);
+
+/// Summarize the exact samples a Series metric collected, falling back
+/// to `fallback` when the series is empty (metric never observed, or the
+/// tree was built with WEARLOCK_OBS=OFF). @throws if both are empty.
+dsp::Summary SeriesSummary(const obs::MetricsRegistry& registry,
+                           const std::string& name,
+                           const std::vector<double>& fallback = {});
 
 /// Format a double with the given precision.
 std::string Fmt(double value, int precision = 3);

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "dsp/stats.h"
 #include "modem/detector.h"
+#include "obs/metrics.h"
 #include "sim/device.h"
 #include "modem/modem.h"
 #include "sim/rng.h"
@@ -21,6 +22,20 @@ namespace {
 using namespace wearlock;
 
 constexpr int kReps = 20;
+
+/// Run `kernel` kReps times under a private metrics registry and return
+/// the median of the host-ms series the modem's own instrumentation
+/// recorded. Falls back to direct stopwatch timing when the tree was
+/// built with WEARLOCK_OBS=OFF (no series samples).
+template <typename Kernel>
+sim::Millis MeasureKernel(const std::string& series, Kernel&& kernel) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry install(&registry);
+  for (int i = 0; i < kReps; ++i) kernel();
+  const std::vector<double> values = registry.SeriesValues(series);
+  if (values.empty()) return sim::TimeHostMedianMs(kernel, kReps);
+  return dsp::Summarize(values).median;
+}
 
 }  // namespace
 
@@ -40,16 +55,16 @@ int main() {
   const auto data_rx = channel.Transmit(data_tx.samples, 0.3);
   const modem::PreambleDetector detector(modem.spec());
 
-  const sim::Millis probe_host = sim::TimeHostMedianMs(
-      [&] { (void)modem.AnalyzeProbe(probe_rx.recording); }, kReps);
-  const sim::Millis preproc_host = sim::TimeHostMedianMs(
-      [&] { (void)detector.Detect(data_rx.recording); }, kReps);
-  const sim::Millis demod_host = sim::TimeHostMedianMs(
-      [&] {
+  const sim::Millis probe_host = MeasureKernel(
+      "modem.probe_analysis.host_ms",
+      [&] { (void)modem.AnalyzeProbe(probe_rx.recording); });
+  const sim::Millis preproc_host = MeasureKernel(
+      "modem.sync.host_ms", [&] { (void)detector.Detect(data_rx.recording); });
+  const sim::Millis demod_host =
+      MeasureKernel("modem.demod.host_ms", [&] {
         (void)modem.Demodulate(data_rx.recording, modem::Modulation::kQpsk,
                                bits.size());
-      },
-      kReps);
+      });
   // The demodulator runs detection internally; isolate the post-sync part.
   const sim::Millis demod_only_host =
       std::max(demod_host - preproc_host, 0.05 * demod_host);

@@ -29,7 +29,11 @@ dsp::Summary MeasureConfig(ScenarioConfig config, std::uint64_t seed) {
     const auto report = session.Attempt();
     if (report.unlocked) totals.push_back(report.timings.total_ms());
   }
-  return dsp::Summarize(totals);
+  // The instrumented protocol records every successful unlock's total in
+  // the session's metrics registry; read the figure from telemetry (the
+  // locally collected totals are only the WEARLOCK_OBS=OFF fallback).
+  return bench::SeriesSummary(session.metrics(), "protocol.unlock.total_ms",
+                              totals);
 }
 
 }  // namespace

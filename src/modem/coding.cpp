@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/instrument.h"
+
 namespace wearlock::modem {
 namespace {
 
@@ -105,6 +107,9 @@ std::vector<std::uint8_t> Encode(CodeScheme scheme,
 
 std::vector<std::uint8_t> Decode(CodeScheme scheme,
                                  const std::vector<std::uint8_t>& coded) {
+  WL_SPAN("modem.decode");
+  WL_COUNT("modem.decode.calls");
+  WL_COUNT_N("modem.decode.coded_bits", coded.size());
   switch (scheme) {
     case CodeScheme::kNone:
       return coded;
@@ -131,6 +136,8 @@ std::vector<std::uint8_t> Decode(CodeScheme scheme,
 
 std::vector<std::uint8_t> DecodeSoft(CodeScheme scheme,
                                      const std::vector<double>& llrs) {
+  WL_SPAN("modem.decode_soft");
+  WL_COUNT("modem.decode_soft.calls");
   switch (scheme) {
     case CodeScheme::kNone: {
       std::vector<std::uint8_t> out;

@@ -6,6 +6,18 @@
 #include "dsp/spl.h"
 #include "modem/snr.h"
 #include "modem/sync.h"
+#include "obs/instrument.h"
+
+#if WEARLOCK_OBS_ENABLED
+namespace {
+
+// Pilot SNR observations span roughly -10..50 dB.
+std::vector<double> SnrBoundsDb() {
+  return wearlock::obs::Histogram::LinearBounds(-10.0, 2.5, 24);
+}
+
+}  // namespace
+#endif
 
 namespace wearlock::modem {
 
@@ -17,12 +29,16 @@ Demodulator::Demodulator(FrameSpec spec, DemodConfig config)
 long Demodulator::FrameOffset(const audio::Samples& recording,
                               std::size_t symbols_start,
                               std::size_t n_symbols) const {
+  WL_SPAN_V(span, "modem.sync.fine");
   const FineSyncResult sync = FineSyncJoint(
       recording, symbols_start, n_symbols, spec_, config_.fine_sync_range);
+  WL_SPAN_ATTR(span, "metric", sync.metric);
   if (sync.metric < config_.min_sync_metric) {
     // Unreliable metric: fall back to a conservative back-off into the CP.
+    WL_COUNT("modem.sync.fine_fallback");
     return -static_cast<long>(spec_.cyclic_prefix_samples / 8);
   }
+  WL_SPAN_ATTR(span, "offset", static_cast<double>(sync.offset));
   return sync.offset;
 }
 
@@ -43,8 +59,14 @@ std::optional<dsp::ComplexVec> Demodulator::SymbolSpectrumAt(
 
 std::optional<DemodResult> Demodulator::Demodulate(
     const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+  WL_SPAN_V(span, "modem.demod");
+  WL_TIMED_SERIES("modem.demod.host_ms");
+  WL_COUNT("modem.demod.calls");
   const auto detection = detector_.Detect(recording);
-  if (!detection) return std::nullopt;
+  if (!detection) {
+    WL_COUNT("modem.demod.no_preamble");
+    return std::nullopt;
+  }
 
   const std::size_t bits_per_ofdm =
       spec_.plan.data.size() * BitsPerSymbol(m);
@@ -60,9 +82,14 @@ std::optional<DemodResult> Demodulator::Demodulate(
   result.preamble_start = detection->preamble_start;
   double snr_acc = 0.0;
   const long offset = FrameOffset(recording, symbols_start, n_ofdm);
+  WL_SPAN_V(eq_span, "modem.equalize_demap");
+  WL_SPAN_ATTR(eq_span, "n_symbols", static_cast<double>(n_ofdm));
   for (std::size_t s = 0; s < n_ofdm; ++s) {
     const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
-    if (!spectrum) return std::nullopt;  // frame truncated
+    if (!spectrum) {
+      WL_COUNT("modem.demod.truncated");
+      return std::nullopt;  // frame truncated
+    }
     result.fine_offsets.push_back(offset);
     snr_acc += PilotSnrDb(spec_, *spectrum);
 
@@ -76,11 +103,17 @@ std::optional<DemodResult> Demodulator::Demodulate(
       n_ofdm > 0 ? snr_acc / static_cast<double>(n_ofdm) : 0.0;
   if (result.bits.size() < n_bits) return std::nullopt;
   result.bits.resize(n_bits);
+  WL_SPAN_ATTR(span, "pilot_snr_db", result.mean_pilot_snr_db);
+  WL_HIST_BOUNDS("modem.demod.pilot_snr_db", SnrBoundsDb(),
+                 result.mean_pilot_snr_db);
   return result;
 }
 
 std::optional<std::vector<double>> Demodulator::DemodulateSoft(
     const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+  WL_SPAN_V(span, "modem.demod_soft");
+  WL_TIMED_SERIES("modem.demod_soft.host_ms");
+  WL_COUNT("modem.demod_soft.calls");
   const auto detection = detector_.Detect(recording);
   if (!detection) return std::nullopt;
   const std::size_t bits_per_ofdm = spec_.plan.data.size() * BitsPerSymbol(m);
@@ -103,13 +136,30 @@ std::optional<std::vector<double>> Demodulator::DemodulateSoft(
   }
   if (llrs.size() < n_bits) return std::nullopt;
   llrs.resize(n_bits);
+#if WEARLOCK_OBS_ENABLED
+  // LLR confidence profile: mean |LLR| says how separable the
+  // constellation was after equalization.
+  double abs_acc = 0.0;
+  for (const double llr : llrs) abs_acc += std::fabs(llr);
+  const double mean_abs = abs_acc / static_cast<double>(llrs.size());
+  WL_SPAN_ATTR(span, "mean_abs_llr", mean_abs);
+  WL_HIST_BOUNDS("modem.demod_soft.mean_abs_llr",
+                 ::wearlock::obs::Histogram::ExponentialBounds(0.01, 2.0, 16),
+                 mean_abs);
+#endif
   return llrs;
 }
 
 std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
     const audio::Samples& recording) const {
+  WL_SPAN_V(span, "modem.probe_analysis");
+  WL_TIMED_SERIES("modem.probe_analysis.host_ms");
+  WL_COUNT("modem.probe_analysis.calls");
   const auto detection = detector_.Detect(recording);
-  if (!detection) return std::nullopt;
+  if (!detection) {
+    WL_COUNT("modem.probe_analysis.no_preamble");
+    return std::nullopt;
+  }
 
   ProbeAnalysis probe;
   probe.preamble_score = detection->score;
@@ -117,6 +167,7 @@ std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
 
   // Delay profile from the full correlation trace around the peak.
   {
+    WL_SPAN("modem.probe.delay_profile");
     const std::vector<double> scores = detector_.Scores(recording);
     if (!scores.empty()) {
       // The detection ran on a trimmed region; recover the peak index in
@@ -131,19 +182,24 @@ std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
   }
 
   // Ambient noise characterization from the pre-preamble segment.
-  if (detection->preamble_start >= spec_.fft_size()) {
-    audio::Samples ambient(
-        recording.begin(),
-        recording.begin() + static_cast<long>(detection->preamble_start));
-    probe.noise_power = NoisePowerFromAmbient(spec_, ambient);
-    probe.ambient_spl_db = dsp::SplOf(ambient);
-  } else {
-    probe.noise_power.assign(spec_.fft_size(), 0.0);
-    probe.ambient_spl_db = -100.0;
+  {
+    WL_SPAN_V(noise_span, "modem.probe.noise_rank");
+    if (detection->preamble_start >= spec_.fft_size()) {
+      audio::Samples ambient(
+          recording.begin(),
+          recording.begin() + static_cast<long>(detection->preamble_start));
+      probe.noise_power = NoisePowerFromAmbient(spec_, ambient);
+      probe.ambient_spl_db = dsp::SplOf(ambient);
+    } else {
+      probe.noise_power.assign(spec_.fft_size(), 0.0);
+      probe.ambient_spl_db = -100.0;
+    }
+    WL_SPAN_ATTR(noise_span, "ambient_spl_db", probe.ambient_spl_db);
   }
 
   // Pilot SNR and channel estimate averaged over the block pilot
   // symbols (the first must be present; later ones may be truncated).
+  WL_SPAN_V(pilot_span, "modem.probe.channel_estimate");
   const std::size_t symbols_start =
       detection->preamble_start + spec_.header_samples();
   double snr_acc = 0.0;
@@ -161,6 +217,10 @@ std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
   if (snr_n == 0) return std::nullopt;
   probe.pilot_snr_db = snr_acc / static_cast<double>(snr_n);
   probe.channel = ChannelEstimate::Average(estimates);
+  WL_SPAN_ATTR(span, "pilot_snr_db", probe.pilot_snr_db);
+  WL_SPAN_ATTR(span, "nlos", probe.nlos ? 1.0 : 0.0);
+  WL_HIST_BOUNDS("modem.probe.pilot_snr_db", SnrBoundsDb(),
+                 probe.pilot_snr_db);
   return probe;
 }
 

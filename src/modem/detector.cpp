@@ -5,6 +5,7 @@
 
 #include "dsp/correlate.h"
 #include "dsp/spl.h"
+#include "obs/instrument.h"
 
 namespace wearlock::modem {
 
@@ -45,8 +46,14 @@ std::optional<std::size_t> PreambleDetector::FindSignalOnset(
 
 std::optional<Detection> PreambleDetector::Detect(
     const audio::Samples& recording) const {
+  WL_SPAN_V(span, "modem.sync.detect");
+  WL_TIMED_SERIES("modem.sync.host_ms");
+  WL_COUNT("modem.sync.calls");
   const auto onset = FindSignalOnset(recording);
-  if (!onset) return std::nullopt;
+  if (!onset) {
+    WL_COUNT("modem.sync.silent");
+    return std::nullopt;
+  }
   // Search from a little before the gate opening (the gate has window
   // granularity).
   const std::size_t begin =
@@ -56,11 +63,18 @@ std::optional<Detection> PreambleDetector::Detect(
   const std::vector<double> scores = Scores(region);
   if (scores.empty()) return std::nullopt;
   const dsp::PeakResult peak = dsp::FindPeak(scores);
-  if (peak.score < config_.score_threshold) return std::nullopt;
+  if (peak.score < config_.score_threshold) {
+    WL_COUNT("modem.sync.no_preamble");
+    return std::nullopt;
+  }
   Detection d;
   d.preamble_start = begin + peak.index;
   d.score = peak.score;
   d.search_begin = begin;
+  WL_SPAN_ATTR(span, "score", d.score);
+  WL_HIST_BOUNDS("modem.sync.score",
+                 ::wearlock::obs::Histogram::LinearBounds(0.05, 0.05, 19),
+                 d.score);
   return d;
 }
 

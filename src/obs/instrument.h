@@ -1,0 +1,128 @@
+// Instrumentation macros - the only obs API that hot library code
+// should touch. With WEARLOCK_OBS_ENABLED=0 (CMake -DWEARLOCK_OBS=OFF)
+// every macro compiles to nothing, so disabled overhead is zero; with
+// it on, spans are a null-check when no tracer is installed and metric
+// observations are lock-free atomics.
+//
+//   WL_SPAN("modem.demod");            // RAII span, anonymous
+//   WL_SPAN_V(span, "phase2.demod");   // named variable, for attrs
+//   WL_SPAN_ATTR(span, "snr_db", snr);
+//   WL_SPAN_END(span);                 // close early, before scope exit
+//   WL_COUNT("modem.demod.calls");
+//   WL_COUNT_N("link.bytes", n);
+//   WL_GAUGE_SET("modem.plan.data_bins", bins);
+//   WL_HIST("modem.pilot_snr_db", snr);
+//   WL_SERIES("protocol.unlock.total_ms", ms);
+//   WL_TIMED_SERIES("modem.demod.host_ms");  // RAII host-time sample
+#pragma once
+
+#ifndef WEARLOCK_OBS_ENABLED
+#define WEARLOCK_OBS_ENABLED 1
+#endif
+
+#if WEARLOCK_OBS_ENABLED
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wearlock::obs {
+
+/// Host wall-clock stopwatch (steady_clock). Host time is
+/// nondeterministic, so it feeds metrics (series/histograms), never
+/// span timestamps - those stay on the virtual clock.
+class HostTimer {
+ public:
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII: observes the scope's host-time duration into a Series on the
+/// current registry at destruction (so early returns are measured too).
+class ScopedSeriesTimer {
+ public:
+  explicit ScopedSeriesTimer(const char* name) : name_(name) {}
+  ~ScopedSeriesTimer() {
+    CurrentMetrics()->GetSeries(name_).Observe(timer_.ElapsedMs());
+  }
+  ScopedSeriesTimer(const ScopedSeriesTimer&) = delete;
+  ScopedSeriesTimer& operator=(const ScopedSeriesTimer&) = delete;
+
+ private:
+  const char* name_;
+  HostTimer timer_;
+};
+
+}  // namespace wearlock::obs
+
+#define WL_OBS_CONCAT_INNER(a, b) a##b
+#define WL_OBS_CONCAT(a, b) WL_OBS_CONCAT_INNER(a, b)
+
+#define WL_SPAN(name)                                         \
+  ::wearlock::obs::ScopedSpan WL_OBS_CONCAT(wl_span_, __LINE__)( \
+      ::wearlock::obs::CurrentTracer(), name)
+#define WL_SPAN_V(var, name) \
+  ::wearlock::obs::ScopedSpan var(::wearlock::obs::CurrentTracer(), name)
+#define WL_SPAN_ATTR(var, key, value) var.Attr(key, value)
+#define WL_SPAN_END(var) var.End()
+#define WL_COUNT(name) \
+  ::wearlock::obs::CurrentMetrics()->GetCounter(name).Add()
+#define WL_COUNT_N(name, n) \
+  ::wearlock::obs::CurrentMetrics()->GetCounter(name).Add(n)
+#define WL_GAUGE_SET(name, v) \
+  ::wearlock::obs::CurrentMetrics()->GetGauge(name).Set(v)
+#define WL_HIST(name, v) \
+  ::wearlock::obs::CurrentMetrics()->GetHistogram(name).Observe(v)
+#define WL_HIST_BOUNDS(name, bounds, v) \
+  ::wearlock::obs::CurrentMetrics()->GetHistogram(name, bounds).Observe(v)
+#define WL_SERIES(name, v) \
+  ::wearlock::obs::CurrentMetrics()->GetSeries(name).Observe(v)
+#define WL_TIMED_SERIES(name)                  \
+  ::wearlock::obs::ScopedSeriesTimer WL_OBS_CONCAT(wl_timer_, __LINE__)( \
+      name)
+
+#else  // WEARLOCK_OBS_ENABLED
+
+#define WL_SPAN(name) \
+  do {                \
+  } while (false)
+#define WL_SPAN_V(var, name) \
+  do {                       \
+  } while (false)
+#define WL_SPAN_ATTR(var, key, value) \
+  do {                                \
+  } while (false)
+#define WL_SPAN_END(var) \
+  do {                   \
+  } while (false)
+#define WL_COUNT(name) \
+  do {                 \
+  } while (false)
+#define WL_COUNT_N(name, n) \
+  do {                      \
+  } while (false)
+#define WL_GAUGE_SET(name, v) \
+  do {                        \
+  } while (false)
+#define WL_HIST(name, v) \
+  do {                   \
+  } while (false)
+#define WL_HIST_BOUNDS(name, bounds, v) \
+  do {                                  \
+  } while (false)
+#define WL_SERIES(name, v) \
+  do {                     \
+  } while (false)
+#define WL_TIMED_SERIES(name) \
+  do {                        \
+  } while (false)
+
+#endif  // WEARLOCK_OBS_ENABLED

@@ -1,0 +1,17 @@
+// Minimal JSON writing helpers shared by the metrics and trace
+// exporters. Output-only: the telemetry layer never parses JSON.
+#pragma once
+
+#include <string>
+
+namespace wearlock::obs {
+
+/// Escape a string for embedding between double quotes in JSON
+/// (control characters, quotes, backslashes; UTF-8 passes through).
+std::string JsonEscape(const std::string& s);
+
+/// Render a double as a JSON number. Non-finite values (which JSON
+/// cannot represent) become null.
+std::string JsonNumber(double v);
+
+}  // namespace wearlock::obs

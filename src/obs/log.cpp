@@ -1,0 +1,50 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace wearlock::obs {
+namespace {
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // default: discard
+  return sink;
+}
+
+LogLevel& ThresholdSlot() {
+  static LogLevel threshold = LogLevel::kInfo;
+  return threshold;
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink) { SinkSlot() = std::move(sink); }
+
+void SetLogThreshold(LogLevel level) { ThresholdSlot() = level; }
+
+void Log(LogLevel level, const std::string& component,
+         const std::string& message) {
+  if (level < ThresholdSlot()) return;
+  const LogSink& sink = SinkSlot();
+  if (sink) sink(level, component, message);
+}
+
+LogSink StderrLogSink() {
+  return [](LogLevel level, const std::string& component,
+            const std::string& message) {
+    std::fprintf(stderr, "%-5s %s: %s\n", ToString(level), component.c_str(),
+                 message.c_str());
+  };
+}
+
+}  // namespace wearlock::obs

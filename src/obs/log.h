@@ -1,0 +1,41 @@
+// Structured logging for library code.
+//
+// Library code (src/) must never write to stdout/stderr directly - it
+// logs through here, and the *application* decides where lines go by
+// installing a sink (the CLIs install a stderr sink behind --verbose;
+// tests install capture sinks). The default sink discards, so linking
+// the library stays silent.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace wearlock::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* ToString(LogLevel level);
+
+/// Receives every emitted record at or above the threshold.
+using LogSink =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+
+/// Install a process-wide sink (empty function restores the discarding
+/// default). Not thread-safe against concurrent Log calls; install at
+/// startup.
+void SetLogSink(LogSink sink);
+
+/// Drop records below `level` before they reach the sink.
+void SetLogThreshold(LogLevel level);
+
+/// Emit one record. `component` is the dotted subsystem name
+/// ("protocol.phone", "modem.demod").
+void Log(LogLevel level, const std::string& component,
+         const std::string& message);
+
+/// A sink that writes "LEVEL component: message" lines to stderr -
+/// for CLIs/tools, never installed by library code.
+LogSink StderrLogSink();
+
+}  // namespace wearlock::obs

@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace wearlock::obs {
+namespace {
+
+thread_local MetricsRegistry* g_current_metrics = nullptr;
+
+/// Atomic-double accumulate via CAS (std::atomic<double>::fetch_add is
+/// C++20 but keeping the storage uint64 gives one code path for init,
+/// load and add).
+void AtomicAddDouble(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      expected, std::bit_cast<std::uint64_t>(
+                    std::bit_cast<double>(expected) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T, typename... Args>
+T& GetOrCreate(std::map<std::string, std::unique_ptr<T>>& store,
+               const std::string& name, Args&&... args) {
+  auto it = store.find(name);
+  if (it == store.end()) {
+    it = store.emplace(name, std::make_unique<T>(std::forward<Args>(args)...))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAddDouble(bits_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must strictly ascend");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_bits_, v);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 std::size_t n) {
+  if (start <= 0.0 || factor <= 1.0 || n == 0) {
+    throw std::invalid_argument("ExponentialBounds: start>0, factor>1, n>0");
+  }
+  std::vector<double> bounds(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i, v *= factor) bounds[i] = v;
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double start, double step,
+                                            std::size_t n) {
+  if (step <= 0.0 || n == 0) {
+    throw std::invalid_argument("LinearBounds: step>0, n>0");
+  }
+  std::vector<double> bounds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds[i] = start + static_cast<double>(i) * step;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return ExponentialBounds(0.1, 1.75, 20);
+}
+
+void Series::Observe(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  if (values_.size() < cap_) values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+std::uint64_t Series::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t Series::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ - values_.size();
+}
+
+void Series::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+  count_ = 0;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(counters_, name);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+Series& MetricsRegistry::GetSeries(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(series_, name);
+}
+
+std::vector<double> MetricsRegistry::SeriesValues(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  return it != series_.end() ? it->second->Values() : std::vector<double>{};
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto key = [](const std::string& name) {
+    return "\"" + JsonEscape(name) + "\":";
+  };
+
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "" : ",") << key(name)
+       << JsonNumber(static_cast<double>(counter->value()));
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "" : ",") << key(name) << JsonNumber(gauge->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    os << (first ? "" : ",") << key(name) << "{\"count\":"
+       << JsonNumber(static_cast<double>(hist->count()))
+       << ",\"sum\":" << JsonNumber(hist->sum()) << ",\"bounds\":[";
+    const auto& bounds = hist->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      os << (i ? "," : "") << JsonNumber(bounds[i]);
+    }
+    os << "],\"buckets\":[";
+    const auto counts = hist->BucketCounts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      os << (i ? "," : "") << JsonNumber(static_cast<double>(counts[i]));
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "},\"series\":{";
+  first = true;
+  for (const auto& [name, s] : series_) {
+    os << (first ? "" : ",") << key(name) << "{\"count\":"
+       << JsonNumber(static_cast<double>(s->count())) << ",\"values\":[";
+    const auto values = s->Values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      os << (i ? "," : "") << JsonNumber(values[i]);
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+}
+
+void MetricsRegistry::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry* CurrentMetrics() {
+  return g_current_metrics != nullptr ? g_current_metrics
+                                      : &MetricsRegistry::Default();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* registry)
+    : previous_(g_current_metrics) {
+  g_current_metrics = registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  g_current_metrics = previous_;
+}
+
+}  // namespace wearlock::obs

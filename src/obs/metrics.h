@@ -1,0 +1,174 @@
+// MetricsRegistry: counters, gauges, fixed-bucket histograms and raw
+// sample series for the WearLock pipeline (the substrate behind the
+// paper's Figs. 4-12 style per-stage measurements).
+//
+// Design: registration (name -> metric) is mutex-guarded and slow-path;
+// observation is lock-free on std::atomic (Counter/Gauge/Histogram) so
+// hot DSP loops can record without serializing. Series keeps exact raw
+// samples (bounded) for bench-grade statistics and is mutex-guarded -
+// it is meant for per-call timings, not per-sample loops.
+//
+// Metric names are dotted lowercase paths, "<layer>.<stage>.<what>[_unit]"
+// e.g. "modem.demod.host_ms", "protocol.attempt.unlocked",
+// "link.message_ms". See docs/observability.md for the full scheme.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wearlock::obs {
+
+/// Monotonically increasing event count. Lock-free increments.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double value with lock-free set/add (CAS loop for add;
+/// the value is stored bit-packed in a 64-bit atomic).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  void Add(double delta);
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram. Buckets are upper-bound inclusive: a value v
+/// lands in the first bucket with v <= bounds[i]; values above the last
+/// bound land in the implicit overflow bucket. Observation is lock-free.
+class Histogram {
+ public:
+  /// @param bounds strictly ascending bucket upper bounds.
+  /// @throws std::invalid_argument on empty or non-ascending bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> BucketCounts() const;
+
+  /// `n` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               std::size_t n);
+  /// `n` bounds start, start+step, ...
+  static std::vector<double> LinearBounds(double start, double step,
+                                          std::size_t n);
+  /// Default latency bounds: 0.1 ms .. ~6.9 s, x1.75 steps.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Exact raw samples in observation order, for bench-grade statistics
+/// (medians, percentiles) where histogram approximation is not enough.
+/// Bounded: observations past the cap are counted but not stored.
+class Series {
+ public:
+  explicit Series(std::size_t cap = 1 << 16) : cap_(cap) {}
+
+  void Observe(double v);
+  std::vector<double> Values() const;
+  std::uint64_t count() const;    ///< total observations, including dropped
+  std::uint64_t dropped() const;  ///< observations past the cap
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  std::vector<double> values_;
+  std::uint64_t count_ = 0;
+};
+
+/// Named metric store. Get* registers on first use and returns a
+/// reference that stays valid for the registry's lifetime. Each metric
+/// kind has its own namespace (a counter and a gauge may share a name,
+/// though the naming scheme discourages it).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// First caller's bounds win; later calls with different bounds get
+  /// the existing histogram.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+  Series& GetSeries(const std::string& name);
+
+  /// Series values by name; empty vector when the series was never
+  /// registered (lookup without registering).
+  std::vector<double> SeriesValues(const std::string& name) const;
+
+  /// Snapshot every metric as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}}
+  void WriteJson(std::ostream& os) const;
+
+  /// Drop every registered metric. References handed out before a Clear
+  /// are invalidated - benches only, between isolated measurement runs.
+  void Clear();
+
+  /// Process-wide default registry (used when no registry is installed
+  /// via ScopedMetricsRegistry).
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+/// The registry instrumented library code writes to: the innermost
+/// ScopedMetricsRegistry on this thread, or Default() when none is
+/// installed. Never null.
+MetricsRegistry* CurrentMetrics();
+
+/// RAII installer: routes this thread's instrumentation into `registry`
+/// for the scope's lifetime (e.g. one UnlockSession attempt, or one
+/// isolated bench measurement loop).
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* registry);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+}  // namespace wearlock::obs

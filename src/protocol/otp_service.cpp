@@ -35,11 +35,12 @@ TokenValidation OtpService::ValidateBits(const std::vector<std::uint8_t>& bits,
   const std::uint64_t hi =
       std::min(send_counter_, expected_counter_ + window_ + 1);
   for (std::uint64_t c = expected_counter_; c < hi; ++c) {
-    const auto expected = modem::BitsFromWord(TokenAt(c));
+    auto expected = modem::BitsFromWord(TokenAt(c));
     const double ber = modem::BitErrorRate(expected, bits);
     if (ber < v.ber) {
       v.ber = ber;
       v.matched_counter = c;
+      v.expected_bits = std::move(expected);
     }
   }
   if (v.ber <= required_ber && hi > expected_counter_) {

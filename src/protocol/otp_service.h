@@ -21,6 +21,10 @@ struct TokenValidation {
   bool accepted = false;
   double ber = 1.0;                 ///< best BER over the resync window
   std::uint64_t matched_counter = 0;
+  /// Bits of the best-matching expected token (empty when the payload
+  /// was malformed). Lets telemetry attribute bit errors to the
+  /// sub-channels that carried them.
+  std::vector<std::uint8_t> expected_bits;
 };
 
 /// Phone-side token authority: one shared key, a send counter, and a

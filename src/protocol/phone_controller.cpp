@@ -6,6 +6,8 @@
 
 #include "dsp/spl.h"
 #include "modem/snr.h"
+#include "obs/instrument.h"
+#include "obs/log.h"
 
 namespace wearlock::protocol {
 namespace {
@@ -13,6 +15,35 @@ namespace {
 sim::Millis AudioMs(std::size_t samples) {
   return static_cast<double>(samples) / audio::kSampleRate * 1000.0;
 }
+
+#if WEARLOCK_OBS_ENABLED
+// Token BER lives in [0, 1]; bound finely near the accept thresholds.
+std::vector<double> BerBounds() {
+  return wearlock::obs::Histogram::LinearBounds(0.025, 0.025, 20);
+}
+
+// Attribute per-bit token errors to the sub-channels that carried them:
+// within each OFDM symbol, consecutive groups of log2(M) bits map to
+// the plan's data bins in ascending-frequency order (the demodulator's
+// demap order).
+void RecordSubchannelBer(const modem::SubchannelPlan& plan,
+                         modem::Modulation mode,
+                         const std::vector<std::uint8_t>& received,
+                         const std::vector<std::uint8_t>& expected) {
+  const std::size_t bps = modem::BitsPerSymbol(mode);
+  std::vector<std::size_t> bins = plan.data;
+  std::sort(bins.begin(), bins.end());
+  const std::size_t bits_per_ofdm = bins.size() * bps;
+  if (bits_per_ofdm == 0) return;
+  const std::size_t n = std::min(received.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bin = bins[(i % bits_per_ofdm) / bps];
+    const std::string prefix = "modem.subchannel." + std::to_string(bin);
+    WL_COUNT(prefix + ".bits");
+    if ((received[i] & 1) != (expected[i] & 1)) WL_COUNT(prefix + ".errors");
+  }
+}
+#endif
 
 }  // namespace
 
@@ -45,6 +76,43 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
                                       const OffloadPlanner& offload,
                                       sim::VirtualClock& clock,
                                       const AttackInjection& attack) {
+  WL_SPAN_V(root, "session.attempt");
+  WL_COUNT("protocol.attempt.calls");
+  UnlockReport report =
+      AttemptInner(scene, watch, link, motion, offload, clock, attack);
+  {
+    WL_SPAN_V(verdict, "session.verdict");
+    WL_SPAN_ATTR(verdict, "outcome", ToString(report.outcome));
+    WL_SPAN_ATTR(verdict, "unlocked", report.unlocked ? 1.0 : 0.0);
+  }
+  WL_SPAN_ATTR(root, "outcome", ToString(report.outcome));
+  WL_SPAN_ATTR(root, "offload_site", ToString(offload.site));
+  WL_COUNT("protocol.attempt.outcome." + ToString(report.outcome));
+  WL_HIST("protocol.attempt.total_ms", report.timings.total_ms());
+  WL_HIST("protocol.phase1.audio_ms", report.timings.phase1_audio_ms);
+  WL_HIST("protocol.phase1.comm_ms", report.timings.phase1_comm_ms);
+  WL_HIST("protocol.phase1.compute_ms", report.timings.phase1_compute_ms);
+  WL_HIST("protocol.phase2.audio_ms", report.timings.phase2_audio_ms);
+  WL_HIST("protocol.phase2.comm_ms", report.timings.phase2_comm_ms);
+  WL_HIST("protocol.phase2.compute_ms", report.timings.phase2_compute_ms);
+  WL_HIST("protocol.attempt.watch_energy_mj", report.watch_energy_mj);
+  WL_HIST("protocol.attempt.phone_energy_mj", report.phone_energy_mj);
+  if (report.unlocked) {
+    WL_COUNT("protocol.attempt.unlocked");
+    WL_SERIES("protocol.unlock.total_ms", report.timings.total_ms());
+  }
+  obs::Log(obs::LogLevel::kDebug, "protocol.phone",
+           "attempt finished: " + ToString(report.outcome));
+  return report;
+}
+
+UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
+                                           WatchController& watch,
+                                           sim::WirelessLink& link,
+                                           const sensors::MotionPair& motion,
+                                           const OffloadPlanner& offload,
+                                           sim::VirtualClock& clock,
+                                           const AttackInjection& attack) {
   UnlockReport report;
   const std::uint64_t session_id = next_session_id_++;
   auto trace = [&](const std::string& step, const std::string& detail) {
@@ -63,10 +131,13 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
     return report;
   }
   // Filter 0: no wireless link, no WearLock (cheapest possible skip).
-  if (!link.connected()) {
-    report.outcome = UnlockOutcome::kNoWirelessLink;
-    trace("link-check", "no wireless link, aborting");
-    return report;
+  {
+    WL_SPAN("phase1.link_check");
+    if (!link.connected()) {
+      report.outcome = UnlockOutcome::kNoWirelessLink;
+      trace("link-check", "no wireless link, aborting");
+      return report;
+    }
   }
   trace("link-check", "wireless link up");
 
@@ -74,17 +145,27 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
 
   // --- Phase 1: channel probing -------------------------------------
   // Start message + watch ack.
-  report.timings.phase1_comm_ms += link.SampleRoundTrip();
+  {
+    WL_SPAN("phase1.rts_cts");
+    const sim::Millis rtt = link.SampleRoundTrip();
+    report.timings.phase1_comm_ms += rtt;
+    clock.Advance(rtt);
+  }
 
   // Phone self-records a short ambient window to size the probe volume
   // (paper: "The noise level is also used to set proper speaker volume").
   const std::size_t ambient_n =
       audio::SamplesFromSeconds(config_.ambient_window_s);
+  WL_SPAN_V(ambient_span, "phase1.ambient_record");
   const auto [phone_ambient_pre, watch_ambient_pre] =
       scene.RecordAmbientPair(ambient_n);
   report.timings.phase1_audio_ms += AudioMs(ambient_n);
+  clock.Advance(AudioMs(ambient_n));
   report.ambient_spl_db = dsp::SplOf(phone_ambient_pre);
+  WL_SPAN_ATTR(ambient_span, "ambient_spl_db", report.ambient_spl_db);
+  WL_SPAN_END(ambient_span);
 
+  WL_SPAN_V(volume_span, "phase1.volume_rule");
   const double target_spl =
       modem::ProbeTxSpl(report.ambient_spl_db, config_.snr_min_db,
                         config_.secure_range_m,
@@ -92,20 +173,28 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
       config_.frame_papr_db;
   report.probe_volume =
       scene.config().phone_speaker.VolumeForSpl(target_spl);
+  WL_SPAN_ATTR(volume_span, "probe_volume", report.probe_volume);
+  WL_SPAN_END(volume_span);
   trace("volume-rule", "ambient " + fmt(report.ambient_spl_db, 1) +
                            " dB -> volume " + fmt(report.probe_volume));
 
   // Emit the RTS probe; both mics record.
+  WL_SPAN_V(probe_tx_span, "phase1.probe_tx");
   const modem::TxFrame probe_tx = modem.MakeProbeFrame();
   const audio::SceneReception probe_rx =
       scene.TransmitFromPhone(probe_tx.samples, report.probe_volume);
   report.timings.phase1_audio_ms += AudioMs(probe_rx.watch_recording.size());
+  clock.Advance(AudioMs(probe_rx.watch_recording.size()));
+  WL_SPAN_ATTR(probe_tx_span, "samples",
+               static_cast<double>(probe_tx.samples.size()));
+  WL_SPAN_END(probe_tx_span);
 
   // The watch ships its Phase-1 data (recording + sensors).
   const Phase1Report phase1 = watch.MakePhase1Report(
       session_id, probe_rx.watch_recording, motion.watch);
 
   // Probe processing runs at the offload site.
+  WL_SPAN_V(probe_span, "phase1.probe_analysis");
   std::optional<modem::ProbeAnalysis> probe;
   const sim::Millis probe_host_ms = sim::TimeHostMs(
       [&] { probe = modem.AnalyzeProbe(phase1.recording); });
@@ -119,10 +208,10 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   // Recording the probe costs the watch energy too.
   report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
       AudioMs(phase1.recording.size()), offload.watch.record_power_mw);
-
-  clock.Advance(report.timings.phase1_audio_ms +
-                report.timings.phase1_comm_ms +
-                report.timings.phase1_compute_ms);
+  clock.Advance(phase1_cost.compute_ms + phase1_cost.transfer_ms);
+  WL_SPAN_ATTR(probe_span, "compute_ms", phase1_cost.compute_ms);
+  WL_SPAN_ATTR(probe_span, "transfer_ms", phase1_cost.transfer_ms);
+  WL_SPAN_END(probe_span);
 
   if (!probe) {
     report.outcome = UnlockOutcome::kNoPreamble;
@@ -136,12 +225,17 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
             (probe->nlos ? ", NLOS detected" : ""));
   report.nlos = probe->nlos;
   report.pilot_snr_db = probe->pilot_snr_db;
+  WL_HIST_BOUNDS("protocol.pilot_snr_db",
+                 ::wearlock::obs::Histogram::LinearBounds(-10.0, 2.5, 24),
+                 report.pilot_snr_db);
 
   // Ambient-noise co-location filter (Sound-Proof style), on the
   // pre-signal windows of both sides.
   if (config_.enable_ambient_filter) {
+    WL_SPAN_V(ambient_filter_span, "phase1.ambient_filter");
     report.ambient_similarity =
         AmbientSimilarity(phone_ambient_pre, watch_ambient_pre, config_.ambient);
+    WL_SPAN_ATTR(ambient_filter_span, "similarity", report.ambient_similarity);
     if (report.ambient_similarity < config_.ambient.threshold) {
       report.outcome = UnlockOutcome::kAmbientMismatch;
       trace("ambient-filter",
@@ -156,9 +250,11 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   double required_ber = config_.adaptive.max_ber;
   bool skip_phase2 = false;
   if (config_.enable_sensor_filter) {
+    WL_SPAN_V(motion_span, "phase1.motion_filter");
     const sensors::FilterResult motion_result = sensors::SensorBasedFilter(
         motion.phone, phase1.sensor_trace, config_.sensor_thresholds);
     report.dtw_score = motion_result.score;
+    WL_SPAN_ATTR(motion_span, "dtw_score", motion_result.score);
     trace("motion-filter", "DTW score " + fmt(motion_result.score, 3));
     switch (motion_result.decision) {
       case sensors::FilterDecision::kAbort:
@@ -190,6 +286,7 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   // actually used, would measure this much pilot SNR; anything below it
   // is farther away. Do NOT adapt the modulation down to reach it.
   {
+    WL_SPAN_V(gate_span, "phase1.range_gate");
     const double achieved_tx_spl =
         scene.config().phone_speaker.SplAtVolume(report.probe_volume);
     const double expected_at_range =
@@ -203,6 +300,7 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
       gate = std::max(gate - config_.nlos_gate_relief_db,
                       config_.min_pilot_snr_floor_db);
     }
+    WL_SPAN_ATTR(gate_span, "gate_db", gate);
     if (report.pilot_snr_db < gate && !config_.force_transmit) {
       report.outcome = UnlockOutcome::kInsufficientSnr;
       trace("range-gate", "pilot SNR " + fmt(report.pilot_snr_db, 1) +
@@ -223,11 +321,18 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   }
 
   // Sub-channel selection from the probed noise ranking.
-  report.plan = config_.frame.plan;
-  if (config_.enable_subchannel_selection) {
-    report.plan = modem::SelectSubchannels(config_.frame.plan,
-                                           probe->noise_power);
-    modem = modem.WithPlan(report.plan);
+  {
+    WL_SPAN_V(select_span, "phase1.subchannel_select");
+    report.plan = config_.frame.plan;
+    if (config_.enable_subchannel_selection) {
+      report.plan = modem::SelectSubchannels(config_.frame.plan,
+                                             probe->noise_power);
+      modem = modem.WithPlan(report.plan);
+    }
+    WL_SPAN_ATTR(select_span, "data_bins",
+                 static_cast<double>(report.plan.data.size()));
+    WL_GAUGE_SET("modem.plan.data_bins",
+                 static_cast<double>(report.plan.data.size()));
   }
 
   // Transmission-mode decision from the probed SNR. The adaptive config's
@@ -236,6 +341,7 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   // dense phase constellations - delay-spread ICI hits 8PSK first - so
   // the candidate set shrinks to the robust modes, matching the paper's
   // field test where every body-blocked cell ran QPSK.
+  WL_SPAN_V(mode_span, "phase1.mode_select");
   modem::AdaptiveConfig adaptive = config_.adaptive;
   adaptive.max_ber = required_ber;
   if (report.nlos) {
@@ -265,6 +371,10 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   report.mode = *mode;
   trace("mode-select", ToString(*mode) + " at MaxBER " + fmt(required_ber));
   report.ebn0_db = modem::EbN0Db(modem.spec(), *mode, report.pilot_snr_db);
+  WL_SPAN_ATTR(mode_span, "mode", ToString(*mode));
+  WL_SPAN_ATTR(mode_span, "required_ber", required_ber);
+  WL_SPAN_ATTR(mode_span, "ebn0_db", report.ebn0_db);
+  WL_SPAN_END(mode_span);
 
   // Ship the Phase-2 configuration to the watch over the control channel.
   Phase2Config phase2_config;
@@ -272,15 +382,27 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   phase2_config.plan = report.plan;
   phase2_config.modulation = *mode;
   phase2_config.payload_bits = 32;
-  watch.ApplyPhase2Config(phase2_config);
-  report.timings.phase2_comm_ms += link.SampleMessageDelay();
+  {
+    WL_SPAN("phase2.config_send");
+    watch.ApplyPhase2Config(phase2_config);
+    const sim::Millis config_ms = link.SampleMessageDelay();
+    report.timings.phase2_comm_ms += config_ms;
+    clock.Advance(config_ms);
+  }
 
   // --- Phase 2: OFDM-modulated OTP ------------------------------------
+  WL_SPAN_V(otp_span, "phase2.otp_generate");
   const std::vector<std::uint8_t> token_bits = otp_->NextTokenBits();
+  WL_SPAN_END(otp_span);
+  WL_SPAN_V(data_tx_span, "phase2.data_tx");
   const modem::TxFrame data_tx = modem.Modulate(*mode, token_bits);
   const audio::SceneReception data_rx =
       scene.TransmitFromPhone(data_tx.samples, report.probe_volume);
   report.timings.phase2_audio_ms += AudioMs(data_rx.watch_recording.size());
+  clock.Advance(AudioMs(data_rx.watch_recording.size()));
+  WL_SPAN_ATTR(data_tx_span, "samples",
+               static_cast<double>(data_tx.samples.size()));
+  WL_SPAN_END(data_tx_span);
 
   // Optional eavesdropper tap on the same emission.
   if (attack.eavesdrop_distance_m) {
@@ -294,20 +416,26 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
       attack.replayed_phase2_recording ? *attack.replayed_phase2_recording
                                        : data_rx.watch_recording;
   report.timings.phase2_audio_ms += attack.extra_acoustic_delay_ms;
+  clock.Advance(attack.extra_acoustic_delay_ms);
 
   // Timing-window replay defense: the acoustic phase cannot take longer
   // than frame duration + stack slack.
-  const sim::Millis expected_audio_ms = AudioMs(data_rx.watch_recording.size());
-  if (report.timings.phase2_audio_ms >
-      expected_audio_ms + config_.timing_slack_ms) {
-    clock.Advance(report.timings.phase2_audio_ms);
-    keyguard_->ReportFailure();
-    report.outcome = UnlockOutcome::kTimingViolation;
-    return report;
+  {
+    WL_SPAN("phase2.timing_gate");
+    const sim::Millis expected_audio_ms =
+        AudioMs(data_rx.watch_recording.size());
+    if (report.timings.phase2_audio_ms >
+        expected_audio_ms + config_.timing_slack_ms) {
+      keyguard_->ReportFailure();
+      report.outcome = UnlockOutcome::kTimingViolation;
+      return report;
+    }
   }
 
   // Demodulation at the offload site.
+  WL_SPAN_V(demod_span, "phase2.demod");
   const bool watch_local = offload.site == ProcessingSite::kWatchLocal;
+  WL_SPAN_ATTR(demod_span, "watch_local", watch_local ? 1.0 : 0.0);
   sim::Millis watch_host_ms = 0.0;
   const Phase2Report phase2 = watch.MakePhase2Report(
       session_id, phase2_recording, phase2_config, watch_local,
@@ -321,7 +449,9 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
     report.watch_energy_mj +=
         sim::DeviceProfile::EnergyMj(t, offload.watch.compute_power_mw);
     // Result bits travel back as a small message.
-    report.timings.phase2_comm_ms += link.SampleMessageDelay();
+    const sim::Millis result_ms = link.SampleMessageDelay();
+    report.timings.phase2_comm_ms += result_ms;
+    clock.Advance(t + result_ms);
   } else {
     std::optional<modem::DemodResult> demod;
     const sim::Millis host_ms = sim::TimeHostMs([&] {
@@ -335,14 +465,13 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
     report.watch_energy_mj += cost.watch_energy_mj;
     report.phone_energy_mj += cost.phone_energy_mj;
     if (demod) bits = demod->bits;
+    clock.Advance(cost.compute_ms + cost.transfer_ms);
   }
   report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
       AudioMs(data_rx.watch_recording.size()), offload.watch.record_power_mw);
+  WL_SPAN_END(demod_span);
 
-  clock.Advance(report.timings.phase2_audio_ms +
-                report.timings.phase2_comm_ms +
-                report.timings.phase2_compute_ms);
-
+  WL_SPAN_V(validate_span, "phase2.token_validate");
   if (bits.size() != phase2_config.payload_bits) {
     keyguard_->ReportFailure();
     report.outcome = UnlockOutcome::kTokenRejected;
@@ -352,6 +481,12 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
   // Token validation: BER against the expected counter window.
   const TokenValidation validation = otp_->ValidateBits(bits, required_ber);
   report.token_ber = validation.ber;
+  WL_SPAN_ATTR(validate_span, "token_ber", validation.ber);
+  WL_SPAN_ATTR(validate_span, "accepted", validation.accepted ? 1.0 : 0.0);
+#if WEARLOCK_OBS_ENABLED
+  WL_HIST_BOUNDS("protocol.token_ber", BerBounds(), validation.ber);
+  RecordSubchannelBer(report.plan, *mode, bits, validation.expected_bits);
+#endif
   trace("token-validate", "BER " + fmt(validation.ber, 3) + " vs bound " +
                               fmt(required_ber) +
                               (validation.accepted ? ": accepted" : ": rejected"));

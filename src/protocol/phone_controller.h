@@ -174,6 +174,15 @@ class PhoneController {
   const PhoneConfig& config() const { return config_; }
 
  private:
+  /// The protocol body; Attempt wraps it with the root telemetry span
+  /// and end-of-attempt metrics.
+  UnlockReport AttemptInner(audio::TwoMicScene& scene, WatchController& watch,
+                            sim::WirelessLink& link,
+                            const sensors::MotionPair& motion,
+                            const OffloadPlanner& offload,
+                            sim::VirtualClock& clock,
+                            const AttackInjection& attack);
+
   PhoneConfig config_;
   OtpService* otp_;
   Keyguard* keyguard_;

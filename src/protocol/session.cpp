@@ -48,7 +48,9 @@ UnlockSession::UnlockSession(ScenarioConfig config)
       offload_{.site = config.processing,
                .watch = config.watch_profile,
                .phone = config.phone_profile},
-      motion_sim_(rng_.Fork()) {}
+      motion_sim_(rng_.Fork()) {
+  tracer_.BindClock([this] { return clock_.now(); });
+}
 
 sensors::MotionPair UnlockSession::SampleMotion() {
   if (config_.same_body) {
@@ -65,6 +67,11 @@ sensors::MotionPair UnlockSession::SampleMotion() {
 }
 
 UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
+  // Route instrumented library code to this session's telemetry for the
+  // duration of the attempt (thread-local, so concurrent sessions on
+  // different threads stay isolated).
+  obs::ScopedTracer install_tracer(&tracer_);
+  obs::ScopedMetricsRegistry install_metrics(&metrics_);
   const sensors::MotionPair motion = SampleMotion();
   return phone_controller_.Attempt(scene_, watch_controller_, link_, motion,
                                    offload_, clock_, attack);

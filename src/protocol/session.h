@@ -8,6 +8,8 @@
 #include <memory>
 
 #include "audio/scene.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocol/phone_controller.h"
 #include "sensors/motion_sim.h"
 #include "sim/wireless.h"
@@ -70,6 +72,13 @@ class UnlockSession {
   sim::VirtualClock& clock() { return clock_; }
   const ScenarioConfig& config() const { return config_; }
 
+  /// Session-local telemetry. The tracer is bound to this session's
+  /// virtual clock, and both are installed as the ambient sinks for the
+  /// duration of each Attempt - so two sessions never mix samples, and
+  /// traces are deterministic under a fixed seed.
+  obs::Tracer& tracer() { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   ScenarioConfig config_;
   sim::Rng rng_;
@@ -82,6 +91,8 @@ class UnlockSession {
   OffloadPlanner offload_;
   sensors::MotionSimulator motion_sim_;
   sim::VirtualClock clock_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
 };
 
 /// Manual PIN-entry latency model for the Fig. 12 comparison, aligned to

@@ -1,5 +1,7 @@
 #include "protocol/watch_controller.h"
 
+#include "obs/instrument.h"
+
 namespace wearlock::protocol {
 
 WatchController::WatchController(modem::FrameSpec frame_spec,
@@ -9,6 +11,8 @@ WatchController::WatchController(modem::FrameSpec frame_spec,
 Phase1Report WatchController::MakePhase1Report(
     std::uint64_t session_id, audio::Samples recording,
     sensors::AccelTrace sensor_trace) const {
+  WL_SPAN("watch.phase1_report");
+  WL_COUNT("watch.phase1_reports");
   Phase1Report report;
   report.session_id = session_id;
   report.recording = std::move(recording);
@@ -26,6 +30,8 @@ Phase2Report WatchController::MakePhase2Report(std::uint64_t session_id,
                                                const Phase2Config& config,
                                                bool demodulate_locally,
                                                sim::Millis* host_compute_ms) const {
+  WL_SPAN_V(span, "watch.phase2_report");
+  WL_SPAN_ATTR(span, "local_demod", demodulate_locally ? 1.0 : 0.0);
   Phase2Report report;
   report.session_id = session_id;
   if (!demodulate_locally) {
@@ -34,6 +40,7 @@ Phase2Report WatchController::MakePhase2Report(std::uint64_t session_id,
     return report;
   }
   // Config3: the watch runs the shared DSP itself.
+  WL_COUNT("watch.local_demods");
   std::optional<modem::DemodResult> result;
   const sim::Millis host_ms = sim::TimeHostMs([&] {
     result = modem_.Demodulate(recording, config.modulation, config.payload_bits);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/instrument.h"
+
 namespace wearlock::sim {
 
 std::string ToString(Radio radio) {
@@ -43,14 +45,21 @@ double WirelessLink::Jitter() {
 
 Millis WirelessLink::SampleMessageDelay() {
   if (!connected_) throw std::logic_error("WirelessLink: link is down");
-  return model_.message_base_ms * Jitter();
+  const Millis delay = model_.message_base_ms * Jitter();
+  WL_COUNT("link.messages");
+  WL_HIST("link.message_ms", delay);
+  return delay;
 }
 
 Millis WirelessLink::SampleFileDelay(std::size_t bytes) {
   if (!connected_) throw std::logic_error("WirelessLink: link is down");
   const Millis transfer =
       static_cast<double>(bytes) / model_.throughput_bytes_per_ms;
-  return (model_.file_setup_ms + transfer) * Jitter();
+  const Millis delay = (model_.file_setup_ms + transfer) * Jitter();
+  WL_COUNT("link.transfers");
+  WL_COUNT_N("link.bytes", bytes);
+  WL_HIST("link.file_ms", delay);
+  return delay;
 }
 
 Millis WirelessLink::SampleRoundTrip() {

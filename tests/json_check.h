@@ -1,0 +1,159 @@
+// Minimal JSON well-formedness checker for telemetry-export tests: a
+// strict recursive-descent parser that accepts exactly RFC 8259 JSON
+// and reports the first error offset. Validation only - no DOM - so
+// golden-file tests stay dependency-free.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace wearlock::testing {
+
+class JsonChecker {
+ public:
+  /// True when `text` is one complete, well-formed JSON value (with
+  /// optional surrounding whitespace). On failure `error()` describes
+  /// what went wrong and where.
+  bool Check(const std::string& text) {
+    text_ = &text;
+    pos_ = 0;
+    error_.clear();
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    if (pos_ != text.size()) return Fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  char Peek() const {
+    return pos_ < text_->size() ? (*text_)[pos_] : '\0';
+  }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < text_->size()) {
+      const char c = (*text_)[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!Eat(*p)) return Fail(std::string("bad literal, expected ") + word);
+    }
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) return Fail("expected string");
+    while (true) {
+      if (pos_ >= text_->size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>((*text_)[pos_++]);
+      if (c == '"') return true;
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        if (pos_ >= text_->size()) return Fail("unterminated escape");
+        const char e = (*text_)[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_->size() ||
+                !std::isxdigit(static_cast<unsigned char>((*text_)[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+    }
+  }
+
+  bool Digits() {
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected digit");
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    Eat('-');
+    if (Eat('0')) {
+      // No leading zeros.
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Eat('.') && !Digits()) return false;
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value() {
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return Fail("expected ':'");
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string* text_ = nullptr;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace wearlock::testing

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Local CI: the checks a PR must pass.
+#   1. hygiene guards (no direct stdio writes in library code)
+#   2. plain build + full ctest
+#   3. ASan + UBSan build, tier-1 + obs tests under the sanitizers
+#
+# Usage: tools/ci.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+
+banner() { printf '\n==== %s ====\n' "$1"; }
+
+banner "guard: library code writes through obs::Log, not stdio"
+# src/ must not print directly (snprintf-to-buffer is fine; the stderr
+# log sink in obs/log.cpp is the one sanctioned writer).
+if grep -rnE 'std::cout|std::cerr|\bfprintf\(|\bprintf\(|\bputs\(' \
+    --include='*.cpp' --include='*.h' src/ | grep -v 'src/obs/log.cpp'; then
+  echo "FAIL: direct stdio write in src/ (route it through obs/log.h)" >&2
+  exit 1
+fi
+echo "ok"
+
+banner "plain build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+if [[ "$SKIP_SAN" == "1" ]]; then
+  echo "skipping sanitizer builds (--skip-sanitizers)"
+  exit 0
+fi
+
+for san in address undefined; do
+  banner "sanitizer: $san"
+  cmake -B "build-$san" -S . -DWEARLOCK_SANITIZE="$san" >/dev/null
+  cmake --build "build-$san" -j "$JOBS"
+  # Tier-1 (the full suite, per ROADMAP) including the obs suites.
+  ctest --test-dir "build-$san" --output-on-failure
+done
+
+banner "all green"

@@ -6,13 +6,23 @@
 //   wearlock_modem_cli send "hello watch" out.wav [qpsk|qask|8psk] [none|hamming|rep3]
 //   wearlock_modem_cli recv in.wav [qpsk|qask|8psk] [none|hamming|rep3]
 //   wearlock_modem_cli probe out.wav
+//
+// Telemetry flags (anywhere on the line): --trace <out.json> writes a
+// Chrome trace_event JSON of the modem spans (host-clock timestamps,
+// since this tool has no virtual time); --metrics <out.json> dumps the
+// metrics registry.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "audio/wav.h"
 #include "dsp/spectrogram.h"
 #include "modem/datagram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -48,10 +58,51 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pull the telemetry flags out; everything else stays positional.
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(pos.size()) + 1;
+  for (int i = 1; i < argc; ++i) argv[i] = pos[i - 1];
+
+  // Host-clock tracer: this tool has no virtual time.
+  const auto t0 = std::chrono::steady_clock::now();
+  wearlock::obs::Tracer tracer([t0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  });
+  wearlock::obs::MetricsRegistry registry;
+  wearlock::obs::ScopedTracer install_tracer(&tracer);
+  wearlock::obs::ScopedMetricsRegistry install_metrics(&registry);
+  auto dump_telemetry = [&]() {
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      tracer.WriteChromeTrace(os);
+      std::fprintf(stderr, "wrote %zu spans to %s\n", tracer.spans().size(),
+                   trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      registry.WriteJson(os);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    }
+  };
+
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   modem::AcousticModem acoustic_modem;
 
+  auto run = [&]() -> int {
   try {
     if (command == "send" && argc >= 4) {
       modem::DatagramConfig config;
@@ -107,4 +158,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   return Usage();
+  };
+
+  const int rc = run();
+  dump_telemetry();
+  return rc;
 }

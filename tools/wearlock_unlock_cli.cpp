@@ -8,10 +8,18 @@
 //                       [--different-room] [--no-link] [--config 1|2|3]
 //                       [--activity sitting|walking|running]
 //                       [--attempts N] [--seed S] [--retries R]
+//                       [--trace out.json] [--metrics out.json] [--verbose]
+//
+// --trace writes a Chrome trace_event JSON of every span the attempts
+// produced (virtual-time timestamps; open in chrome://tracing or
+// https://ui.perfetto.dev). --metrics dumps the session's metrics
+// registry as JSON. --verbose routes library diagnostics to stderr.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/log.h"
 #include "protocol/session.h"
 
 namespace {
@@ -39,6 +47,8 @@ int main(int argc, char** argv) {
   config.scene.distance_m = 0.3;
   int attempts = 1;
   int retries = 0;
+  std::string trace_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +81,13 @@ int main(int argc, char** argv) {
       retries = std::atoi(next());
     } else if (arg == "--seed") {
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--verbose") {
+      obs::SetLogSink(obs::StderrLogSink());
+      obs::SetLogThreshold(obs::LogLevel::kDebug);
     } else {
       std::fprintf(stderr, "unknown flag: %s (see header comment)\n",
                    arg.c_str());
@@ -99,6 +116,25 @@ int main(int argc, char** argv) {
       std::printf("  [%7.0f ms] %-14s %s\n", event.at_ms, event.step.c_str(),
                   event.detail.c_str());
     }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 2;
+    }
+    session.tracer().WriteChromeTrace(os);
+    std::printf("wrote %zu spans to %s\n", session.tracer().spans().size(),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 2;
+    }
+    session.metrics().WriteJson(os);
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
   }
   std::printf("unlocked %d/%d\n", unlocked, attempts);
   return unlocked > 0 ? 0 : 1;
