@@ -25,12 +25,11 @@ Pair Measure(modem::CodeScheme code, double noise_spl, std::uint64_t seed) {
   modem::AcousticModem modem;
   audio::ChannelConfig cfg;
   cfg.distance_m = 0.3;
-  audio::NoiseProfile white;
+  audio::NoiseProfile& white = cfg.custom_noise.emplace();
   white.spl_db = noise_spl;
   white.lowpass_hz = 0.0;
   white.broadband_mix = 1.0;
   white.tone_mix = 0.0;
-  cfg.custom_noise = white;
   audio::AcousticChannel channel(cfg, rng.Fork());
 
   Pair result;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace wearlock::audio {
@@ -21,6 +22,12 @@ void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
 void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+// Byte-at-a-time append; vector::insert over char-pointer ranges trips a
+// spurious GCC stringop-overflow warning under sanitizer instrumentation.
+void PutTag(std::vector<std::uint8_t>& out, std::string_view tag) {
+  for (char c : tag) out.push_back(static_cast<std::uint8_t>(c));
 }
 
 std::uint32_t GetU32(const std::uint8_t* p) {
@@ -43,11 +50,9 @@ void WriteWav(const std::string& path, const Samples& samples,
 
   std::vector<std::uint8_t> out;
   out.reserve(44 + data_bytes);
-  const char* riff = "RIFF";
-  out.insert(out.end(), riff, riff + 4);
+  PutTag(out, "RIFF");
   PutU32(out, 36 + data_bytes);
-  const char* wavefmt = "WAVEfmt ";
-  out.insert(out.end(), wavefmt, wavefmt + 8);
+  PutTag(out, "WAVEfmt ");
   PutU32(out, 16);          // fmt chunk size
   PutU16(out, 1);           // PCM
   PutU16(out, 1);           // mono
@@ -55,8 +60,7 @@ void WriteWav(const std::string& path, const Samples& samples,
   PutU32(out, rate * 2);    // byte rate
   PutU16(out, 2);           // block align
   PutU16(out, 16);          // bits per sample
-  const char* data = "data";
-  out.insert(out.end(), data, data + 4);
+  PutTag(out, "data");
   PutU32(out, data_bytes);
   for (double v : samples) {
     const double clamped = std::clamp(v, -1.0, 1.0);

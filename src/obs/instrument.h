@@ -31,18 +31,20 @@ namespace wearlock::obs {
 
 /// Host wall-clock stopwatch (steady_clock). Host time is
 /// nondeterministic, so it feeds metrics (series/histograms), never
-/// span timestamps - those stay on the virtual clock.
+/// span timestamps - those stay on the virtual clock. This is the one
+/// sanctioned wall-clock reader besides sim::TimeHostMs, hence the
+/// determinism-rule suppressions.
 class HostTimer {
  public:
-  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}  // NOLINT(determinism)
   double ElapsedMs() const {
     return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
+               std::chrono::steady_clock::now() - start_)  // NOLINT(determinism)
         .count();
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point start_;  // NOLINT(determinism)
 };
 
 /// RAII: observes the scope's host-time duration into a Series on the

@@ -1,20 +1,22 @@
 #include "obs/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 
 namespace wearlock::obs {
 namespace {
 
-LogSink& SinkSlot() {
-  static LogSink sink;  // default: discard
-  return sink;
-}
-
-LogLevel& ThresholdSlot() {
-  static LogLevel threshold = LogLevel::kInfo;
-  return threshold;
-}
+// Sink installation and emission may race (the concurrency stress test
+// swaps sinks while worker threads log), so the sink lives behind a
+// mutex and Log() works on a copy taken under the lock - a sink being
+// replaced mid-call still sees out its current record. The threshold
+// is a relaxed atomic: it gates the hot path and needs no ordering
+// with respect to the sink swap.
+std::mutex g_log_mu;
+LogSink g_sink;  // default: discard. lint: guarded-by(g_log_mu)
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 }  // namespace
 
@@ -28,14 +30,23 @@ const char* ToString(LogLevel level) {
   return "?";
 }
 
-void SetLogSink(LogSink sink) { SinkSlot() = std::move(sink); }
+void SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_log_mu);
+  g_sink = std::move(sink);
+}
 
-void SetLogThreshold(LogLevel level) { ThresholdSlot() = level; }
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 void Log(LogLevel level, const std::string& component,
          const std::string& message) {
-  if (level < ThresholdSlot()) return;
-  const LogSink& sink = SinkSlot();
+  if (level < g_threshold.load(std::memory_order_relaxed)) return;
+  LogSink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_log_mu);
+    sink = g_sink;
+  }
   if (sink) sink(level, component, message);
 }
 

@@ -22,8 +22,9 @@ using LogSink =
                        const std::string& message)>;
 
 /// Install a process-wide sink (empty function restores the discarding
-/// default). Not thread-safe against concurrent Log calls; install at
-/// startup.
+/// default). Thread-safe against concurrent Log calls: emission copies
+/// the sink under a lock, so a sink being replaced still handles the
+/// records already in flight.
 void SetLogSink(LogSink sink);
 
 /// Drop records below `level` before they reach the sink.

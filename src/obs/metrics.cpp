@@ -221,7 +221,10 @@ void MetricsRegistry::Clear() {
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  // Leaked on purpose: instrumented code may observe during static
+  // destruction, so the default registry must never be destroyed.
+  static MetricsRegistry* const registry =
+      new MetricsRegistry();  // NOLINT(banned-api): intentional leak
   return *registry;
 }
 

@@ -6,7 +6,7 @@
 
 #include <cstdint>
 
-#include "messages.h"
+#include "protocol/messages.h"
 #include "modem/modem.h"
 #include "protocol/offload.h"
 #include "sensors/motion_sim.h"

@@ -46,9 +46,11 @@ DeviceProfile DeviceProfile::Moto360() {
 
 Millis TimeHostMs(const std::function<void()>& work) {
   if (!work) throw std::invalid_argument("TimeHostMs: null workload");
-  const auto start = std::chrono::steady_clock::now();
+  // Measuring real host latency is this function's whole job - the
+  // result feeds DeviceProfile scaling, never simulated timelines.
+  const auto start = std::chrono::steady_clock::now();  // NOLINT(determinism)
   work();
-  const auto end = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // NOLINT(determinism)
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 

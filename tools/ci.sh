@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Local CI: the checks a PR must pass.
-#   1. hygiene guards (no direct stdio writes in library code)
-#   2. plain build + full ctest
-#   3. ASan + UBSan build, tier-1 + obs tests under the sanitizers
+#   1. wearlock-lint (layer DAG, determinism, banned APIs, header
+#      hygiene, shared state) - the repo's self-hosted static analysis
+#   2. plain build (warnings-as-errors) + full ctest, which includes
+#      the lint_test suite, the wearlock_lint_src tree gate and the
+#      header self-containment TUs
+#   3. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#      leg gets real cross-thread traffic from concurrency_stress_test)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -12,34 +16,34 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 SKIP_SAN=0
 [[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
 
+# The single source of truth for sanitizer coverage; --skip-sanitizers
+# skips exactly this list and nothing else.
+SANITIZERS=(address undefined thread)
+
 banner() { printf '\n==== %s ====\n' "$1"; }
 
-banner "guard: library code writes through obs::Log, not stdio"
-# src/ must not print directly (snprintf-to-buffer is fine; the stderr
-# log sink in obs/log.cpp is the one sanctioned writer).
-if grep -rnE 'std::cout|std::cerr|\bfprintf\(|\bprintf\(|\bputs\(' \
-    --include='*.cpp' --include='*.h' src/ | grep -v 'src/obs/log.cpp'; then
-  echo "FAIL: direct stdio write in src/ (route it through obs/log.h)" >&2
-  exit 1
-fi
-echo "ok"
+banner "gate: wearlock-lint src/"
+cmake -B build -S . -DWEARLOCK_WERROR=ON >/dev/null
+cmake --build build -j "$JOBS" --target wearlock-lint >/dev/null
+build/tools/lint/wearlock-lint src/
 
 banner "plain build + full test suite"
-cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 if [[ "$SKIP_SAN" == "1" ]]; then
-  echo "skipping sanitizer builds (--skip-sanitizers)"
+  echo "skipping sanitizer builds (--skip-sanitizers): ${SANITIZERS[*]}"
   exit 0
 fi
 
-for san in address undefined; do
+for san in "${SANITIZERS[@]}"; do
   banner "sanitizer: $san"
-  cmake -B "build-$san" -S . -DWEARLOCK_SANITIZE="$san" >/dev/null
+  cmake -B "build-$san" -S . -DWEARLOCK_SANITIZE="$san" \
+        -DWEARLOCK_WERROR=ON >/dev/null
   cmake --build "build-$san" -j "$JOBS"
   # Tier-1 (the full suite, per ROADMAP) including the obs suites.
-  ctest --test-dir "build-$san" --output-on-failure
+  TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "build-$san" --output-on-failure
 done
 
 banner "all green"

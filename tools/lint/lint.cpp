@@ -1,0 +1,220 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+namespace wearlock::lint {
+namespace fs = std::filesystem;
+
+namespace {
+
+/// True when `comment` carries `marker(...ids...)` with `rule` among
+/// the comma-separated ids.
+bool MarkerSuppresses(const std::string& comment, const std::string& marker,
+                      const std::string& rule) {
+  std::size_t pos = comment.find(marker);
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + marker.size();
+    // NOLINTNEXTLINE contains NOLINT; require '(' right after marker.
+    if (open < comment.size() && comment[open] == '(') {
+      const std::size_t close = comment.find(')', open);
+      if (close != std::string::npos) {
+        std::string ids = comment.substr(open + 1, close - open - 1);
+        std::replace(ids.begin(), ids.end(), ',', ' ');
+        std::istringstream split(ids);
+        std::string id;
+        while (split >> id) {
+          if (id == rule) return true;
+        }
+      }
+    }
+    pos = comment.find(marker, pos + marker.size());
+  }
+  return false;
+}
+
+bool IsSuppressed(const SourceFile& file, const Diagnostic& diag) {
+  if (MarkerSuppresses(file.CommentOn(diag.line), "NOLINT", diag.rule)) {
+    return true;
+  }
+  return diag.line > 1 && MarkerSuppresses(file.CommentOn(diag.line - 1),
+                                           "NOLINTNEXTLINE", diag.rule);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LintResult RunLint(const std::vector<SourceFile>& files) {
+  LintResult result;
+  result.files_scanned = files.size();
+
+  std::vector<Diagnostic> raw;
+  for (const SourceFile& f : files) {
+    CheckDeterminism(f, &raw);
+    CheckBannedApi(f, &raw);
+    CheckHeaderHygiene(f, &raw);
+    CheckSharedState(f, &raw);
+  }
+  CheckLayerDag(files, &raw);
+
+  // Suppression needs the owning SourceFile back; index by path.
+  std::vector<const SourceFile*> by_path;
+  for (const Diagnostic& d : raw) {
+    const SourceFile* owner = nullptr;
+    for (const SourceFile& f : files) {
+      if (f.path() == d.file) {
+        owner = &f;
+        break;
+      }
+    }
+    if (owner != nullptr && IsSuppressed(*owner, d)) {
+      ++result.suppressed;
+    } else {
+      result.diagnostics.push_back(d);
+    }
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+bool CollectPaths(const std::vector<std::string>& inputs,
+                  std::vector<std::string>* out, std::string* error) {
+  for (const std::string& input : inputs) {
+    fs::path p(input);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cpp" || ext == ".h") {
+          out->push_back(entry.path().lexically_normal().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      out->push_back(p.lexically_normal().string());
+    } else {
+      if (error != nullptr) *error = "no such file or directory: " + input;
+      return false;
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+bool LoadFiles(const std::vector<std::string>& paths,
+               std::vector<SourceFile>* out, std::string* error) {
+  for (const std::string& path : paths) {
+    SourceFile f;
+    if (!SourceFile::Load(path, &f, error)) return false;
+    out->push_back(std::move(f));
+  }
+  return true;
+}
+
+void WriteText(const LintResult& result, std::ostream& os) {
+  for (const Diagnostic& d : result.diagnostics) {
+    os << d.file << ":" << d.line << ": " << d.rule << ": " << d.message
+       << "\n";
+  }
+  os << "wearlock-lint: " << result.diagnostics.size() << " finding"
+     << (result.diagnostics.size() == 1 ? "" : "s") << " in "
+     << result.files_scanned << " files (" << result.suppressed
+     << " suppressed)\n";
+}
+
+void WriteJson(const LintResult& result, std::ostream& os) {
+  os << "{\"files_scanned\":" << result.files_scanned
+     << ",\"suppressed\":" << result.suppressed << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    os << (i ? "," : "") << "{\"file\":\"" << JsonEscape(d.file)
+       << "\",\"line\":" << d.line << ",\"rule\":\"" << JsonEscape(d.rule)
+       << "\",\"message\":\"" << JsonEscape(d.message) << "\"}";
+  }
+  os << "]}\n";
+}
+
+std::string HeaderTuName(const std::string& rel_path) {
+  std::string mangled = rel_path;
+  std::replace(mangled.begin(), mangled.end(), '/', '_');
+  std::replace(mangled.begin(), mangled.end(), '.', '_');
+  return "hdr_" + mangled + ".cpp";
+}
+
+bool GenerateHeaderTus(const std::string& src_dir, const std::string& out_dir,
+                       std::string* error) {
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + out_dir;
+    return false;
+  }
+  std::vector<std::string> headers;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".h") {
+      headers.push_back(
+          fs::relative(entry.path(), src_dir, ec).generic_string());
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+  for (const std::string& rel : headers) {
+    std::ostringstream tu;
+    tu << "// Generated by wearlock-lint --gen-header-tus; do not edit.\n"
+       << "// Compiling this TU proves \"" << rel << "\" is\n"
+       << "// self-contained; the second include proves its guard holds.\n"
+       << "#include \"" << rel << "\"\n"
+       << "#include \"" << rel << "\"\n";
+    const fs::path out_path = fs::path(out_dir) / HeaderTuName(rel);
+    // Rewrite only on change so ninja/make don't rebuild every TU.
+    {
+      std::ifstream existing(out_path);
+      if (existing) {
+        std::ostringstream current;
+        current << existing.rdbuf();
+        if (current.str() == tu.str()) continue;
+      }
+    }
+    std::ofstream os(out_path);
+    if (!os) {
+      if (error != nullptr) *error = "cannot write " + out_path.string();
+      return false;
+    }
+    os << tu.str();
+  }
+  return true;
+}
+
+}  // namespace wearlock::lint

@@ -1,0 +1,62 @@
+// wearlock-lint driver: file collection, rule dispatch, NOLINT
+// suppression and output formatting. The CLI (main.cpp) is a thin
+// wrapper so the whole pipeline is unit-testable on in-memory sources.
+//
+// Suppression contract (docs/static-analysis.md):
+//   * `// NOLINT(rule-id)` on the diagnosed line, or
+//   * `// NOLINTNEXTLINE(rule-id)` on the line above,
+// with one or more comma-separated rule ids. A bare NOLINT without a
+// rule id is deliberately NOT honoured: suppressions must say what
+// they are suppressing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+#include "source.h"
+
+namespace wearlock::lint {
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< surviving (unsuppressed)
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+};
+
+/// Run every rule over `files`, drop NOLINT-suppressed diagnostics and
+/// sort the rest by (file, line, rule).
+LintResult RunLint(const std::vector<SourceFile>& files);
+
+/// Expand files/directories into a sorted list of *.cpp / *.h paths.
+/// Returns false and sets `error` when a path does not exist.
+bool CollectPaths(const std::vector<std::string>& inputs,
+                  std::vector<std::string>* out, std::string* error);
+
+/// Load every path into a SourceFile. Returns false on the first
+/// unreadable file.
+bool LoadFiles(const std::vector<std::string>& paths,
+               std::vector<SourceFile>* out, std::string* error);
+
+/// "file:line: rule-id: message" lines + a trailing summary line.
+void WriteText(const LintResult& result, std::ostream& os);
+
+/// One JSON object:
+/// {"files_scanned":N,"suppressed":K,
+///  "diagnostics":[{"file":..,"line":..,"rule":..,"message":..},..]}
+void WriteJson(const LintResult& result, std::ostream& os);
+
+/// Emit one self-containment TU per header under `src_dir` into
+/// `out_dir` (see docs/static-analysis.md). Writes only files whose
+/// content changed, so incremental builds stay quiet. Returns false
+/// and sets `error` on I/O failure.
+bool GenerateHeaderTus(const std::string& src_dir, const std::string& out_dir,
+                       std::string* error);
+
+/// The generated TU filename for a header path relative to src/
+/// ("audio/medium.h" -> "hdr_audio_medium_h.cpp"). CMake mirrors this
+/// mangling when predicting custom-command outputs.
+std::string HeaderTuName(const std::string& rel_path);
+
+}  // namespace wearlock::lint

@@ -1,0 +1,408 @@
+// wearlock-lint unit tests: every rule gets positive fixtures (the
+// violation fires, with the right rule id and line) and negative
+// fixtures (idiomatic code stays clean), plus suppression and output
+// format coverage. Fixtures are embedded strings lexed via
+// SourceFile::FromString, so the suite runs with no filesystem setup.
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+#include "rules.h"
+#include "source.h"
+#include "tests/json_check.h"
+
+namespace wearlock::lint {
+namespace {
+
+std::vector<Diagnostic> RunAllOn(const std::string& path,
+                                 const std::string& content) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(path, content));
+  return RunLint(files).diagnostics;
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+// -- tokenizer --------------------------------------------------------
+
+TEST(SourceFileTest, BlanksCommentsAndStrings) {
+  const SourceFile f = SourceFile::FromString(
+      "src/dsp/x.cpp",
+      "int a; // rand() in a comment\n"
+      "const char* s = \"rand()\";\n"
+      "/* std::cout in a block\n   comment */ int b;\n");
+  EXPECT_EQ(f.code().find("rand"), std::string::npos);
+  EXPECT_EQ(f.code().find("cout"), std::string::npos);
+  EXPECT_NE(f.code().find("int a;"), std::string::npos);
+  EXPECT_NE(f.code().find("int b;"), std::string::npos);
+  // Comment text is retrievable per line.
+  EXPECT_NE(f.CommentOn(1).find("rand() in a comment"), std::string::npos);
+}
+
+TEST(SourceFileTest, RawStringsAreBlanked) {
+  const SourceFile f = SourceFile::FromString(
+      "src/dsp/x.cpp", "auto s = R\"(std::cout << rand())\";\nint a;\n");
+  EXPECT_EQ(f.code().find("cout"), std::string::npos);
+  EXPECT_NE(f.code().find("int a;"), std::string::npos);
+}
+
+TEST(SourceFileTest, RecordsIncludesWithLines) {
+  const SourceFile f = SourceFile::FromString(
+      "src/modem/sync.cpp",
+      "#include \"modem/sync.h\"\n\n#include <vector>\n"
+      "#include \"dsp/fft.h\"\n");
+  ASSERT_EQ(f.includes().size(), 3u);
+  EXPECT_EQ(f.includes()[0].path, "modem/sync.h");
+  EXPECT_EQ(f.includes()[0].line, 1);
+  EXPECT_FALSE(f.includes()[0].angled);
+  EXPECT_EQ(f.includes()[1].path, "vector");
+  EXPECT_TRUE(f.includes()[1].angled);
+  EXPECT_EQ(f.includes()[2].path, "dsp/fft.h");
+  EXPECT_EQ(f.includes()[2].line, 4);
+}
+
+TEST(SourceFileTest, LayerAndSrcRelativePath) {
+  EXPECT_EQ(SourceFile::FromString("src/obs/log.cpp", "").Layer(), "obs");
+  EXPECT_EQ(SourceFile::FromString("/root/repo/src/dsp/fft.h", "").Layer(),
+            "dsp");
+  EXPECT_EQ(SourceFile::FromString("dsp/fft.h", "").Layer(), "dsp");
+  EXPECT_EQ(
+      SourceFile::FromString("src/obs/log.cpp", "").SrcRelativePath(),
+      "obs/log.cpp");
+}
+
+// -- determinism ------------------------------------------------------
+
+TEST(DeterminismTest, FlagsWallClockAndAmbientRandomness) {
+  const char* positives[] = {
+      "auto t = std::chrono::system_clock::now();",
+      "auto t = std::chrono::steady_clock::now();",
+      "int r = rand();",
+      "srand(42);",
+      "std::time_t t = time(nullptr);",
+      "std::random_device rd;",
+  };
+  for (const char* snippet : positives) {
+    const auto diags =
+        RunAllOn("src/dsp/x.cpp", std::string("void f() { ") + snippet +
+                                      " (void)0; }\n");
+    EXPECT_TRUE(HasRule(diags, "determinism")) << snippet;
+  }
+}
+
+TEST(DeterminismTest, CleanCodeAndLookalikesPass) {
+  const auto diags = RunAllOn(
+      "src/dsp/x.cpp",
+      "#include \"dsp/fft.h\"\n"
+      "void f(sim::Rng& rng) {\n"
+      "  auto t = clock.now_ms();      // virtual clock is fine\n"
+      "  double x = rng.Uniform();\n"
+      "  auto tp = other.time_point;   // 'time_point' is not 'time('\n"
+      "  Retime(4);                    // suffix match must not fire\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.size();
+}
+
+TEST(DeterminismTest, NolintSuppressesOnSameLine) {
+  const auto diags = RunAllOn(
+      "src/sim/x.cpp",
+      "double HostMs() {\n"
+      "  return ms(std::chrono::steady_clock::now());  "
+      "// NOLINT(determinism): host-latency probe\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "determinism"));
+}
+
+// -- banned-api -------------------------------------------------------
+
+TEST(BannedApiTest, FlagsStdioAndUnsafeCalls) {
+  struct Case {
+    const char* snippet;
+  };
+  const char* positives[] = {
+      "std::cout << 1;",
+      "std::cerr << err;",
+      "printf(\"%d\", x);",
+      "fprintf(stderr, \"x\");",
+      "puts(msg);",
+      "sprintf(buf, \"%d\", x);",
+      "strcpy(dst, src);",
+      "int v = atoi(s);",
+      "int* p = new int(3);",
+      "delete p;",
+      "delete[] arr;",
+  };
+  for (const char* snippet : positives) {
+    const auto diags = RunAllOn(
+        "src/modem/x.cpp", std::string("void f() { ") + snippet + " }\n");
+    EXPECT_TRUE(HasRule(diags, "banned-api")) << snippet;
+  }
+}
+
+TEST(BannedApiTest, SafeVariantsAndDeletedFunctionsPass) {
+  const auto diags = RunAllOn(
+      "src/modem/x.cpp",
+      "struct T {\n"
+      "  T(const T&) = delete;\n"
+      "  T& operator=(const T&) =\n"
+      "      delete;\n"
+      "};\n"
+      "void f(char* buf, int n) {\n"
+      "  snprintf(buf, 8, \"%d\", n);  // bounded: allowed\n"
+      "  auto p = std::make_unique<int>(3);\n"
+      "  int renewed = n;  // 'new' inside an identifier\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "banned-api"));
+}
+
+TEST(BannedApiTest, LogSinkIsExemptFromStdioOnly) {
+  const auto stdio = RunAllOn("src/obs/log.cpp",
+                              "void f() { fprintf(stderr, \"x\"); }\n");
+  EXPECT_FALSE(HasRule(stdio, "banned-api"));
+  const auto unsafe =
+      RunAllOn("src/obs/log.cpp", "void f() { sprintf(b, \"x\"); }\n");
+  EXPECT_TRUE(HasRule(unsafe, "banned-api"));
+  // Any other file in obs still may not print.
+  const auto other = RunAllOn("src/obs/trace.cpp",
+                              "void f() { fprintf(stderr, \"x\"); }\n");
+  EXPECT_TRUE(HasRule(other, "banned-api"));
+}
+
+// -- header-hygiene ---------------------------------------------------
+
+TEST(HeaderHygieneTest, PragmaOnceAndIfndefGuardsPass) {
+  EXPECT_TRUE(RunAllOn("src/dsp/a.h",
+                       "// comment first is fine\n#pragma once\nint F();\n")
+                  .empty());
+  EXPECT_TRUE(RunAllOn("src/dsp/b.h",
+                       "#ifndef WL_B_H\n#define WL_B_H\nint F();\n#endif\n")
+                  .empty());
+}
+
+TEST(HeaderHygieneTest, MissingOrLateGuardFails) {
+  const auto no_guard = RunAllOn("src/dsp/a.h", "int F();\n");
+  ASSERT_TRUE(HasRule(no_guard, "header-hygiene"));
+  const auto include_first =
+      RunAllOn("src/dsp/b.h", "#include \"dsp/fft.h\"\n#pragma once\n");
+  EXPECT_TRUE(HasRule(include_first, "header-hygiene"));
+  // Sources are exempt.
+  EXPECT_FALSE(HasRule(RunAllOn("src/dsp/a.cpp", "int F() { return 1; }\n"),
+                       "header-hygiene"));
+}
+
+TEST(HeaderHygieneTest, HeaderTuNameManglesPathsLikeCMake) {
+  EXPECT_EQ(HeaderTuName("audio/medium.h"), "hdr_audio_medium_h.cpp");
+  EXPECT_EQ(HeaderTuName("obs/log.h"), "hdr_obs_log_h.cpp");
+}
+
+// -- shared-state -----------------------------------------------------
+
+TEST(SharedStateTest, FlagsMutableGlobalsAndStatics) {
+  const char* positives[] = {
+      "int g_counter = 0;",
+      "static double g_scale = 1.0;",
+      "namespace { std::string g_name; }",
+      "void f() { static int calls = 0; ++calls; }",
+      "struct S { static int live_count; };",
+  };
+  for (const char* snippet : positives) {
+    const auto diags =
+        RunAllOn("src/modem/x.cpp", std::string(snippet) + "\n");
+    EXPECT_TRUE(HasRule(diags, "shared-state")) << snippet;
+  }
+}
+
+TEST(SharedStateTest, ConstAtomicThreadLocalAndSyncTypesPass) {
+  const auto diags = RunAllOn(
+      "src/modem/x.cpp",
+      "#include <atomic>\n"
+      "const int kLimit = 8;\n"
+      "constexpr double kPi = 3.14;\n"
+      "static const char* const kName = \"x\";\n"
+      "std::atomic<int> g_hits{0};\n"
+      "std::mutex g_mu;\n"
+      "thread_local int t_depth = 0;\n"
+      "namespace { static const int kTable[] = {1, 2}; }\n"
+      "int Add(int a, int b);\n"
+      "static int Helper();\n"
+      "class C {\n"
+      "  int member_ = 0;        // instance state: fine\n"
+      "  mutable std::mutex mu_;\n"
+      "  static constexpr int kMax = 4;\n"
+      "};\n"
+      "void f() { int local = 3; (void)local; }\n");
+  EXPECT_FALSE(HasRule(diags, "shared-state")) << diags[0].message;
+}
+
+TEST(SharedStateTest, MutablePointerToConstIsStillFlagged) {
+  // West const qualifies the pointee, not the pointer.
+  const auto diags =
+      RunAllOn("src/modem/x.cpp", "static const char* g_label = \"a\";\n");
+  EXPECT_TRUE(HasRule(diags, "shared-state"));
+  // Const pointer binding passes.
+  const auto ok = RunAllOn("src/modem/x.cpp",
+                           "static const char* const g_label = \"a\";\n");
+  EXPECT_FALSE(HasRule(ok, "shared-state"));
+}
+
+TEST(SharedStateTest, GuardedByAnnotationNamesARealIdentifier) {
+  const auto ok = RunAllOn(
+      "src/obs/x.cpp",
+      "std::mutex g_mu;\n"
+      "int g_value = 0;  // lint: guarded-by(g_mu)\n");
+  EXPECT_FALSE(HasRule(ok, "shared-state"));
+
+  const auto bogus = RunAllOn(
+      "src/obs/x.cpp", "int g_value = 0;  // lint: guarded-by(g_ghost)\n");
+  ASSERT_TRUE(HasRule(bogus, "shared-state"));
+  EXPECT_NE(bogus[0].message.find("g_ghost"), std::string::npos);
+}
+
+// -- layer-dag --------------------------------------------------------
+
+TEST(LayerDagTest, UpwardIncludeIsFlagged) {
+  const auto diags = RunAllOn("src/dsp/fft.cpp",
+                              "#include \"modem/sync.h\"\nvoid F();\n");
+  ASSERT_TRUE(HasRule(diags, "layer-dag"));
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("'dsp' must not include 'modem'"),
+            std::string::npos);
+}
+
+TEST(LayerDagTest, ArchitectureEdgesPass) {
+  const auto diags = RunAllOn(
+      "src/protocol/session.cpp",
+      "#include \"protocol/session.h\"\n"
+      "#include \"audio/scene.h\"\n"
+      "#include \"crypto/hotp.h\"\n"
+      "#include \"modem/modem.h\"\n"
+      "#include \"obs/trace.h\"\n"
+      "#include \"sensors/dtw.h\"\n"
+      "#include \"sim/clock.h\"\n"
+      "#include <vector>\n");
+  EXPECT_FALSE(HasRule(diags, "layer-dag"));
+  // obs is importable from the bottom of the stack...
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/sim/clock.cpp", "#include \"obs/instrument.h\"\n"),
+      "layer-dag"));
+  // ...but imports nothing itself.
+  EXPECT_TRUE(HasRule(
+      RunAllOn("src/obs/trace.cpp", "#include \"sim/clock.h\"\n"),
+      "layer-dag"));
+}
+
+TEST(LayerDagTest, NonRootedIncludeIsFlagged) {
+  const auto diags = RunAllOn("src/protocol/watch.h",
+                              "#pragma once\n#include \"messages.h\"\n");
+  ASSERT_TRUE(HasRule(diags, "layer-dag"));
+  EXPECT_NE(diags[0].message.find("not rooted at src/"), std::string::npos);
+}
+
+TEST(LayerDagTest, IncludeCycleIsDetected) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(
+      "src/dsp/a.h", "#pragma once\n#include \"dsp/b.h\"\n"));
+  files.push_back(SourceFile::FromString(
+      "src/dsp/b.h", "#pragma once\n#include \"dsp/a.h\"\n"));
+  const auto result = RunLint(files);
+  ASSERT_TRUE(HasRule(result.diagnostics, "layer-dag"));
+  bool cycle_reported = false;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.message.find("include cycle") != std::string::npos) {
+      cycle_reported = true;
+      EXPECT_NE(d.message.find("dsp/a.h"), std::string::npos);
+      EXPECT_NE(d.message.find("dsp/b.h"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(cycle_reported);
+}
+
+// -- suppression + output ---------------------------------------------
+
+TEST(SuppressionTest, RequiresMatchingRuleId) {
+  // Wrong id: not suppressed.
+  EXPECT_TRUE(HasRule(
+      RunAllOn("src/dsp/x.cpp",
+               "void f() { int r = rand(); }  // NOLINT(banned-api)\n"),
+      "determinism"));
+  // Bare NOLINT without a rule id: not honoured.
+  EXPECT_TRUE(HasRule(RunAllOn("src/dsp/x.cpp",
+                               "void f() { int r = rand(); }  // NOLINT\n"),
+                      "determinism"));
+  // Matching id, comma list: suppressed.
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/dsp/x.cpp",
+               "void f() { int r = rand(); }  "
+               "// NOLINT(determinism, banned-api)\n"),
+      "determinism"));
+  // NOLINTNEXTLINE on the line above.
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/dsp/x.cpp",
+               "// NOLINTNEXTLINE(determinism): seeded fixture\n"
+               "void f() { int r = rand(); }\n"),
+      "determinism"));
+}
+
+TEST(SuppressionTest, SuppressedCountIsReported) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(
+      "src/dsp/x.cpp",
+      "void f() { int r = rand(); }  // NOLINT(determinism)\n"));
+  const LintResult result = RunLint(files);
+  EXPECT_EQ(result.suppressed, 1u);
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(OutputTest, TextFormatIsMachineReadable) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      SourceFile::FromString("src/dsp/x.cpp", "void f() { srand(1); }\n"));
+  const LintResult result = RunLint(files);
+  std::ostringstream os;
+  WriteText(result, os);
+  EXPECT_NE(os.str().find("src/dsp/x.cpp:1: determinism: "),
+            std::string::npos);
+}
+
+TEST(OutputTest, JsonOutputIsWellFormed) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(
+      "src/dsp/x.cpp",
+      "void f() { srand(1); std::cout << \"hi\\n\"; }\n"));
+  files.push_back(SourceFile::FromString("src/dsp/ok.cpp", "void g();\n"));
+  const LintResult result = RunLint(files);
+  ASSERT_GE(result.diagnostics.size(), 2u);
+  std::ostringstream os;
+  WriteJson(result, os);
+  testing::JsonChecker checker;
+  EXPECT_TRUE(checker.Check(os.str())) << checker.error();
+  EXPECT_NE(os.str().find("\"files_scanned\":2"), std::string::npos);
+}
+
+TEST(OutputTest, RuleCatalogueCoversAllFiveRules) {
+  std::vector<std::string> ids;
+  for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
+  for (const char* expected : {"layer-dag", "determinism", "banned-api",
+                               "header-hygiene", "shared-state"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
+}
+
+// -- the real tree ----------------------------------------------------
+
+// The acceptance bar: `wearlock-lint src/` exits 0 on this repo. The
+// ctest entry wearlock_lint_src runs the real binary over the real
+// tree; this fixture-level suite stays hermetic.
+
+}  // namespace
+}  // namespace wearlock::lint

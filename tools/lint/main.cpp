@@ -1,0 +1,79 @@
+// wearlock-lint CLI.
+//
+//   wearlock-lint [--json] <path>...      lint files/dirs, exit 1 on findings
+//   wearlock-lint --list-rules            print the rule catalogue
+//   wearlock-lint --gen-header-tus OUT SRC  emit self-containment TUs
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "rules.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wearlock-lint [--json] <path>...\n"
+               "       wearlock-lint --list-rules\n"
+               "       wearlock-lint --gen-header-tus <out-dir> <src-dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wearlock::lint;
+
+  bool json = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : AllRules()) {
+        std::printf("%-15s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    } else if (arg == "--gen-header-tus") {
+      if (i + 2 >= argc) return Usage();
+      std::string error;
+      if (!GenerateHeaderTus(/*src_dir=*/argv[i + 2], /*out_dir=*/argv[i + 1],
+                             &error)) {
+        std::fprintf(stderr, "wearlock-lint: %s\n", error.c_str());
+        return 2;
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wearlock-lint: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  std::vector<std::string> paths;
+  std::vector<SourceFile> files;
+  std::string error;
+  if (!CollectPaths(inputs, &paths, &error) ||
+      !LoadFiles(paths, &files, &error)) {
+    std::fprintf(stderr, "wearlock-lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  const LintResult result = RunLint(files);
+  if (json) {
+    WriteJson(result, std::cout);
+  } else {
+    WriteText(result, std::cout);
+  }
+  return result.diagnostics.empty() ? 0 : 1;
+}

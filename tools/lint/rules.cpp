@@ -1,0 +1,621 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace wearlock::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Offsets of every whole-word occurrence of `word` in `text`. A match
+/// is rejected when the neighbouring characters are identifier
+/// characters ("time_point" does not contain the word "time").
+std::vector<std::size_t> FindWord(const std::string& text,
+                                  const std::string& word) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// First non-whitespace character at or after `pos` ('\0' at EOF).
+char NextSignificant(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos < text.size() ? text[pos] : '\0';
+}
+
+/// Last non-whitespace character strictly before `pos` ('\0' at BOF).
+char PrevSignificant(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      return text[pos];
+    }
+  }
+  return '\0';
+}
+
+void Emit(const SourceFile& file, std::size_t offset, const char* rule,
+          std::string message, std::vector<Diagnostic>* out) {
+  out->push_back({file.path(), file.LineAt(offset), rule, std::move(message)});
+}
+
+bool ContainsWord(const std::string& text, const std::string& word) {
+  return !FindWord(text, word).empty();
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& AllRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"layer-dag",
+       "quoted includes are rooted at src/, follow the architecture DAG "
+       "(dsp/crypto/obs<-sim<-audio<-modem; sensors; protocol on top) and "
+       "form no cycles"},
+      {"determinism",
+       "no wall-clock or ambient randomness in library code: "
+       "system_clock/steady_clock/rand/srand/time()/random_device are "
+       "banned; use sim::VirtualClock and sim::Rng"},
+      {"banned-api",
+       "no stdio writes outside src/obs/log.cpp, no "
+       "sprintf/strcpy/strcat/gets/atoi, no raw new/delete"},
+      {"header-hygiene",
+       "headers open with #pragma once (or an include guard) and must be "
+       "self-contained (enforced via generated one-include TUs)"},
+      {"shared-state",
+       "mutable namespace-scope/static state must be const, atomic, a sync "
+       "primitive, thread_local, or annotated // lint: guarded-by(<mutex>)"},
+  };
+  return kRules;
+}
+
+// -- determinism ------------------------------------------------------
+
+void CheckDeterminism(const SourceFile& file, std::vector<Diagnostic>* out) {
+  struct Pattern {
+    const char* token;
+    bool call_only;  ///< only flag when followed by '('
+    const char* hint;
+  };
+  static const Pattern kPatterns[] = {
+      {"system_clock", false, "use sim::VirtualClock for modeled time"},
+      {"steady_clock", false,
+       "use sim::VirtualClock (or annotate an intentional host-latency "
+       "probe)"},
+      {"high_resolution_clock", false, "use sim::VirtualClock"},
+      {"random_device", false, "seed sim::Rng explicitly instead"},
+      {"rand", true, "use sim::Rng"},
+      {"srand", true, "use sim::Rng with an explicit seed"},
+      {"time", true, "use sim::VirtualClock"},
+  };
+  const std::string& code = file.code();
+  for (const Pattern& p : kPatterns) {
+    for (std::size_t pos : FindWord(code, p.token)) {
+      if (p.call_only && NextSignificant(code, pos + std::string(p.token)
+                                                         .size()) != '(') {
+        continue;
+      }
+      Emit(file, pos, "determinism",
+           std::string("'") + p.token + "' is nondeterministic; " + p.hint,
+           out);
+    }
+  }
+}
+
+// -- banned-api -------------------------------------------------------
+
+void CheckBannedApi(const SourceFile& file, std::vector<Diagnostic>* out) {
+  const std::string& code = file.code();
+  const bool is_log_sink = file.SrcRelativePath() == "obs/log.cpp";
+
+  struct Pattern {
+    const char* token;
+    bool call_only;
+    bool stdio;  ///< exempt inside the sanctioned log sink
+    const char* hint;
+  };
+  static const Pattern kPatterns[] = {
+      {"cout", false, true, "library code logs through obs::Log"},
+      {"cerr", false, true, "library code logs through obs::Log"},
+      {"printf", true, true, "library code logs through obs::Log"},
+      {"fprintf", true, true, "library code logs through obs::Log"},
+      {"puts", true, true, "library code logs through obs::Log"},
+      {"fputs", true, true, "library code logs through obs::Log"},
+      {"putchar", true, true, "library code logs through obs::Log"},
+      {"sprintf", true, false, "unbounded; use snprintf"},
+      {"strcpy", true, false, "unbounded; use std::string or snprintf"},
+      {"strcat", true, false, "unbounded; use std::string"},
+      {"gets", true, false, "unbounded; never safe"},
+      {"atoi", true, false, "silent on error; use std::from_chars"},
+      {"atol", true, false, "silent on error; use std::from_chars"},
+      {"atof", true, false, "silent on error; use std::from_chars"},
+  };
+  for (const Pattern& p : kPatterns) {
+    if (p.stdio && is_log_sink) continue;
+    for (std::size_t pos : FindWord(code, p.token)) {
+      if (p.call_only &&
+          NextSignificant(code, pos + std::string(p.token).size()) != '(') {
+        continue;
+      }
+      Emit(file, pos, "banned-api",
+           std::string("'") + p.token + "' is banned in src/: " + p.hint,
+           out);
+    }
+  }
+
+  // Raw new / delete. `= delete` (deleted functions) is not a deletion.
+  for (std::size_t pos : FindWord(code, "new")) {
+    Emit(file, pos, "banned-api",
+         "raw 'new' in src/: use std::make_unique/std::vector (annotate "
+         "intentional never-freed singletons)",
+         out);
+  }
+  for (std::size_t pos : FindWord(code, "delete")) {
+    if (PrevSignificant(code, pos) == '=') continue;  // = delete;
+    Emit(file, pos, "banned-api",
+         "raw 'delete' in src/: owning types free memory, not call sites",
+         out);
+  }
+}
+
+// -- header-hygiene ---------------------------------------------------
+
+void CheckHeaderHygiene(const SourceFile& file, std::vector<Diagnostic>* out) {
+  if (!file.IsHeader()) return;
+  for (int line = 1; line <= file.line_count(); ++line) {
+    std::string_view code_line = file.CodeLine(line);
+    const std::size_t first =
+        code_line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    if (code_line[first] != '#') {
+      // Real code before any directive: no guard can protect this file.
+      out->push_back({file.path(), line, "header-hygiene",
+                      "header emits code before any #pragma once / include "
+                      "guard"});
+      return;
+    }
+    std::string directive(code_line.substr(first));
+    // Normalize "#  pragma   once" -> "#pragma once".
+    std::string squashed;
+    for (char c : directive) {
+      if (c == ' ' || c == '\t') {
+        if (!squashed.empty() && squashed.back() != ' ' &&
+            squashed.back() != '#') {
+          squashed.push_back(' ');
+        }
+      } else {
+        squashed.push_back(c);
+      }
+    }
+    if (squashed.rfind("#pragma once", 0) == 0 ||
+        squashed.rfind("#ifndef", 0) == 0 ||
+        squashed.rfind("#if !defined", 0) == 0) {
+      return;  // guarded
+    }
+    out->push_back({file.path(), line, "header-hygiene",
+                    "first preprocessor directive must be #pragma once or "
+                    "an #ifndef include guard"});
+    return;
+  }
+  // Nothing but comments/blank lines: harmless, but still unguarded if
+  // anything is ever added; require the pragma.
+  out->push_back({file.path(), 1, "header-hygiene",
+                  "header has no #pragma once / include guard"});
+}
+
+// -- shared-state -----------------------------------------------------
+
+namespace {
+
+/// Scope automaton: walks code() tracking whether declarations land at
+/// namespace scope, class scope or block scope, and carves the stream
+/// into statements evaluated by FlagIfMutableShared().
+class SharedStateScanner {
+ public:
+  SharedStateScanner(const SourceFile& file, std::vector<Diagnostic>* out)
+      : file_(file), out_(out) {}
+
+  void Run() {
+    const std::string code = StripPreprocessor(file_.code());
+    std::size_t paren_depth = 0;
+    std::size_t init_depth = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')' && paren_depth > 0) {
+        --paren_depth;
+      }
+      // Inside parens (for(;;), argument lists, lambdas passed as
+      // arguments) nothing starts or ends a statement or scope.
+      if (paren_depth > 0) {
+        Accumulate(c, i);
+        continue;
+      }
+      // Inside a brace initializer: consume until its braces balance;
+      // the statement then ends at the following ';'.
+      if (init_depth > 0) {
+        Accumulate(c, i);
+        if (c == '{') ++init_depth;
+        if (c == '}') --init_depth;
+        continue;
+      }
+      switch (c) {
+        case ';':
+          EndStatement();
+          break;
+        case '{': {
+          const ScopeKind kind = ClassifyBrace();
+          if (kind == ScopeKind::kInitializer) {
+            Accumulate(c, i);
+            init_depth = 1;
+          } else {
+            scopes_.push_back(kind);
+            statement_.clear();
+          }
+          break;
+        }
+        case '}':
+          if (!scopes_.empty()) scopes_.pop_back();
+          statement_.clear();
+          break;
+        default:
+          Accumulate(c, i);
+          break;
+      }
+    }
+  }
+
+  /// Offset of the first top-level '=' (assignment, not ==/<=/>=/!=)
+  /// outside parens/brackets/braces, or npos.
+  static std::size_t TopLevelAssign(const std::string& s) {
+    int depth = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if ((c == ')' || c == ']' || c == '}') && depth > 0) --depth;
+      if (c == '=' && depth == 0) {
+        if (i + 1 < s.size() && s[i + 1] == '=') {
+          ++i;
+          continue;
+        }
+        if (i > 0 && (s[i - 1] == '=' || s[i - 1] == '!' ||
+                      s[i - 1] == '<' || s[i - 1] == '>')) {
+          continue;
+        }
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+ private:
+  enum class ScopeKind { kNamespace, kClass, kBlock, kInitializer };
+
+  /// Blank preprocessor lines (and their \-continuations): they have no
+  /// terminating ';' and would otherwise bleed into statements.
+  static std::string StripPreprocessor(std::string code) {
+    bool in_directive = false;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const std::size_t start = i;
+      std::size_t end = code.find('\n', i);
+      if (end == std::string::npos) end = code.size();
+      if (!in_directive) {
+        const std::size_t first = code.find_first_not_of(" \t", start);
+        in_directive =
+            first != std::string::npos && first < end && code[first] == '#';
+      }
+      if (in_directive) {
+        const bool continued = end > start && code[end - 1] == '\\';
+        for (std::size_t j = start; j < end; ++j) code[j] = ' ';
+        in_directive = continued;
+      }
+      i = end + 1;
+    }
+    return code;
+  }
+
+  void Accumulate(char c, std::size_t offset) {
+    if (statement_.empty()) {
+      if (std::isspace(static_cast<unsigned char>(c))) return;
+      statement_start_ = offset;
+    }
+    statement_.push_back(c);
+    statement_end_ = offset;
+  }
+
+  ScopeKind ClassifyBrace() const {
+    if (ContainsWord(statement_, "namespace") ||
+        ContainsWord(statement_, "extern")) {
+      return ScopeKind::kNamespace;
+    }
+    if (ContainsWord(statement_, "class") ||
+        ContainsWord(statement_, "struct") ||
+        ContainsWord(statement_, "union") ||
+        ContainsWord(statement_, "enum")) {
+      return ScopeKind::kClass;
+    }
+    // Control-flow keywords whose body brace carries no prior ')'.
+    if (ContainsWord(statement_, "do") || ContainsWord(statement_, "else") ||
+        ContainsWord(statement_, "try")) {
+      return ScopeKind::kBlock;
+    }
+    if (TopLevelAssign(statement_) != std::string::npos) {
+      return ScopeKind::kInitializer;  // Type name = {...};
+    }
+    const char last = statement_.empty()
+                          ? '\0'
+                          : PrevSignificant(statement_, statement_.size());
+    if (last == ')') return ScopeKind::kBlock;  // function body
+    if (last != '\0' && (IsIdentChar(last) || last == ']' || last == '>')) {
+      return ScopeKind::kInitializer;  // Type name{...};
+    }
+    return ScopeKind::kBlock;
+  }
+
+  bool AtNamespaceScope() const {
+    return std::all_of(scopes_.begin(), scopes_.end(), [](ScopeKind k) {
+      return k == ScopeKind::kNamespace;
+    });
+  }
+  bool AtClassScope() const {
+    return !scopes_.empty() && scopes_.back() == ScopeKind::kClass;
+  }
+
+  void EndStatement() {
+    std::string stmt;
+    statement_.swap(stmt);
+    if (stmt.empty()) return;
+    const std::size_t start = statement_start_;
+    const std::size_t end = statement_end_;
+
+    const bool is_static = ContainsWord(stmt, "static");
+    if (!AtNamespaceScope() && !is_static) return;  // locals/members
+    if (AtClassScope() && !is_static) return;       // instance members
+    EvaluateDeclaration(stmt, start, end);
+  }
+
+  void EvaluateDeclaration(const std::string& stmt, std::size_t start,
+                           std::size_t end) {
+    // Exempt categories. thread_local state is thread-confined; atomics
+    // and sync primitives are safe (or are themselves the guard).
+    static const char* kSkipWords[] = {
+        "thread_local", "constexpr",     "constinit", "using",
+        "typedef",      "static_assert", "friend",    "extern",
+        "template",     "operator",      "namespace", "return",
+        "if",           "for",           "while",     "switch",
+        "case",         "goto",          "throw",     "class",
+        "struct",       "union",         "enum",      "asm",
+    };
+    for (const char* w : kSkipWords) {
+      if (ContainsWord(stmt, w)) return;
+    }
+    static const char* kSafeTypes[] = {
+        "atomic", "mutex",  "shared_mutex", "recursive_mutex",
+        "once_flag", "condition_variable",
+    };
+    for (const char* w : kSafeTypes) {
+      if (stmt.find(w) != std::string::npos) return;
+    }
+
+    // Declarator = text before the first top-level '=' (or whole stmt).
+    const std::size_t eq = TopLevelAssign(stmt);
+    std::string decl =
+        eq == std::string::npos ? stmt : stmt.substr(0, eq);
+    const bool has_init = eq != std::string::npos ||
+                          decl.find('{') != std::string::npos;
+    if (!has_init) {
+      // `Type fn(args);` is a declaration of a function, not state. A
+      // ctor-call initializer looks identical; the rule accepts that
+      // blind spot (use `=` or brace init for globals).
+      if (PrevSignificant(decl, decl.size()) == ')') return;
+      // Need at least two identifier-ish tokens (type + name).
+      int words = 0;
+      bool in_word = false;
+      for (char c : decl) {
+        if (IsIdentChar(c)) {
+          if (!in_word) ++words;
+          in_word = true;
+        } else {
+          in_word = false;
+        }
+      }
+      if (words < 2) return;  // `;` noise, labels, forward decls
+    }
+    if (decl.find('{') != std::string::npos) {
+      decl = decl.substr(0, decl.find('{'));
+    }
+
+    // Const check on the variable itself: with pointer declarators the
+    // const must bind to the pointer (after the last '*'); otherwise
+    // any const qualifier on the type suffices.
+    const std::size_t star = decl.rfind('*');
+    const std::string tail =
+        star == std::string::npos ? decl : decl.substr(star + 1);
+    if (ContainsWord(tail, "const")) return;
+
+    const int line_begin = file_.LineAt(start);
+    const int line_end = file_.LineAt(end);
+    if (HasGuardedByAnnotation(line_begin, line_end)) return;
+    out_->push_back(
+        {file_.path(), line_begin, "shared-state",
+         "mutable shared state: make it const/atomic, use a sync "
+         "primitive or thread_local, or annotate "
+         "'// lint: guarded-by(<mutex>)'"});
+  }
+
+  /// Looks for "lint: guarded-by(name)" on the statement's lines (or
+  /// the line above) and verifies `name` is a real identifier declared
+  /// on some other line of this file.
+  bool HasGuardedByAnnotation(int line_begin, int line_end) {
+    for (int line = std::max(1, line_begin - 1); line <= line_end; ++line) {
+      const std::string& comment = file_.CommentOn(line);
+      const std::size_t tag = comment.find("guarded-by(");
+      if (tag == std::string::npos) continue;
+      if (comment.rfind("lint:", tag) == std::string::npos) continue;
+      std::size_t name_begin = tag + std::string("guarded-by(").size();
+      std::size_t name_end = comment.find(')', name_begin);
+      if (name_end == std::string::npos) break;
+      std::string name = comment.substr(name_begin, name_end - name_begin);
+      // Trim.
+      while (!name.empty() && std::isspace(static_cast<unsigned char>(
+                                  name.front()))) {
+        name.erase(name.begin());
+      }
+      while (!name.empty() &&
+             std::isspace(static_cast<unsigned char>(name.back()))) {
+        name.pop_back();
+      }
+      if (name.empty()) break;
+      // The guard must exist in code outside the annotated statement.
+      for (std::size_t pos : FindWord(file_.code(), name)) {
+        const int at = file_.LineAt(pos);
+        if (at < line_begin || at > line_end) return true;
+      }
+      out_->push_back(
+          {file_.path(), line, "shared-state",
+           "guarded-by(" + name + ") names no identifier in this file"});
+      return true;  // annotated (even if badly); the bad-name diag stands
+    }
+    return false;
+  }
+
+  const SourceFile& file_;
+  std::vector<Diagnostic>* out_;
+  std::vector<ScopeKind> scopes_;
+  std::string statement_;
+  std::size_t statement_start_ = 0;
+  std::size_t statement_end_ = 0;
+};
+
+}  // namespace
+
+void CheckSharedState(const SourceFile& file, std::vector<Diagnostic>* out) {
+  SharedStateScanner(file, out).Run();
+}
+
+// -- layer-dag --------------------------------------------------------
+
+namespace {
+
+const std::map<std::string, std::set<std::string>>& LayerDeps() {
+  // Mirrors the target graph in src/CMakeLists.txt. "obs" is allowed
+  // from every layer and is therefore not listed.
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"obs", {}},
+      {"dsp", {}},
+      {"crypto", {}},
+      {"sim", {}},
+      {"audio", {"dsp", "sim"}},
+      {"modem", {"dsp", "audio", "sim"}},
+      {"sensors", {"dsp", "sim"}},
+      {"protocol", {"dsp", "audio", "sim", "modem", "sensors", "crypto"}},
+  };
+  return kDeps;
+}
+
+std::string JoinSorted(const std::set<std::string>& items) {
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out.empty() ? "(nothing)" : out;
+}
+
+}  // namespace
+
+void CheckLayerDag(const std::vector<SourceFile>& files,
+                   std::vector<Diagnostic>* out) {
+  const auto& deps = LayerDeps();
+
+  // Index scanned files by src-relative path for cycle detection.
+  std::map<std::string, const SourceFile*> by_rel;
+  for (const SourceFile& f : files) by_rel[f.SrcRelativePath()] = &f;
+
+  for (const SourceFile& f : files) {
+    const std::string layer = f.Layer();
+    for (const IncludeDirective& inc : f.includes()) {
+      if (inc.angled) continue;  // system headers are out of scope
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) {
+        out->push_back(
+            {f.path(), inc.line, "layer-dag",
+             "include \"" + inc.path + "\" is not rooted at src/ (write \"" +
+                 (layer.empty() ? std::string("<layer>") : layer) + "/" +
+                 inc.path + "\")"});
+        continue;
+      }
+      const std::string target = inc.path.substr(0, slash);
+      const auto source_it = deps.find(layer);
+      if (source_it == deps.end() || deps.find(target) == deps.end()) {
+        continue;  // outside the known architecture; other rules apply
+      }
+      if (target == layer || target == "obs" ||
+          source_it->second.count(target) != 0) {
+        continue;
+      }
+      out->push_back(
+          {f.path(), inc.line, "layer-dag",
+           "layer '" + layer + "' must not include '" + target +
+               "' (allowed: obs, " + layer + ", " +
+               JoinSorted(source_it->second) + ")"});
+    }
+  }
+
+  // Include-cycle detection (file granularity, DFS three-colour).
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::map<std::string, Colour> colour;
+  std::vector<std::string> stack;
+
+  std::function<void(const SourceFile&)> visit =
+      [&](const SourceFile& f) {
+        const std::string rel = f.SrcRelativePath();
+        colour[rel] = Colour::kGrey;
+        stack.push_back(rel);
+        for (const IncludeDirective& inc : f.includes()) {
+          if (inc.angled) continue;
+          const auto it = by_rel.find(inc.path);
+          if (it == by_rel.end()) continue;
+          const std::string& target = it->second->SrcRelativePath();
+          const Colour c =
+              colour.count(target) ? colour[target] : Colour::kWhite;
+          if (c == Colour::kGrey) {
+            std::string chain;
+            const auto cycle_start =
+                std::find(stack.begin(), stack.end(), target);
+            for (auto jt = cycle_start; jt != stack.end(); ++jt) {
+              chain += *jt + " -> ";
+            }
+            chain += target;
+            out->push_back({f.path(), inc.line, "layer-dag",
+                            "include cycle: " + chain});
+          } else if (c == Colour::kWhite) {
+            visit(*it->second);
+          }
+        }
+        stack.pop_back();
+        colour[rel] = Colour::kBlack;
+      };
+  for (const SourceFile& f : files) {
+    if (!colour.count(f.SrcRelativePath())) visit(f);
+  }
+}
+
+}  // namespace wearlock::lint

@@ -1,0 +1,72 @@
+// The wearlock-lint rule set. Every rule is a pure function from
+// lexed source to diagnostics; the driver (lint.h) owns file
+// collection, NOLINT suppression and output formatting.
+//
+// Rule ids are stable identifiers: they appear in diagnostics
+// ("file:line: rule-id: message"), in NOLINT(rule-id) suppressions and
+// in docs/static-analysis.md. Add new rules to AllRules() and to the
+// dispatch in RunLint().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source.h"
+
+namespace wearlock::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Stable catalogue, in severity-ish order (shown by --list-rules).
+const std::vector<RuleInfo>& AllRules();
+
+// -- Per-file rules ---------------------------------------------------
+
+/// determinism: wall-clock and ambient randomness are banned in library
+/// code; simulated time comes from sim::VirtualClock and randomness
+/// from sim::Rng so every figure regenerates bit-identically.
+void CheckDeterminism(const SourceFile& file, std::vector<Diagnostic>* out);
+
+/// banned-api: stdio writes outside src/obs/log.cpp (library code logs
+/// through obs::Log), unbounded C string APIs (sprintf/strcpy/strcat/
+/// gets/atoi) and raw new/delete (use std::make_unique / containers).
+void CheckBannedApi(const SourceFile& file, std::vector<Diagnostic>* out);
+
+/// header-hygiene: every header opens with #pragma once or an
+/// #ifndef/#define guard before any other preprocessor directive.
+/// (Self-containment is enforced by the generated one-include TUs the
+/// lint_header_selfcontained CMake target compiles; see --gen-header-tus.)
+void CheckHeaderHygiene(const SourceFile& file, std::vector<Diagnostic>* out);
+
+/// shared-state: mutable namespace-scope or static-storage state must
+/// be const, atomic, a synchronization primitive, thread_local, or
+/// carry a "// lint: guarded-by(<mutex>)" annotation naming an
+/// identifier declared elsewhere in the same file.
+void CheckSharedState(const SourceFile& file, std::vector<Diagnostic>* out);
+
+// -- Project-level rule -----------------------------------------------
+
+/// layer-dag: quoted includes must be rooted at src/ and follow the
+/// architecture DAG (obs importable everywhere, importing nothing):
+///
+///   dsp, crypto, obs -> (nothing)
+///   sim              -> obs
+///   audio            -> dsp, sim
+///   modem, sensors   -> dsp, audio*, sim      (*modem only)
+///   protocol         -> everything
+///
+/// Also rejects include cycles among the scanned files.
+void CheckLayerDag(const std::vector<SourceFile>& files,
+                   std::vector<Diagnostic>* out);
+
+}  // namespace wearlock::lint

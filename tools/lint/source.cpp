@@ -1,0 +1,252 @@
+#include "source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace wearlock::lint {
+namespace {
+
+/// True when `text` positions [0, at) end in a #include directive
+/// prefix, i.e. the quote that is about to open at `at` is an include
+/// path, not an ordinary string literal.
+bool PrecededByIncludeDirective(const std::string& text, std::size_t at) {
+  // Walk back to the start of the line, then match: ws '#' ws "include" ws.
+  std::size_t begin = text.rfind('\n', at == 0 ? 0 : at - 1);
+  begin = (begin == std::string::npos) ? 0 : begin + 1;
+  std::string_view line(text.data() + begin, at - begin);
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  skip_ws();
+  constexpr std::string_view kInclude = "include";
+  if (line.substr(i, kInclude.size()) != kInclude) return false;
+  i += kInclude.size();
+  skip_ws();
+  return i == line.size();
+}
+
+}  // namespace
+
+SourceFile SourceFile::FromString(std::string path, std::string content) {
+  SourceFile f;
+  f.path_ = std::move(path);
+  f.content_ = std::move(content);
+  f.Lex();
+  return f;
+}
+
+bool SourceFile::Load(const std::string& path, SourceFile* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = FromString(path, buf.str());
+  return true;
+}
+
+void SourceFile::Lex() {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  const std::string& in = content_;
+  code_ = in;  // start from a copy; blank as we classify
+  line_offsets_.push_back(0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '\n') line_offsets_.push_back(i + 1);
+  }
+  line_count_ = static_cast<int>(line_offsets_.size());
+  if (!in.empty() && in.back() == '\n') --line_count_;
+  comment_by_line_.assign(static_cast<std::size_t>(line_count_) + 1, "");
+
+  State state = State::kCode;
+  int line = 1;
+  std::string raw_delim;        // the )delim" closer for raw strings
+  std::string pending_literal;  // body of the string being lexed
+  int literal_line = 0;
+  bool literal_angled = false;
+
+  auto comment_append = [&](char c) {
+    if (line <= line_count_ && c != '\n') {
+      comment_by_line_[static_cast<std::size_t>(line) - 1].push_back(c);
+    }
+  };
+  auto finish_string = [&](std::size_t quote_pos) {
+    // If the literal we just closed was an #include path, record it.
+    if (literal_angled || PrecededByIncludeDirective(
+                              in, quote_pos - pending_literal.size() - 1)) {
+      includes_.push_back(
+          {pending_literal, literal_line, literal_angled});
+    }
+    pending_literal.clear();
+  };
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = (i + 1 < in.size()) ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_[i] = code_[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_[i] = code_[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // R"delim( raw string?
+          if (i >= 1 && in[i - 1] == 'R' &&
+              (i < 2 || (!std::isalnum(static_cast<unsigned char>(in[i - 2])) &&
+                         in[i - 2] != '_'))) {
+            std::size_t paren = in.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + in.substr(i + 1, paren - i - 1) + "\"";
+              state = State::kRawString;
+              for (std::size_t j = i + 1; j <= paren && j < in.size(); ++j) {
+                if (in[j] != '\n') code_[j] = ' ';
+              }
+              i = paren;
+              break;
+            }
+          }
+          state = State::kString;
+          literal_line = line;
+          literal_angled = false;
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else if (c == '<' && PrecededByIncludeDirective(in, i)) {
+          // Angle include: consume to '>' on this line.
+          std::size_t close = i + 1;
+          while (close < in.size() && in[close] != '>' && in[close] != '\n') {
+            ++close;
+          }
+          if (close < in.size() && in[close] == '>') {
+            includes_.push_back({in.substr(i + 1, close - i - 1), line, true});
+            i = close;
+          }
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          comment_append(c);
+          code_[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_[i] = code_[i + 1] = ' ';
+          ++i;
+        } else {
+          comment_append(c);
+          if (c != '\n') code_[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          pending_literal.push_back(c);
+          pending_literal.push_back(next);
+          code_[i] = ' ';
+          if (next != '\n') code_[i + 1] = ' ';
+          ++i;
+          if (next == '\n') ++line;
+        } else if (c == '"') {
+          state = State::kCode;
+          finish_string(i);
+        } else if (c == '\n') {
+          // Unterminated at EOL (ill-formed source); recover.
+          state = State::kCode;
+          pending_literal.clear();
+        } else {
+          pending_literal.push_back(c);
+          code_[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          code_[i] = ' ';
+          if (next != '\n') code_[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          state = State::kCode;
+        } else {
+          code_[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = i; j < i + raw_delim.size(); ++j) {
+            code_[j] = ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          code_[i] = ' ';
+        }
+        break;
+    }
+    if (in[i] == '\n') ++line;
+  }
+}
+
+int SourceFile::LineAt(std::size_t offset) const {
+  auto it = std::upper_bound(line_offsets_.begin(), line_offsets_.end(),
+                             offset);
+  return static_cast<int>(it - line_offsets_.begin());
+}
+
+std::string_view SourceFile::CodeLine(int line) const {
+  if (line < 1 || line > line_count_) return {};
+  const std::size_t begin = line_offsets_[static_cast<std::size_t>(line) - 1];
+  std::size_t end = (static_cast<std::size_t>(line) < line_offsets_.size())
+                        ? line_offsets_[static_cast<std::size_t>(line)] - 1
+                        : code_.size();
+  return std::string_view(code_).substr(begin, end - begin);
+}
+
+const std::string& SourceFile::CommentOn(int line) const {
+  static const std::string kEmpty;
+  if (line < 1 || line > line_count_) return kEmpty;
+  return comment_by_line_[static_cast<std::size_t>(line) - 1];
+}
+
+bool SourceFile::IsHeader() const {
+  return path_.size() >= 2 && path_.compare(path_.size() - 2, 2, ".h") == 0;
+}
+
+std::string SourceFile::SrcRelativePath() const {
+  const std::string needle = "src/";
+  std::size_t pos = path_.rfind(needle);
+  if (pos == std::string::npos ||
+      (pos != 0 && path_[pos - 1] != '/')) {
+    return path_;
+  }
+  return path_.substr(pos + needle.size());
+}
+
+std::string SourceFile::Layer() const {
+  const std::string rel = SrcRelativePath();
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) return "";
+  return rel.substr(0, slash);
+}
+
+}  // namespace wearlock::lint

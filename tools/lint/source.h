@@ -1,0 +1,78 @@
+// SourceFile: the lexical substrate wearlock-lint rules run on.
+//
+// One pass classifies every character of a C++ translation unit as
+// code, comment, or string/char-literal body (raw strings included),
+// then exposes three views the rules consume:
+//   * code()      - the file with comment text and literal bodies
+//                   blanked to spaces (newlines and quote/comment
+//                   delimiters preserved), so token searches cannot
+//                   false-positive inside comments or strings;
+//   * CommentOn() - the comment text attached to a line, for the
+//                   NOLINT(rule-id) and lint: guarded-by(...) escape
+//                   hatches;
+//   * includes()  - every #include directive with its spelling, line
+//                   and quote style, for the layer-DAG rule.
+//
+// This is deliberately not a parser: rules that need structure (the
+// shared-state scope tracker) build their own small automata on top of
+// code(). No external dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wearlock::lint {
+
+struct IncludeDirective {
+  std::string path;  ///< text between the delimiters, e.g. "obs/log.h"
+  int line = 0;      ///< 1-based
+  bool angled = false;  ///< <...> (system) vs "..." (project)
+};
+
+class SourceFile {
+ public:
+  /// Lex `content` as if it were the file at `path` (fixtures/tests).
+  static SourceFile FromString(std::string path, std::string content);
+
+  /// Lex a file from disk. Returns false (and sets `error`) when the
+  /// file cannot be read; lexing itself never fails.
+  static bool Load(const std::string& path, SourceFile* out,
+                   std::string* error);
+
+  const std::string& path() const { return path_; }
+  const std::string& content() const { return content_; }
+  const std::string& code() const { return code_; }
+  const std::vector<IncludeDirective>& includes() const { return includes_; }
+
+  int line_count() const { return line_count_; }
+  /// 1-based line containing byte `offset` of content()/code().
+  int LineAt(std::size_t offset) const;
+  /// The code() view of one 1-based line ("" past EOF).
+  std::string_view CodeLine(int line) const;
+  /// All comment text that appears on a 1-based line, concatenated
+  /// ("" when the line has no comment).
+  const std::string& CommentOn(int line) const;
+
+  bool IsHeader() const;
+  /// Path component after the last "src/" segment, e.g. "obs" for
+  /// src/obs/log.cpp. When the path has no src/ segment the first
+  /// directory component is used (fixture convenience). Empty for a
+  /// bare filename.
+  std::string Layer() const;
+  /// Path relative to the last "src/" segment (whole path when none).
+  std::string SrcRelativePath() const;
+
+ private:
+  void Lex();
+
+  std::string path_;
+  std::string content_;
+  std::string code_;
+  std::vector<IncludeDirective> includes_;
+  std::vector<std::string> comment_by_line_;  // index 0 == line 1
+  std::vector<std::size_t> line_offsets_;     // offset of each line start
+  int line_count_ = 0;
+};
+
+}  // namespace wearlock::lint
