@@ -4,7 +4,9 @@
 // experiments or at least may need heavy error correction techniques."
 // This bench quantifies that sentence: 16QAM's residual BER under each
 // code, against the effective data rate R = |D| * rc * log2(M)/(Tg+Ts).
+// The (modulation x code) grid runs on bench::SweepRunner.
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -20,8 +22,8 @@ struct Cell {
   double rate_bps = 0.0;
 };
 
-Cell Measure(modem::Modulation m, modem::CodeScheme code, std::uint64_t seed) {
-  sim::Rng rng(seed);
+Cell Measure(modem::Modulation m, modem::CodeScheme code, int rounds,
+             sim::Rng& rng) {
   modem::AcousticModem modem;
 
   audio::ChannelConfig cfg;
@@ -35,7 +37,7 @@ Cell Measure(modem::Modulation m, modem::CodeScheme code, std::uint64_t seed) {
   cell.rate_bps = modem.spec().DataRateBps(modem::BitsPerSymbol(m)) *
                   modem::CodeRate(code);
   std::size_t errors = 0, total = 0;
-  for (int r = 0; r < 15; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     std::vector<std::uint8_t> payload(96);
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
     const auto coded = modem::Encode(code, payload);
@@ -59,18 +61,34 @@ Cell Measure(modem::Modulation m, modem::CodeScheme code, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/7100);
   bench::Banner("Ablation: channel coding vs high-order modulation "
                 "(quiet room, 0.25 m)");
+  const std::vector<modem::Modulation> modulations = options.Trim(
+      std::vector<modem::Modulation>{modem::Modulation::kQpsk,
+                                     modem::Modulation::k8Psk,
+                                     modem::Modulation::k16Qam});
+  const std::vector<modem::CodeScheme> codes = options.Trim(
+      std::vector<modem::CodeScheme>{modem::CodeScheme::kNone,
+                                     modem::CodeScheme::kHamming74,
+                                     modem::CodeScheme::kRepetition3});
+  const int rounds = options.Rounds(15);
+
+  bench::SweepRunner runner(options);
+  const auto cells = runner.RunGrid(
+      modulations.size(), codes.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        return Measure(modulations[point.row], codes[point.col], rounds, rng);
+      });
+  runner.PrintTiming("abl_coding");
+
   std::vector<std::vector<std::string>> rows;
-  for (modem::Modulation m :
-       {modem::Modulation::kQpsk, modem::Modulation::k8Psk,
-        modem::Modulation::k16Qam}) {
-    for (modem::CodeScheme code :
-         {modem::CodeScheme::kNone, modem::CodeScheme::kHamming74,
-          modem::CodeScheme::kRepetition3}) {
-      const Cell cell = Measure(m, code, 7100);
-      rows.push_back({ToString(m), ToString(code),
+  for (std::size_t mi = 0; mi < modulations.size(); ++mi) {
+    for (std::size_t ci = 0; ci < codes.size(); ++ci) {
+      const Cell& cell = cells[mi * codes.size() + ci];
+      rows.push_back({ToString(modulations[mi]), ToString(codes[ci]),
                       bench::Fmt(cell.payload_ber, 4),
                       bench::Fmt(cell.rate_bps, 0) + " bps"});
     }

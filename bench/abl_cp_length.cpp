@@ -4,7 +4,9 @@
 // reverberation tail and cover indoor delay spread. This bench sweeps
 // the CP length against a body-blocked NLOS channel whose late
 // reflections arrive several ms after the (suppressed) direct path.
+// The (CP length x propagation) grid runs on bench::SweepRunner.
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -14,8 +16,8 @@
 namespace {
 using namespace wearlock;
 
-double MeasureBer(std::size_t cp_samples, bool nlos, std::uint64_t seed) {
-  sim::Rng rng(seed);
+double MeasureBer(std::size_t cp_samples, bool nlos, int rounds,
+                  sim::Rng& rng) {
   modem::FrameSpec spec;
   spec.cyclic_prefix_samples = cp_samples;
   modem::AcousticModem modem(spec);
@@ -30,7 +32,7 @@ double MeasureBer(std::size_t cp_samples, bool nlos, std::uint64_t seed) {
       modem::ProbeTxSpl(17.0, 18.0, 1.0, 0.1) + 15.0);
 
   std::size_t errors = 0, total = 0;
-  for (int r = 0; r < 12; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     std::vector<std::uint8_t> bits(192);
     for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
     const auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
@@ -50,13 +52,30 @@ double MeasureBer(std::size_t cp_samples, bool nlos, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::Banner("Ablation: cyclic-prefix length vs multipath (QPSK, quiet room)");
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/8001);
+  bench::Banner(
+      "Ablation: cyclic-prefix length vs multipath (QPSK, quiet room)");
+  const std::vector<std::size_t> cp_lengths =
+      options.Trim(std::vector<std::size_t>{8, 32, 64, 128, 192});
+  const int rounds = options.Rounds(12);
+
+  bench::SweepRunner runner(options);
+  const auto bers = runner.RunGrid(
+      cp_lengths.size(), /*n_cols=*/2,
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        return MeasureBer(cp_lengths[point.row], /*nlos=*/point.col == 1,
+                          rounds, rng);
+      });
+  runner.PrintTiming("abl_cp_length");
+
   std::vector<std::vector<std::string>> rows;
-  for (std::size_t cp : {8u, 32u, 64u, 128u, 192u}) {
-    rows.push_back({std::to_string(cp) + " (" + bench::Fmt(cp / 44.1, 2) + " ms)",
-                    bench::Fmt(MeasureBer(cp, false, 8001), 4),
-                    bench::Fmt(MeasureBer(cp, true, 8001), 4)});
+  for (std::size_t ci = 0; ci < cp_lengths.size(); ++ci) {
+    const std::size_t cp = cp_lengths[ci];
+    rows.push_back(
+        {std::to_string(cp) + " (" + bench::Fmt(cp / 44.1, 2) + " ms)",
+         bench::Fmt(bers[ci * 2 + 0], 4), bench::Fmt(bers[ci * 2 + 1], 4)});
   }
   bench::PrintTable({"CP length", "BER LOS", "BER body-blocked NLOS"}, rows);
   std::printf(

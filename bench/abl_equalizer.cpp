@@ -6,9 +6,11 @@
 //              estimate (no interpolation)
 //   none     - demap raw FFT outputs
 // The speaker's ragged phase response and the multipath channel make the
-// equalizer the difference between a working and a dead modem.
+// equalizer the difference between a working and a dead modem. Each
+// receiver variant is one bench::SweepRunner task.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -25,8 +27,7 @@ using namespace wearlock;
 enum class EqMode { kFull, kNearestPilot, kNone };
 
 // A hand-rolled receive path so the equalizer stage can be swapped out.
-double MeasureBer(EqMode eq_mode, std::uint64_t seed) {
-  sim::Rng rng(seed);
+double MeasureBer(EqMode eq_mode, int rounds, sim::Rng& rng) {
   const modem::FrameSpec spec;
   modem::AcousticModem modem(spec);
   const modem::PreambleDetector detector(spec);
@@ -45,7 +46,7 @@ double MeasureBer(EqMode eq_mode, std::uint64_t seed) {
   std::sort(pilots.begin(), pilots.end());
 
   std::size_t errors = 0, total = 0;
-  for (int r = 0; r < 12; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     std::vector<std::uint8_t> bits(192);
     for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
     const auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
@@ -124,13 +125,28 @@ double MeasureBer(EqMode eq_mode, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/6001);
   bench::Banner("Ablation: channel equalization (QPSK, office, 0.4 m)");
-  bench::PrintTable(
-      {"equalizer", "BER"},
-      {{"full (FFT-interpolated pilots)", bench::Fmt(MeasureBer(EqMode::kFull, 6001), 4)},
-       {"nearest pilot only", bench::Fmt(MeasureBer(EqMode::kNearestPilot, 6001), 4)},
-       {"none (raw FFT)", bench::Fmt(MeasureBer(EqMode::kNone, 6001), 4)}});
+  const std::vector<std::pair<EqMode, std::string>> variants = {
+      {EqMode::kFull, "full (FFT-interpolated pilots)"},
+      {EqMode::kNearestPilot, "nearest pilot only"},
+      {EqMode::kNone, "none (raw FFT)"}};
+  const int rounds = options.Rounds(12);
+
+  bench::SweepRunner runner(options);
+  const auto bers =
+      runner.Run(variants.size(), [&](sim::TaskContext& ctx) {
+        return MeasureBer(variants[ctx.index].first, rounds, ctx.rng);
+      });
+  runner.PrintTiming("abl_equalizer");
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    rows.push_back({variants[vi].second, bench::Fmt(bers[vi], 4)});
+  }
+  bench::PrintTable({"equalizer", "BER"}, rows);
   std::printf(
       "\nWithout equalization the speaker's phase ripple and the channel's\n"
       "linear phase rotate QPSK decisions arbitrarily; interpolation over\n"

@@ -4,7 +4,9 @@
 // repetition decoder / maximum-likelihood over Hamming codewords) buys
 // the classic ~1.5-2 dB over hard-slicing each bit before decoding -
 // effectively extending the usable range of a coded link.
+// The (code x noise) grid runs on bench::SweepRunner.
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -20,8 +22,8 @@ struct Pair {
   double soft = 0.0;
 };
 
-Pair Measure(modem::CodeScheme code, double noise_spl, std::uint64_t seed) {
-  sim::Rng rng(seed);
+Pair Measure(modem::CodeScheme code, double noise_spl, int rounds,
+             sim::Rng& rng) {
   modem::AcousticModem modem;
   audio::ChannelConfig cfg;
   cfg.distance_m = 0.3;
@@ -34,7 +36,7 @@ Pair Measure(modem::CodeScheme code, double noise_spl, std::uint64_t seed) {
 
   Pair result;
   std::size_t hard_err = 0, soft_err = 0, total = 0;
-  for (int r = 0; r < 12; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     std::vector<std::uint8_t> payload(96);
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
     const auto coded = modem::Encode(code, payload);
@@ -70,14 +72,30 @@ Pair Measure(modem::CodeScheme code, double noise_spl, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/12000);
   bench::Banner("Ablation: soft vs hard decoding (QPSK, white-noise sweep)");
+  const std::vector<modem::CodeScheme> codes = options.Trim(
+      std::vector<modem::CodeScheme>{modem::CodeScheme::kHamming74,
+                                     modem::CodeScheme::kRepetition3});
+  const std::vector<double> noises =
+      options.Trim(std::vector<double>{52.0, 56.0, 59.0, 62.0});
+  const int rounds = options.Rounds(12);
+
+  bench::SweepRunner runner(options);
+  const auto cells = runner.RunGrid(
+      codes.size(), noises.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        return Measure(codes[point.row], noises[point.col], rounds, rng);
+      });
+  runner.PrintTiming("abl_soft_decision");
+
   std::vector<std::vector<std::string>> rows;
-  for (modem::CodeScheme code :
-       {modem::CodeScheme::kHamming74, modem::CodeScheme::kRepetition3}) {
-    for (double noise : {52.0, 56.0, 59.0, 62.0}) {
-      const Pair p = Measure(code, noise, 12000);
-      rows.push_back({ToString(code), bench::Fmt(noise, 0) + " dB",
+  for (std::size_t ci = 0; ci < codes.size(); ++ci) {
+    for (std::size_t ni = 0; ni < noises.size(); ++ni) {
+      const Pair& p = cells[ci * noises.size() + ni];
+      rows.push_back({ToString(codes[ci]), bench::Fmt(noises[ni], 0) + " dB",
                       bench::Fmt(p.hard, 4), bench::Fmt(p.soft, 4)});
     }
   }

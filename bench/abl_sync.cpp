@@ -4,8 +4,10 @@
 // search, Eq. 2) exists because the coarse peak alone is off by the
 // fractional propagation delay and speaker group delay. This bench
 // disables the fine step (search range 0) and measures the BER penalty
-// across distances.
+// across distances. The (distance x variant) grid runs on
+// bench::SweepRunner.
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -15,8 +17,8 @@
 namespace {
 using namespace wearlock;
 
-double MeasureBer(long fine_range, double distance, bool blocked, std::uint64_t seed) {
-  sim::Rng rng(seed);
+double MeasureBer(long fine_range, double distance, bool blocked, int rounds,
+                  sim::Rng& rng) {
   modem::DemodConfig demod;
   demod.fine_sync_range = fine_range;
   modem::AcousticModem modem(modem::FrameSpec{}, demod);
@@ -32,7 +34,7 @@ double MeasureBer(long fine_range, double distance, bool blocked, std::uint64_t 
       modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
 
   std::size_t errors = 0, total = 0;
-  for (int r = 0; r < 12; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     std::vector<std::uint8_t> bits(192);
     for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
     const auto tx = modem.Modulate(modem::Modulation::kQpsk, bits);
@@ -52,15 +54,38 @@ double MeasureBer(long fine_range, double distance, bool blocked, std::uint64_t 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/4001);
   bench::Banner("Ablation: CP fine synchronization (QPSK, office, LOS)");
+  const std::vector<double> distances =
+      options.Trim(std::vector<double>{0.2, 0.5, 1.0});
+  // Columns: (fine_range, blocked) variants, in table order.
+  struct Variant {
+    long fine_range;
+    bool blocked;
+  };
+  const std::vector<Variant> variants = {
+      {48, false}, {0, false}, {48, true}, {0, true}};
+  const int rounds = options.Rounds(12);
+
+  bench::SweepRunner runner(options);
+  const auto bers = runner.RunGrid(
+      distances.size(), variants.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        const Variant& v = variants[point.col];
+        return MeasureBer(v.fine_range, distances[point.row], v.blocked,
+                          rounds, rng);
+      });
+  runner.PrintTiming("abl_sync");
+
   std::vector<std::vector<std::string>> rows;
-  for (double d : {0.2, 0.5, 1.0}) {
-    rows.push_back({bench::Fmt(d, 1),
-                    bench::Fmt(MeasureBer(48, d, false, 4001), 4),
-                    bench::Fmt(MeasureBer(0, d, false, 4001), 4),
-                    bench::Fmt(MeasureBer(48, d, true, 4001), 4),
-                    bench::Fmt(MeasureBer(0, d, true, 4001), 4)});
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    std::vector<std::string> row = {bench::Fmt(distances[di], 1)};
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      row.push_back(bench::Fmt(bers[di * variants.size() + vi], 4));
+    }
+    rows.push_back(row);
   }
   bench::PrintTable({"distance(m)", "LOS fine", "LOS coarse", "blocked fine",
                      "blocked coarse"},

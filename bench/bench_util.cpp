@@ -1,7 +1,11 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <charconv>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace wearlock::bench {
@@ -49,6 +53,89 @@ std::string Fmt(double value, int precision) {
 
 void Banner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+namespace {
+
+std::size_t ParseCount(const char* s) {
+  std::size_t parsed = 0;
+  const auto result = std::from_chars(s, s + std::strlen(s), parsed);
+  if (result.ec != std::errc() || *result.ptr != '\0') {
+    std::fprintf(stderr, "bench: cannot parse count '%s'\n", s);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+BenchOptions ParseBenchArgs(int argc, char** argv, std::uint64_t base_seed) {
+  BenchOptions options;
+  options.base_seed = base_seed;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      options.threads = ParseCount(argv[++i]);
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      options.base_seed = ParseCount(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "bench: unknown flag '%s'\n"
+                   "usage: %s [--threads N] [--quick] [--seed S]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+SweepRunner::SweepRunner(const BenchOptions& options)
+    : options_(options),
+      registry_(obs::CurrentMetrics()),
+      executor_(options.threads) {}
+
+double SweepRunner::NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SweepRunner::PointTimerScope::PointTimerScope(SweepRunner* runner)
+    : runner_(runner), install_(runner->registry_), start_ms_(NowMs()) {}
+
+SweepRunner::PointTimerScope::~PointTimerScope() {
+  runner_->registry_->GetSeries("bench.sweep.point_ms")
+      .Observe(NowMs() - start_ms_);
+}
+
+void SweepRunner::StartBatch(std::size_t n_points) {
+  batch_points_ = n_points;
+  batch_start_ms_ = NowMs();
+}
+
+void SweepRunner::FinishBatch() {
+  const double total_ms = NowMs() - batch_start_ms_;
+  registry_->GetSeries("bench.sweep.total_ms").Observe(total_ms);
+  registry_->GetGauge("bench.sweep.threads")
+      .Set(static_cast<double>(thread_count()));
+}
+
+void SweepRunner::PrintTiming(const std::string& sweep_name) const {
+  const std::vector<double> totals =
+      registry_->SeriesValues("bench.sweep.total_ms");
+  const std::vector<double> points =
+      registry_->SeriesValues("bench.sweep.point_ms");
+  double total_ms = 0.0;
+  for (double t : totals) total_ms += t;
+  const dsp::Summary point_summary =
+      dsp::Summarize(points.empty() ? std::vector<double>{0.0} : points);
+  std::fprintf(stderr,
+               "[sweep] %s: %zu points on %zu threads, total %.1f ms "
+               "(mean point %.2f ms)\n",
+               sweep_name.c_str(), points.size(), thread_count(), total_ms,
+               point_summary.mean);
 }
 
 }  // namespace wearlock::bench

@@ -1,13 +1,20 @@
-// Shared helpers for the reproduction benches: aligned table printing and
-// common scenario setup. Each bench binary regenerates one paper
-// table/figure as text rows (shape reproduction, not absolute numbers).
+// Shared helpers for the reproduction benches: aligned table printing,
+// common scenario setup, and the parallel sweep engine every fig/abl
+// grid runs on. Each bench binary regenerates one paper table/figure as
+// text rows (shape reproduction, not absolute numbers).
+//
+// Output discipline: tables and paper commentary go to stdout; timing
+// and thread-count diagnostics go to stderr. That keeps stdout
+// byte-identical across thread counts, which CI pins with a diff.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "dsp/stats.h"
 #include "obs/metrics.h"
+#include "sim/executor.h"
 
 namespace wearlock::bench {
 
@@ -28,5 +35,112 @@ std::string Fmt(double value, int precision = 3);
 
 /// Section banner for bench output.
 void Banner(const std::string& title);
+
+/// The flags every bench binary accepts:
+///   --threads N   worker threads for the sweep engine (0 = default:
+///                 WEARLOCK_THREADS env var, else hardware_concurrency)
+///   --quick       smoke mode: 1 round per point, grids trimmed to 2
+///                 points per axis (the ctest `bench_smoke` label)
+///   --seed S      override the bench's base seed
+struct BenchOptions {
+  std::size_t threads = 0;
+  bool quick = false;
+  std::uint64_t base_seed = 0;
+
+  /// Rounds per point: 1 under --quick, else `full`.
+  int Rounds(int full) const { return quick ? 1 : full; }
+
+  /// Grid axis: first 2 entries under --quick, else the whole axis.
+  template <typename T>
+  std::vector<T> Trim(std::vector<T> axis) const {
+    if (quick && axis.size() > 2) axis.resize(2);
+    return axis;
+  }
+};
+
+/// Parse the shared bench flags. Unknown flags print usage to stderr and
+/// exit(2) so typos cannot silently run the wrong experiment.
+BenchOptions ParseBenchArgs(int argc, char** argv, std::uint64_t base_seed);
+
+/// SweepRunner: fan a bench's independent grid points out across a
+/// sim::ParallelExecutor, time every point into an obs metrics registry,
+/// and hand the results back in index order for ordered table emission.
+///
+/// Determinism contract (inherited from the executor): each point's fn
+/// sees only its TaskContext (index + private Rng forked from the base
+/// seed), so the result vector - and any table printed from it - is
+/// byte-identical for any --threads value.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const BenchOptions& options);
+
+  /// Run fn(TaskContext&) over n_points grid points. Per-point wall time
+  /// lands in the "bench.sweep.point_ms" Series and the batch total in
+  /// "bench.sweep.total_ms"; the current metrics registry (and so any
+  /// library WL_* instrumentation) is installed on the workers for the
+  /// duration of each point.
+  template <typename Fn>
+  auto Run(std::size_t n_points, Fn&& fn) {
+    StartBatch(n_points);
+    auto results =
+        executor_.Map(n_points, options_.base_seed, [&](sim::TaskContext& ctx) {
+          const PointTimerScope timer(this);
+          return fn(ctx);
+        });
+    FinishBatch();
+    return results;
+  }
+
+  /// Grid flavour of Run(): row-major fn(GridPoint, Rng&) with the same
+  /// per-point timing.
+  template <typename Fn>
+  auto RunGrid(std::size_t n_rows, std::size_t n_cols, Fn&& fn) {
+    StartBatch(n_rows * n_cols);
+    auto results = executor_.RunGrid(
+        n_rows, n_cols, options_.base_seed,
+        [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+          const PointTimerScope timer(this);
+          return fn(point, rng);
+        });
+    FinishBatch();
+    return results;
+  }
+
+  /// Print "<name>: N points on T threads, total X ms (mean point Y ms)"
+  /// to stderr, reading the timings back from the metrics registry (the
+  /// acceptance path for wall-clock comparisons across --threads).
+  void PrintTiming(const std::string& sweep_name) const;
+
+  std::size_t thread_count() const { return executor_.thread_count(); }
+  const BenchOptions& options() const { return options_; }
+  obs::MetricsRegistry& metrics() { return *registry_; }
+  sim::ParallelExecutor& executor() { return executor_; }
+
+ private:
+  /// RAII: installs the runner's registry on the worker thread and
+  /// records the point's wall time into it.
+  class PointTimerScope {
+   public:
+    explicit PointTimerScope(SweepRunner* runner);
+    ~PointTimerScope();
+    PointTimerScope(const PointTimerScope&) = delete;
+    PointTimerScope& operator=(const PointTimerScope&) = delete;
+
+   private:
+    SweepRunner* runner_;
+    obs::ScopedMetricsRegistry install_;
+    double start_ms_;
+  };
+
+  void StartBatch(std::size_t n_points);
+  void FinishBatch();
+  static double NowMs();
+
+  BenchOptions options_;
+  obs::MetricsRegistry* registry_;  // the caller's current registry
+  sim::ParallelExecutor executor_;
+  double batch_start_ms_ = 0.0;
+  std::size_t batch_points_ = 0;
+};
 
 }  // namespace wearlock::bench

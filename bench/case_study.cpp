@@ -20,8 +20,6 @@ namespace {
 using namespace wearlock;
 using namespace wearlock::protocol;
 
-constexpr int kAttempts = 10;
-
 struct Participant {
   const char* label;
   double distance_m;
@@ -29,7 +27,7 @@ struct Participant {
   bool relax_nlos;  // allow the NLOS-relaxed BER path
 };
 
-int RunParticipant(const Participant& p, std::uint64_t seed) {
+int RunParticipant(const Participant& p, std::uint64_t seed, int attempts) {
   ScenarioConfig config = ScenarioConfig::Config1();
   config.seed = seed;
   config.scene.environment = audio::Environment::kClassroom;
@@ -40,7 +38,7 @@ int RunParticipant(const Participant& p, std::uint64_t seed) {
 
   UnlockSession session(config);
   int ok = 0;
-  for (int i = 0; i < kAttempts; ++i) {
+  for (int i = 0; i < attempts; ++i) {
     session.keyguard().Relock();
     // A locked-out keyguard would stall the rest of the participant's
     // attempts; the study let participants retry, so clear lockouts.
@@ -67,7 +65,10 @@ audio::PropagationSpec CoveredSpeaker() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/5150);
+  const int kAttempts = options.Rounds(10);
   bench::Banner("Case study: five participants, 10 attempts each (classroom)");
 
   const std::vector<Participant> participants = {
@@ -86,8 +87,9 @@ int main() {
   int final_total = 0, final_n = 0;
   std::uint64_t seed = 5150;
   for (const auto& p : participants) {
-    const int ok = RunParticipant(p, seed++);
-    rows.push_back({p.label, std::to_string(ok) + "/10"});
+    const int ok = RunParticipant(p, seed++, kAttempts);
+    rows.push_back(
+        {p.label, std::to_string(ok) + "/" + std::to_string(kAttempts)});
     // The paper's final average counts P1b and the corrected P3.
     const std::string label = p.label;
     if (label.find("covered") == std::string::npos &&

@@ -21,25 +21,27 @@
 namespace {
 using namespace wearlock;
 
-constexpr int kReps = 20;
-
-/// Run `kernel` kReps times under a private metrics registry and return
+/// Run `kernel` `reps` times under a private metrics registry and return
 /// the median of the host-ms series the modem's own instrumentation
 /// recorded. Falls back to direct stopwatch timing when the tree was
 /// built with WEARLOCK_OBS=OFF (no series samples).
 template <typename Kernel>
-sim::Millis MeasureKernel(const std::string& series, Kernel&& kernel) {
+sim::Millis MeasureKernel(const std::string& series, int reps,
+                          Kernel&& kernel) {
   obs::MetricsRegistry registry;
   obs::ScopedMetricsRegistry install(&registry);
-  for (int i = 0; i < kReps; ++i) kernel();
+  for (int i = 0; i < reps; ++i) kernel();
   const std::vector<double> values = registry.SeriesValues(series);
-  if (values.empty()) return sim::TimeHostMedianMs(kernel, kReps);
+  if (values.empty()) return sim::TimeHostMedianMs(kernel, reps);
   return dsp::Summarize(values).median;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/1010);
+  const int kReps = options.quick ? 3 : 20;
   bench::Banner("Figure 10: computation delay per phase per device (20 reps)");
 
   sim::Rng rng(1010);
@@ -56,12 +58,13 @@ int main() {
   const modem::PreambleDetector detector(modem.spec());
 
   const sim::Millis probe_host = MeasureKernel(
-      "modem.probe_analysis.host_ms",
+      "modem.probe_analysis.host_ms", kReps,
       [&] { (void)modem.AnalyzeProbe(probe_rx.recording); });
-  const sim::Millis preproc_host = MeasureKernel(
-      "modem.sync.host_ms", [&] { (void)detector.Detect(data_rx.recording); });
+  const sim::Millis preproc_host =
+      MeasureKernel("modem.sync.host_ms", kReps,
+                    [&] { (void)detector.Detect(data_rx.recording); });
   const sim::Millis demod_host =
-      MeasureKernel("modem.demod.host_ms", [&] {
+      MeasureKernel("modem.demod.host_ms", kReps, [&] {
         (void)modem.Demodulate(data_rx.recording, modem::Modulation::kQpsk,
                                bits.size());
       });

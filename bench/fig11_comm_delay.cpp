@@ -12,7 +12,6 @@
 namespace {
 using namespace wearlock;
 
-constexpr int kReps = 20;
 // A typical phase recording: ~0.9 s of 16-bit 44.1 kHz mono.
 constexpr std::size_t kFileBytes = 80'000;
 
@@ -25,7 +24,10 @@ std::vector<std::string> Row(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/1111);
+  const int kReps = options.Rounds(20);
   bench::Banner("Figure 11: communication delay (20 reps each)");
 
   sim::Rng rng(1111);

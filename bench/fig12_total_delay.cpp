@@ -17,14 +17,13 @@ namespace {
 using namespace wearlock;
 using namespace wearlock::protocol;
 
-constexpr int kRounds = 20;
-
-dsp::Summary MeasureConfig(ScenarioConfig config, std::uint64_t seed) {
+dsp::Summary MeasureConfig(ScenarioConfig config, std::uint64_t seed,
+                           int rounds) {
   config.seed = seed;
   config.scene.distance_m = 0.3;
   UnlockSession session(config);
   std::vector<double> totals;
-  for (int i = 0; i < kRounds; ++i) {
+  for (int i = 0; i < rounds; ++i) {
     session.keyguard().Relock();
     const auto report = session.Attempt();
     if (report.unlocked) totals.push_back(report.timings.total_ms());
@@ -38,12 +37,15 @@ dsp::Summary MeasureConfig(ScenarioConfig config, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/121);
+  const int kRounds = options.Rounds(20);
   bench::Banner("Figure 12: total unlock delay vs manual PIN entry (20 rounds)");
 
-  const auto c1 = MeasureConfig(ScenarioConfig::Config1(), 121);
-  const auto c2 = MeasureConfig(ScenarioConfig::Config2(), 122);
-  const auto c3 = MeasureConfig(ScenarioConfig::Config3(), 123);
+  const auto c1 = MeasureConfig(ScenarioConfig::Config1(), 121, kRounds);
+  const auto c2 = MeasureConfig(ScenarioConfig::Config2(), 122, kRounds);
+  const auto c3 = MeasureConfig(ScenarioConfig::Config3(), 123, kRounds);
 
   sim::Rng rng(124);
   PinEntryModel pin;

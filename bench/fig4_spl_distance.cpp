@@ -25,10 +25,14 @@ audio::Samples ProbeTone(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/42);
   bench::Banner("Figure 4: receiver SPL vs distance per volume (LOS, quiet room)");
-  const std::vector<double> volumes = {0.125, 0.25, 0.5, 1.0};
-  const std::vector<double> distances = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2};
+  const std::vector<double> volumes =
+      options.Trim(std::vector<double>{0.125, 0.25, 0.5, 1.0});
+  const std::vector<double> distances =
+      options.Trim(std::vector<double>{0.1, 0.2, 0.4, 0.8, 1.6, 3.2});
 
   std::vector<std::string> header = {"volume"};
   for (double d : distances) header.push_back(bench::Fmt(d, 1) + " m");

@@ -7,9 +7,12 @@
 //
 // Here: the channel's white-noise SPL sweeps a wide range; Eb/N0 is the
 // modem's own pilot-SNR-based estimate (Eq. 3), exactly what the adaptive
-// controller consumes at runtime.
+// controller consumes at runtime. The (modulation x noise) grid runs on
+// bench::SweepRunner: every cell is an independent task seeded from its
+// grid index, so the table is byte-identical for any --threads value.
+#include <cmath>
 #include <cstdio>
-#include <map>
+#include <optional>
 #include <vector>
 
 #include "audio/medium.h"
@@ -24,77 +27,86 @@ namespace {
 using namespace wearlock;
 
 struct Point {
-  double ebn0_db;
-  double ber;
+  double ebn0_db = 0.0;
+  double ber = 0.0;
 };
 
-constexpr int kRoundsPerPoint = 12;
 constexpr std::size_t kBitsPerRound = 192;
 
-std::vector<Point> MeasureCurve(modem::Modulation m,
-                                const std::vector<double>& noise_spls,
-                                std::uint64_t seed) {
-  std::vector<Point> points;
-  for (double noise_spl : noise_spls) {
-    sim::Rng rng(seed + static_cast<std::uint64_t>(noise_spl * 10));
-    modem::AcousticModem modem;
-    audio::ChannelConfig cfg;
-    cfg.distance_m = 0.3;
-    audio::NoiseProfile white;
-    white.spl_db = noise_spl;
-    white.lowpass_hz = 0.0;       // unshaped white noise
-    white.broadband_mix = 1.0;
-    white.tone_mix = 0.0;
-    cfg.custom_noise = white;
-    audio::AcousticChannel channel(cfg, rng.Fork());
+std::optional<Point> MeasurePoint(modem::Modulation m, double noise_spl,
+                                  int rounds, sim::Rng& rng) {
+  modem::AcousticModem modem;
+  audio::ChannelConfig cfg;
+  cfg.distance_m = 0.3;
+  audio::NoiseProfile white;
+  white.spl_db = noise_spl;
+  white.lowpass_hz = 0.0;       // unshaped white noise
+  white.broadband_mix = 1.0;
+  white.tone_mix = 0.0;
+  cfg.custom_noise = white;
+  audio::AcousticChannel channel(cfg, rng.Fork());
 
-    std::size_t errors = 0, total = 0;
-    double psnr_acc = 0.0;
-    int psnr_n = 0;
-    for (int r = 0; r < kRoundsPerPoint; ++r) {
-      std::vector<std::uint8_t> bits(kBitsPerRound);
-      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
-      const auto tx = modem.Modulate(m, bits);
-      const auto rx = channel.Transmit(tx.samples, 0.5);
-      const auto res = modem.Demodulate(rx.recording, m, bits.size());
-      if (!res) {
-        errors += bits.size() / 2;  // undetected frame ~ coin-flip bits
-        total += bits.size();
-        continue;
-      }
-      errors += modem::CountBitErrors(res->bits, bits);
+  std::size_t errors = 0, total = 0;
+  double psnr_acc = 0.0;
+  int psnr_n = 0;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::uint8_t> bits(kBitsPerRound);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+    const auto tx = modem.Modulate(m, bits);
+    const auto rx = channel.Transmit(tx.samples, 0.5);
+    const auto res = modem.Demodulate(rx.recording, m, bits.size());
+    if (!res) {
+      errors += bits.size() / 2;  // undetected frame ~ coin-flip bits
       total += bits.size();
-      psnr_acc += res->mean_pilot_snr_db;
-      ++psnr_n;
+      continue;
     }
-    if (psnr_n == 0) continue;
-    const double snr_db = psnr_acc / psnr_n;
-    points.push_back(
-        {modem::EbN0Db(modem.spec(), m, snr_db),
-         total > 0 ? static_cast<double>(errors) / static_cast<double>(total)
-                   : 1.0});
+    errors += modem::CountBitErrors(res->bits, bits);
+    total += bits.size();
+    psnr_acc += res->mean_pilot_snr_db;
+    ++psnr_n;
   }
-  return points;
+  if (psnr_n == 0) return std::nullopt;
+  const double snr_db = psnr_acc / psnr_n;
+  return Point{modem::EbN0Db(modem.spec(), m, snr_db),
+               total > 0
+                   ? static_cast<double>(errors) / static_cast<double>(total)
+                   : 1.0};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/1234);
   bench::Banner("Figure 5: BER vs Eb/N0 per modulation (white-noise channel)");
-  const std::vector<double> noise_spls = {20, 35, 42, 46, 50, 53,
-                                          56, 59, 62, 65, 68};
-  std::vector<std::string> header = {"Modulation"};
-  std::vector<std::vector<std::string>> rows;
+  const std::vector<double> noise_spls =
+      options.Trim(std::vector<double>{20, 35, 42, 46, 50, 53,
+                                       56, 59, 62, 65, 68});
+  const std::vector<modem::Modulation>& modulations = modem::AllModulations();
+  const int rounds = options.Rounds(12);
 
-  for (modem::Modulation m : modem::AllModulations()) {
-    const auto curve = MeasureCurve(m, noise_spls, 1234);
-    std::vector<std::string> row = {ToString(m)};
+  // One task per (modulation, noise) cell, row-major over modulations.
+  bench::SweepRunner runner(options);
+  const auto cells = runner.RunGrid(
+      modulations.size(), noise_spls.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        return MeasurePoint(modulations[point.row], noise_spls[point.col],
+                            rounds, rng);
+      });
+  runner.PrintTiming("fig5_ber_ebn0");
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t mi = 0; mi < modulations.size(); ++mi) {
+    std::vector<std::string> row = {ToString(modulations[mi])};
     std::vector<double> xs, ys;
-    for (const Point& p : curve) {
-      row.push_back(bench::Fmt(p.ebn0_db, 1) + "dB:" + bench::Fmt(p.ber, 4));
-      if (p.ber > 0.0 && p.ebn0_db > 0.0) {
-        xs.push_back(p.ebn0_db);
-        ys.push_back(std::log10(p.ber));
+    for (std::size_t ni = 0; ni < noise_spls.size(); ++ni) {
+      const auto& cell = cells[mi * noise_spls.size() + ni];
+      if (!cell) continue;
+      row.push_back(bench::Fmt(cell->ebn0_db, 1) + "dB:" +
+                    bench::Fmt(cell->ber, 4));
+      if (cell->ber > 0.0 && cell->ebn0_db > 0.0) {
+        xs.push_back(cell->ebn0_db);
+        ys.push_back(std::log10(cell->ber));
       }
     }
     rows.push_back(row);
@@ -102,7 +114,8 @@ int main() {
       // The paper's "logarithmic tread-line" fit, for reference.
       const auto fit = dsp::FitLinear(xs, ys);
       std::printf("%-6s log10(BER) ~= %.3f * EbN0_dB + %.2f (R^2=%.2f)\n",
-                  ToString(m).c_str(), fit.slope, fit.intercept, fit.r_squared);
+                  ToString(modulations[mi]).c_str(), fit.slope, fit.intercept,
+                  fit.r_squared);
     }
   }
   std::vector<std::string> full_header = {"Modulation"};

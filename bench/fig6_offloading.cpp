@@ -18,11 +18,12 @@
 namespace {
 using namespace wearlock;
 
-constexpr int kRounds = 50;
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/4242);
+  const int kRounds = options.Rounds(50);
   bench::Banner(
       "Figure 6: offloading vs local processing on the watch (50 rounds)");
 

@@ -5,7 +5,12 @@
 // The near-ultrasound 15-20 kHz band models the phone-phone pair (the
 // watch's 7 kHz low-pass rules it out for phone-watch), so the receiver
 // here uses a full-band phone microphone.
+//
+// The (distance x mode) grid runs on bench::SweepRunner; CI diffs the
+// stdout of --threads 1 vs --threads N runs to pin the determinism
+// contract (tools/ci.sh).
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -15,11 +20,10 @@
 namespace {
 using namespace wearlock;
 
-constexpr int kRounds = 10;
 constexpr std::size_t kBits = 192;
 
-double MeasureBer(modem::Modulation m, double distance, std::uint64_t seed) {
-  sim::Rng rng(seed);
+double MeasureBer(modem::Modulation m, double distance, int rounds,
+                  sim::Rng& rng) {
   modem::FrameSpec spec;
   spec.plan = modem::SubchannelPlan::NearUltrasound();
   modem::AcousticModem modem(spec);
@@ -36,7 +40,7 @@ double MeasureBer(modem::Modulation m, double distance, std::uint64_t seed) {
       modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
 
   std::size_t errors = 0, total = 0;
-  for (int r = 0; r < kRounds; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     std::vector<std::uint8_t> bits(kBits);
     for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
     const auto tx = modem.Modulate(m, bits);
@@ -55,18 +59,32 @@ double MeasureBer(modem::Modulation m, double distance, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/555);
   bench::Banner(
       "Figure 7: BER vs distance per transmission mode (near-ultrasound)");
-  const std::vector<double> distances = {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+  const std::vector<double> distances =
+      options.Trim(std::vector<double>{0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0});
+  const std::vector<modem::Modulation>& modes = modem::WearlockModes();
+  const int rounds = options.Rounds(10);
+
   std::vector<std::string> header = {"distance(m)"};
-  for (auto m : modem::WearlockModes()) header.push_back(ToString(m));
+  for (auto m : modes) header.push_back(ToString(m));
+
+  bench::SweepRunner runner(options);
+  const auto bers = runner.RunGrid(
+      distances.size(), modes.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        return MeasureBer(modes[point.col], distances[point.row], rounds, rng);
+      });
+  runner.PrintTiming("fig7_ber_distance");
 
   std::vector<std::vector<std::string>> rows;
-  for (double d : distances) {
-    std::vector<std::string> row = {bench::Fmt(d, 2)};
-    for (auto m : modem::WearlockModes()) {
-      row.push_back(bench::Fmt(MeasureBer(m, d, 555), 4));
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    std::vector<std::string> row = {bench::Fmt(distances[di], 2)};
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+      row.push_back(bench::Fmt(bers[di * modes.size() + mi], 4));
     }
     rows.push_back(row);
   }

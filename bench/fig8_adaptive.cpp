@@ -4,8 +4,10 @@
 // Each transmission first probes the channel; the controller then picks
 // the highest-order mode whose measured requirement fits, so the
 // realized BER stays under the constraint while eavesdroppers farther
-// out see the signal collapse.
+// out see the signal collapse. The (distance x constraint) grid runs in
+// parallel on bench::SweepRunner with per-cell seeding.
 #include <cstdio>
+#include <vector>
 
 #include "audio/medium.h"
 #include "bench_util.h"
@@ -16,17 +18,16 @@
 namespace {
 using namespace wearlock;
 
-constexpr int kRounds = 10;
 constexpr std::size_t kBits = 192;
 
 struct Cell {
   double ber = 0.0;
   std::string mode = "-";
   int delivered = 0;
+  int rounds = 0;
 };
 
-Cell Measure(double max_ber, double distance, std::uint64_t seed) {
-  sim::Rng rng(seed);
+Cell Measure(double max_ber, double distance, int rounds, sim::Rng& rng) {
   modem::FrameSpec spec;
   spec.plan = modem::SubchannelPlan::NearUltrasound();
   modem::AcousticModem modem(spec);
@@ -40,8 +41,9 @@ Cell Measure(double max_ber, double distance, std::uint64_t seed) {
       modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
 
   Cell cell;
+  cell.rounds = rounds;
   std::size_t errors = 0, total = 0;
-  for (int r = 0; r < kRounds; ++r) {
+  for (int r = 0; r < rounds; ++r) {
     // RTS/CTS probing phase.
     const auto probe_tx = modem.MakeProbeFrame();
     const auto probe_rx = channel.Transmit(probe_tx.samples, volume);
@@ -83,24 +85,40 @@ Cell Measure(double max_ber, double distance, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/777);
   bench::Banner(
       "Figure 8: BER vs distance, adaptive modulation under MaxBER "
       "constraints (near-ultrasound)");
-  const std::vector<double> constraints = {0.15, 0.10, 0.05};
-  const std::vector<double> distances = {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+  const std::vector<double> constraints =
+      options.Trim(std::vector<double>{0.15, 0.10, 0.05});
+  const std::vector<double> distances =
+      options.Trim(std::vector<double>{0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0});
+  const int rounds = options.Rounds(10);
 
   std::vector<std::string> header = {"distance(m)"};
   for (double c : constraints) {
     header.push_back("MaxBER=" + bench::Fmt(c, 2));
   }
+
+  bench::SweepRunner runner(options);
+  const auto cells = runner.RunGrid(
+      distances.size(), constraints.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
+        return Measure(constraints[point.col], distances[point.row], rounds,
+                       rng);
+      });
+  runner.PrintTiming("fig8_adaptive");
+
   std::vector<std::vector<std::string>> rows;
-  for (double d : distances) {
-    std::vector<std::string> row = {bench::Fmt(d, 2)};
-    for (double c : constraints) {
-      const Cell cell = Measure(c, d, 777);
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    std::vector<std::string> row = {bench::Fmt(distances[di], 2)};
+    for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+      const Cell& cell = cells[di * constraints.size() + ci];
       row.push_back(bench::Fmt(cell.ber, 4) + " (" + cell.mode + "," +
-                    std::to_string(cell.delivered) + "/10)");
+                    std::to_string(cell.delivered) + "/" +
+                    std::to_string(cell.rounds) + ")");
     }
     rows.push_back(row);
   }

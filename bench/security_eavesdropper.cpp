@@ -18,11 +18,12 @@
 namespace {
 using namespace wearlock;
 
-constexpr int kRounds = 10;
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/2718);
+  const int kRounds = options.Rounds(10);
   bench::Banner("Security: legitimate vs eavesdropper BER on the same "
                 "emission (office)");
 
@@ -55,7 +56,9 @@ int main() {
               ToString(*mode).c_str(), probe->pilot_snr_db);
 
   std::vector<std::vector<std::string>> rows;
-  for (double eaves_d : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+  const std::vector<double> eaves_distances =
+      options.Trim(std::vector<double>{0.5, 1.0, 1.5, 2.0, 3.0});
+  for (double eaves_d : eaves_distances) {
     std::size_t legit_err = 0, eaves_err = 0, total = 0;
     for (int r = 0; r < kRounds; ++r) {
       std::vector<std::uint8_t> bits(96);

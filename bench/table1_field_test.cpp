@@ -17,16 +17,15 @@ namespace {
 using namespace wearlock;
 using namespace wearlock::protocol;
 
-constexpr int kRounds = 8;
-
 struct CellResult {
   double mean_ber = 0.0;
   std::string mode = "-";
   int delivered = 0;
+  int rounds = 0;
 };
 
 CellResult RunCell(audio::Environment env, bool same_hand, bool audible,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, int rounds) {
   ScenarioConfig config = ScenarioConfig::Config1();
   config.seed = seed;
   // Table I is a measurement campaign: the paper reports the BER of the
@@ -50,9 +49,10 @@ CellResult RunCell(audio::Environment env, bool same_hand, bool audible,
 
   UnlockSession session(config);
   CellResult cell;
+  cell.rounds = rounds;
   double ber_acc = 0.0;
   std::map<std::string, int> modes;
-  for (int i = 0; i < kRounds; ++i) {
+  for (int i = 0; i < rounds; ++i) {
     session.keyguard().Relock();
     const auto report = session.Attempt();
     if (report.token_ber <= 1.0 && report.mode) {
@@ -76,11 +76,15 @@ CellResult RunCell(audio::Environment env, bool same_hand, bool audible,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/9000);
+  const int rounds = options.Rounds(8);
   bench::Banner("Table I: field test BER by location / hand / band");
-  const std::vector<audio::Environment> envs = {
-      audio::Environment::kOffice, audio::Environment::kClassroom,
-      audio::Environment::kCafe, audio::Environment::kGroceryStore};
+  const std::vector<audio::Environment> envs = options.Trim(
+      std::vector<audio::Environment>{
+          audio::Environment::kOffice, audio::Environment::kClassroom,
+          audio::Environment::kCafe, audio::Environment::kGroceryStore});
 
   std::vector<std::string> header = {"BER vs Locations"};
   for (auto env : envs) header.push_back(audio::ToString(env));
@@ -104,10 +108,12 @@ int main() {
   for (const auto& spec : specs) {
     std::vector<std::string> row = {spec.label};
     for (auto env : envs) {
-      const CellResult cell = RunCell(env, spec.same_hand, spec.audible, seed++);
+      const CellResult cell =
+          RunCell(env, spec.same_hand, spec.audible, seed++, rounds);
       if (cell.delivered > 0) {
         row.push_back(bench::Fmt(cell.mean_ber, 4) + "(" + cell.mode + "," +
-                      std::to_string(cell.delivered) + "/8)");
+                      std::to_string(cell.delivered) + "/" +
+                      std::to_string(cell.rounds) + ")");
         grand_acc += cell.mean_ber;
         ++grand_n;
       } else {

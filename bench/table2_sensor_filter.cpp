@@ -17,12 +17,12 @@ namespace {
 using namespace wearlock;
 using namespace wearlock::sensors;
 
-constexpr int kTrials = 25;
 constexpr std::size_t kSamples = 100;  // paper: traces of 50-150 samples
 
-double MeanScore(MotionSimulator& sim, bool co_located, Activity activity) {
+double MeanScore(MotionSimulator& sim, bool co_located, Activity activity,
+                 int trials) {
   double acc = 0.0;
-  for (int i = 0; i < kTrials; ++i) {
+  for (int i = 0; i < trials; ++i) {
     const MotionPair pair =
         co_located ? sim.CoLocatedPair(activity, kSamples)
                    : sim.IndependentPair(activity,
@@ -32,25 +32,29 @@ double MeanScore(MotionSimulator& sim, bool co_located, Activity activity) {
                                          kSamples);
     acc += SensorBasedFilter(pair.phone, pair.watch).score;
   }
-  return acc / kTrials;
+  return acc / trials;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/2222);
+  const int trials = options.Rounds(25);
   bench::Banner("Table II: sensor-based filtering (DTW scores + cost)");
 
   MotionSimulator sim(sim::Rng(2222));
-  const double sitting = MeanScore(sim, true, Activity::kSitting);
-  const double walking = MeanScore(sim, true, Activity::kWalking);
-  const double running = MeanScore(sim, true, Activity::kRunning);
-  const double different = MeanScore(sim, false, Activity::kWalking);
+  const double sitting = MeanScore(sim, true, Activity::kSitting, trials);
+  const double walking = MeanScore(sim, true, Activity::kWalking, trials);
+  const double running = MeanScore(sim, true, Activity::kRunning, trials);
+  const double different = MeanScore(sim, false, Activity::kWalking, trials);
 
   // Filter cost: the full Algorithm 1 pipeline (magnitude, smoothing,
   // normalization, DTW) timed on the host, scaled to the Moto 360.
   const MotionPair pair = sim.CoLocatedPair(Activity::kWalking, kSamples);
   const double host_ms = sim::TimeHostMedianMs(
-      [&] { (void)SensorBasedFilter(pair.phone, pair.watch); }, 30);
+      [&] { (void)SensorBasedFilter(pair.phone, pair.watch); },
+      options.quick ? 3 : 30);
   const double watch_ms =
       sim::DeviceProfile::Moto360().ScaleCompute(host_ms);
 

@@ -1,0 +1,29 @@
+#include "dsp/checksum.h"
+
+#include <bit>
+
+namespace wearlock::dsp {
+
+std::uint64_t Fnv1a64(const void* data, std::size_t n, std::uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= bytes[i];
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+std::uint64_t ChecksumDoubles(const std::vector<double>& values) {
+  std::uint64_t state = kFnv1aOffset;
+  for (double v : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    state = Fnv1a64(&bits, sizeof(bits), state);
+  }
+  return state;
+}
+
+std::uint64_t ChecksumBytes(const std::vector<std::uint8_t>& bytes) {
+  return bytes.empty() ? kFnv1aOffset : Fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace wearlock::dsp

@@ -1,0 +1,30 @@
+// FNV-1a content checksums for golden-vector regression tests.
+//
+// Not cryptographic: the point is a cheap, stable fingerprint of exact
+// numeric content so silent DSP drift (a changed window, a reordered
+// accumulation, a different rounding path) fails a test instead of
+// quietly shifting a bench table. Doubles are hashed by their IEEE-754
+// bit patterns, so a checksum match means bit-exact equality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wearlock::dsp {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ull;
+
+/// Fold `n` raw bytes into a running FNV-1a state.
+std::uint64_t Fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t state = kFnv1aOffset);
+
+/// Checksum of a double vector's exact bit patterns (little-endian
+/// per-value byte order, matching this platform's memory layout).
+std::uint64_t ChecksumDoubles(const std::vector<double>& values);
+
+/// Checksum of a byte vector (e.g. demodulated 0/1 bit values).
+std::uint64_t ChecksumBytes(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace wearlock::dsp

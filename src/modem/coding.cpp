@@ -191,4 +191,40 @@ std::vector<std::uint8_t> DecodeSoft(CodeScheme scheme,
   throw std::invalid_argument("DecodeSoft: unknown scheme");
 }
 
+namespace {
+
+/// Read order of the depth-column block interleaver: all indices
+/// congruent to 0 mod depth (in ascending order), then 1 mod depth, ...
+std::vector<std::size_t> InterleavePermutation(std::size_t n,
+                                               std::size_t depth) {
+  std::vector<std::size_t> perm;
+  perm.reserve(n);
+  for (std::size_t column = 0; column < depth; ++column) {
+    for (std::size_t i = column; i < n; i += depth) perm.push_back(i);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Interleave(const std::vector<std::uint8_t>& bits,
+                                     std::size_t depth) {
+  if (depth <= 1 || bits.size() <= depth) return bits;
+  const std::vector<std::size_t> perm =
+      InterleavePermutation(bits.size(), depth);
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) out[k] = bits[perm[k]];
+  return out;
+}
+
+std::vector<std::uint8_t> Deinterleave(const std::vector<std::uint8_t>& bits,
+                                       std::size_t depth) {
+  if (depth <= 1 || bits.size() <= depth) return bits;
+  const std::vector<std::size_t> perm =
+      InterleavePermutation(bits.size(), depth);
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) out[perm[k]] = bits[k];
+  return out;
+}
+
 }  // namespace wearlock::modem

@@ -46,4 +46,18 @@ std::size_t EncodedLength(CodeScheme scheme, std::size_t n_payload_bits);
 std::vector<std::uint8_t> DecodeSoft(CodeScheme scheme,
                                      const std::vector<double>& llrs);
 
+/// Block interleaver: the permutation that writes input bits row-major
+/// into a `depth`-column matrix and reads it column-major, defined
+/// directly on the index set so ANY length round-trips exactly (no
+/// padding). A burst of adjacent on-air errors deinterleaves to coded
+/// positions exactly `depth` apart, so with depth >= the code's block
+/// length at most one burst error lands in each codeword. depth <= 1
+/// (or >= n) degenerates to the identity.
+std::vector<std::uint8_t> Interleave(const std::vector<std::uint8_t>& bits,
+                                     std::size_t depth);
+
+/// Exact inverse of Interleave for the same depth.
+std::vector<std::uint8_t> Deinterleave(const std::vector<std::uint8_t>& bits,
+                                       std::size_t depth);
+
 }  // namespace wearlock::modem

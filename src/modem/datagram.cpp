@@ -25,6 +25,26 @@ std::uint16_t BitsU16(const std::vector<std::uint8_t>& bits, std::size_t at) {
   return v;
 }
 
+/// Interleave (or undo) the coded bits past the header block. The
+/// header's coded prefix must stay in place: pass 1 of ReceiveDatagram
+/// decodes it before the payload length (and thus the interleaved
+/// span's extent) is known.
+std::vector<std::uint8_t> MapBody(const std::vector<std::uint8_t>& coded,
+                                  const DatagramConfig& config,
+                                  std::size_t header_coded, bool inverse) {
+  if (config.interleave_depth <= 1 || coded.size() <= header_coded) {
+    return coded;
+  }
+  std::vector<std::uint8_t> out(coded.begin(),
+                                coded.begin() + static_cast<long>(header_coded));
+  const std::vector<std::uint8_t> body(
+      coded.begin() + static_cast<long>(header_coded), coded.end());
+  const auto mapped = inverse ? Deinterleave(body, config.interleave_depth)
+                              : Interleave(body, config.interleave_depth);
+  out.insert(out.end(), mapped.begin(), mapped.end());
+  return out;
+}
+
 }  // namespace
 
 std::uint16_t Crc16(const std::vector<std::uint8_t>& bytes) {
@@ -74,7 +94,10 @@ TxFrame SendDatagram(const AcousticModem& modem, const DatagramConfig& config,
   bits.insert(bits.end(), payload_bits.begin(), payload_bits.end());
   const auto crc_bits = U16Bits(Crc16(payload));
   bits.insert(bits.end(), crc_bits.begin(), crc_bits.end());
-  return modem.Modulate(config.modulation, Encode(config.code, bits));
+  const auto coded = MapBody(Encode(config.code, bits), config,
+                             EncodedLength(config.code, kHeaderBits),
+                             /*inverse=*/false);
+  return modem.Modulate(config.modulation, coded);
 }
 
 std::optional<DatagramResult> ReceiveDatagram(const AcousticModem& modem,
@@ -97,7 +120,8 @@ std::optional<DatagramResult> ReceiveDatagram(const AcousticModem& modem,
   const auto demod =
       modem.Demodulate(recording, config.modulation, total_coded);
   if (!demod) return std::nullopt;
-  auto plain = Decode(config.code, demod->bits);
+  auto plain = Decode(
+      config.code, MapBody(demod->bits, config, header_coded, /*inverse=*/true));
   if (plain.size() < total_plain) return std::nullopt;
 
   DatagramResult result;

@@ -30,6 +30,10 @@ struct DatagramConfig {
   CodeScheme code = CodeScheme::kHamming74;
   /// Max accepted payload (guards the length field against corruption).
   std::size_t max_payload_bytes = 256;
+  /// > 1 block-interleaves the coded payload+CRC (the header stays in
+  /// place so the two-pass length decode still works), spreading an
+  /// on-air error burst across code blocks. 1 = off.
+  std::size_t interleave_depth = 1;
 };
 
 /// Frame a payload into an acoustic waveform.

@@ -1,0 +1,57 @@
+#include "modem/golden.h"
+
+#include <cstdio>
+
+#include "dsp/checksum.h"
+#include "sim/rng.h"
+
+namespace wearlock::modem {
+
+GoldenVector ComputeGoldenVector(Modulation m, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> bits(kGoldenBits);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+
+  const AcousticModem modem;
+  const TxFrame tx = modem.Modulate(m, bits);
+
+  GoldenVector golden;
+  golden.modulation = m;
+  golden.waveform_fnv = dsp::ChecksumDoubles(tx.samples);
+  golden.n_samples = tx.samples.size();
+
+  // Clean loopback: the transmitted waveform fed straight back, no
+  // channel. Any modulation must survive its own TX path bit-exactly.
+  const auto rx = modem.Demodulate(tx.samples, m, bits.size());
+  golden.demodulated = rx.has_value();
+  if (rx) golden.bits_fnv = dsp::ChecksumBytes(rx->bits);
+  return golden;
+}
+
+namespace {
+
+const char* EnumeratorName(Modulation m) {
+  switch (m) {
+    case Modulation::kBask: return "kBask";
+    case Modulation::kQask: return "kQask";
+    case Modulation::kBpsk: return "kBpsk";
+    case Modulation::kQpsk: return "kQpsk";
+    case Modulation::k8Psk: return "k8Psk";
+    case Modulation::k16Qam: return "k16Qam";
+  }
+  return "kQpsk";
+}
+
+}  // namespace
+
+std::string FormatGoldenRow(const GoldenVector& golden) {
+  char row[128];
+  std::snprintf(row, sizeof(row),
+                "{Modulation::%s, 0x%016llXull, 0x%016llXull},",
+                EnumeratorName(golden.modulation),
+                static_cast<unsigned long long>(golden.waveform_fnv),
+                static_cast<unsigned long long>(golden.bits_fnv));
+  return row;
+}
+
+}  // namespace wearlock::modem

@@ -1,0 +1,39 @@
+// Golden-vector generation for the modem regression test.
+//
+// One canonical procedure, shared by tests/modem_golden_test.cpp (which
+// pins its outputs) and `wearlock_modem_cli --regen-golden` (which
+// reprints them after an intentional DSP change): deterministic payload
+// bits from sim::Rng, a clean loopback through Modulate -> Demodulate,
+// FNV-1a checksums of the exact waveform samples and recovered bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "modem/modem.h"
+
+namespace wearlock::modem {
+
+struct GoldenVector {
+  Modulation modulation = Modulation::kQpsk;
+  std::uint64_t waveform_fnv = 0;  ///< bit-pattern checksum of tx samples
+  std::uint64_t bits_fnv = 0;      ///< checksum of clean-loopback RX bits
+  std::size_t n_samples = 0;
+  bool demodulated = false;  ///< clean loopback must always demodulate
+};
+
+/// Payload length of the golden frames (bits).
+inline constexpr std::size_t kGoldenBits = 192;
+
+/// The seed the committed golden table and --regen-golden both use.
+inline constexpr std::uint64_t kGoldenSeed = 0x601D;
+
+/// Compute the golden vector for one modulation on the default audible
+/// FrameSpec. `seed` pins the payload bit pattern.
+GoldenVector ComputeGoldenVector(Modulation m, std::uint64_t seed);
+
+/// One pasteable C++ table row, the --regen-golden output format:
+///   {Modulation::kQpsk, 0x1234567890ABCDEFull, 0xFEDCBA0987654321ull},
+std::string FormatGoldenRow(const GoldenVector& golden);
+
+}  // namespace wearlock::modem

@@ -128,5 +128,105 @@ TEST(Datagram, NoFrameInSilence) {
   EXPECT_FALSE(ReceiveDatagram(modem, config, silence).has_value());
 }
 
+// Property: any (payload, modulation, code, interleave depth) combination
+// survives a clean loopback - the TX waveform fed straight back into the
+// receiver - with crc_ok and a bit-exact payload. 120 random cases.
+TEST(DatagramProperty, CleanLoopbackRoundTripIdentity) {
+  sim::Rng rng(8600);
+  AcousticModem modem;
+  const std::vector<Modulation>& mods = AllModulations();
+  const std::vector<CodeScheme> codes = {
+      CodeScheme::kNone, CodeScheme::kHamming74, CodeScheme::kRepetition3};
+
+  for (int trial = 0; trial < 120; ++trial) {
+    DatagramConfig config;
+    config.modulation =
+        mods[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<int>(mods.size()) - 1))];
+    config.code =
+        codes[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<int>(codes.size()) - 1))];
+    config.interleave_depth =
+        static_cast<std::size_t>(rng.UniformInt(1, 8));
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(rng.UniformInt(0, 24)));
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    }
+
+    const auto tx = SendDatagram(modem, config, payload);
+    const auto result = ReceiveDatagram(modem, config, tx.samples);
+    ASSERT_TRUE(result.has_value())
+        << "trial " << trial << " " << ToString(config.modulation)
+        << " code=" << ToString(config.code)
+        << " depth=" << config.interleave_depth
+        << " bytes=" << payload.size();
+    EXPECT_TRUE(result->crc_ok) << "trial " << trial;
+    EXPECT_EQ(result->payload, payload) << "trial " << trial;
+  }
+}
+
+// Property: a corrupted frame must never be reported as crc_ok with the
+// wrong payload - it is either lost, rejected, or decoded correctly
+// (codes may genuinely repair light damage). 120 random corruptions.
+TEST(DatagramProperty, CorruptedFramesNeverPassCrcSilently) {
+  sim::Rng rng(8700);
+  AcousticModem modem;
+
+  for (int trial = 0; trial < 120; ++trial) {
+    DatagramConfig config;
+    config.code = rng.Chance(0.5) ? CodeScheme::kNone : CodeScheme::kHamming74;
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(rng.UniformInt(4, 24)));
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    }
+    auto tx = SendDatagram(modem, config, payload);
+
+    // Smash a random contiguous chunk of the waveform (past the header
+    // region, so detection still has a chance) with strong noise.
+    const std::size_t n = tx.samples.size();
+    const std::size_t chunk = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<int>(n / 20), static_cast<int>(n / 4)));
+    const std::size_t start = static_cast<std::size_t>(rng.UniformInt(
+        static_cast<int>(n / 3), static_cast<int>(n - chunk - 1)));
+    for (std::size_t i = start; i < start + chunk; ++i) {
+      tx.samples[i] = rng.Gaussian(0.5);
+    }
+
+    const auto result = ReceiveDatagram(modem, config, tx.samples);
+    if (result && result->crc_ok) {
+      EXPECT_EQ(result->payload, payload)
+          << "trial " << trial << ": CRC passed on a corrupted frame with "
+          << "the wrong payload (silent corruption)";
+    }
+  }
+}
+
+// Property: the interleaver is transparent end-to-end - for the same
+// payload and seed-matched channels, any depth yields the same decoded
+// payload as depth 1 in clean conditions.
+TEST(DatagramProperty, InterleaveDepthIsTransparentOverCleanChannel) {
+  sim::Rng rng(8800);
+  AcousticModem modem;
+  const std::vector<std::uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF,
+                                             0x00, 0xFF, 0x42, 0x7A};
+  for (std::size_t depth : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    audio::ChannelConfig cfg;
+    cfg.distance_m = 0.3;
+    audio::AcousticChannel channel(cfg, sim::Rng(8801));
+
+    DatagramConfig config;
+    config.code = CodeScheme::kHamming74;
+    config.interleave_depth = depth;
+    const auto tx = SendDatagram(modem, config, payload);
+    const auto rx = channel.Transmit(tx.samples, 0.4);
+    const auto result = ReceiveDatagram(modem, config, rx.recording);
+    ASSERT_TRUE(result.has_value()) << "depth " << depth;
+    EXPECT_TRUE(result->crc_ok) << "depth " << depth;
+    EXPECT_EQ(result->payload, payload) << "depth " << depth;
+  }
+}
+
 }  // namespace
 }  // namespace wearlock::modem

@@ -1,0 +1,75 @@
+// Golden-vector regression test for the modem's TX/RX DSP chain.
+//
+// The committed table pins an FNV-1a checksum of the exact modulated
+// waveform (IEEE-754 bit patterns) and of the clean-loopback demodulated
+// bits, per modulation, at a fixed seed. Any change to windowing, pilot
+// values, constellation maps, CP handling, scaling, or the FFT shifts a
+// checksum and fails here - which is the point: DSP changes must be
+// intentional.
+//
+// To regenerate after an intentional change:
+//   wearlock_modem_cli --regen-golden
+// and paste the printed rows over kGolden below.
+#include <gtest/gtest.h>
+
+#include "modem/golden.h"
+
+namespace wearlock {
+namespace {
+
+using modem::Modulation;
+
+struct GoldenRow {
+  Modulation modulation;
+  std::uint64_t waveform_fnv;
+  std::uint64_t bits_fnv;
+};
+
+// seed 0x601D, 192 payload bits, clean loopback
+constexpr GoldenRow kGolden[] = {
+    {Modulation::kBask, 0xDF179D8C48E0C571ull, 0xF2CC34840DE541ADull},
+    {Modulation::kBpsk, 0x87850AA2550A3342ull, 0xF2CC34840DE541ADull},
+    {Modulation::kQask, 0x098FA2D67E7FBD69ull, 0xF2CC34840DE541ADull},
+    {Modulation::kQpsk, 0x548F49026D1E2DD0ull, 0xF2CC34840DE541ADull},
+    {Modulation::k8Psk, 0xB85F99844553C92Cull, 0xF2CC34840DE541ADull},
+    {Modulation::k16Qam, 0x8249816924183FCBull, 0xF2CC34840DE541ADull},
+};
+
+TEST(ModemGolden, WaveformAndLoopbackChecksumsMatchCommittedTable) {
+  for (const GoldenRow& row : kGolden) {
+    const auto golden =
+        modem::ComputeGoldenVector(row.modulation, modem::kGoldenSeed);
+    ASSERT_TRUE(golden.demodulated)
+        << ToString(row.modulation) << ": clean loopback failed to demodulate";
+    EXPECT_EQ(golden.waveform_fnv, row.waveform_fnv)
+        << ToString(row.modulation)
+        << ": modulated waveform changed; if intentional, run "
+           "`wearlock_modem_cli --regen-golden` and update this table";
+    EXPECT_EQ(golden.bits_fnv, row.bits_fnv)
+        << ToString(row.modulation)
+        << ": clean-loopback demodulated bits changed; if intentional, run "
+           "`wearlock_modem_cli --regen-golden` and update this table";
+  }
+}
+
+TEST(ModemGolden, CleanLoopbackRecoversIdenticalPayloadEverywhere) {
+  // Same seed -> same payload bits; a clean loopback must recover them
+  // bit-exactly for every modulation, so the bits checksums all agree.
+  for (std::size_t i = 1; i < std::size(kGolden); ++i) {
+    EXPECT_EQ(kGolden[i].bits_fnv, kGolden[0].bits_fnv)
+        << ToString(kGolden[i].modulation);
+  }
+}
+
+TEST(ModemGolden, ChecksumsAreSeedSensitive) {
+  // A different seed must move the waveform checksum - guards against the
+  // checksum degenerating (e.g. hashing an empty span).
+  const auto a = modem::ComputeGoldenVector(Modulation::kQpsk, 1);
+  const auto b = modem::ComputeGoldenVector(Modulation::kQpsk, 2);
+  EXPECT_NE(a.waveform_fnv, b.waveform_fnv);
+  EXPECT_NE(a.bits_fnv, b.bits_fnv);
+  EXPECT_GT(a.n_samples, 0u);
+}
+
+}  // namespace
+}  // namespace wearlock

@@ -8,6 +8,7 @@
 #include "dsp/resample.h"
 #include "dsp/spl.h"
 #include "modem/adaptive.h"
+#include "modem/coding.h"
 #include "modem/demodulator.h"
 #include "modem/detector.h"
 #include "modem/equalizer.h"
@@ -360,6 +361,120 @@ TEST(Adaptive, ProbeVolumeRule) {
   // SPLtx = noise + SNRmin + spreading loss to the secure range.
   const double spl = ProbeTxSpl(40.0, 15.0, 1.0, 0.1);
   EXPECT_NEAR(spl, 40.0 + 15.0 + 20.0, 0.01);
+}
+
+// Property: Interleave/Deinterleave are mutually inverse permutations for
+// any (length, depth) pair - including degenerate depths, lengths shorter
+// than the depth, and lengths not divisible by it. 150 random cases.
+TEST(CodingProperty, InterleaveRoundTripsAnyLengthAndDepth) {
+  sim::Rng rng(9100);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(0, 300));
+    const std::size_t depth = static_cast<std::size_t>(rng.UniformInt(0, 16));
+    std::vector<std::uint8_t> bits(n);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+
+    const auto interleaved = Interleave(bits, depth);
+    ASSERT_EQ(interleaved.size(), bits.size()) << "n=" << n << " d=" << depth;
+    EXPECT_EQ(Deinterleave(interleaved, depth), bits)
+        << "n=" << n << " d=" << depth;
+    // The inverse composition also round-trips (true permutation, not
+    // just a left inverse).
+    EXPECT_EQ(Interleave(Deinterleave(bits, depth), depth), bits)
+        << "n=" << n << " d=" << depth;
+  }
+}
+
+TEST(CodingProperty, InterleavePreservesMultisetAndSpreadsBursts) {
+  sim::Rng rng(9200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(40, 200));
+    const std::size_t depth = static_cast<std::size_t>(rng.UniformInt(2, 8));
+    std::vector<std::uint8_t> bits(n);
+    std::size_t ones = 0;
+    for (auto& b : bits) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+      ones += b;
+    }
+    const auto out = Interleave(bits, depth);
+    std::size_t out_ones = 0;
+    for (auto b : out) out_ones += b;
+    EXPECT_EQ(out_ones, ones);
+  }
+
+  // A burst of adjacent on-air errors deinterleaves to coded positions
+  // exactly `depth` apart - with depth >= the code block length, at most
+  // one burst error lands per codeword.
+  const std::size_t n = 84, depth = 8;
+  std::vector<std::uint8_t> zeros(n, 0);
+  auto burst = Interleave(zeros, depth);
+  const std::size_t kBurstLen = 4;
+  for (std::size_t i = 2; i < 2 + kBurstLen; ++i) burst[i] = 1;
+  const auto spread = Deinterleave(burst, depth);
+  std::vector<std::size_t> error_positions;
+  for (std::size_t i = 0; i < spread.size(); ++i) {
+    if (spread[i]) error_positions.push_back(i);
+  }
+  ASSERT_EQ(error_positions.size(), kBurstLen);
+  for (std::size_t i = 1; i < error_positions.size(); ++i) {
+    EXPECT_EQ(error_positions[i] - error_positions[i - 1], depth)
+        << "burst errors must land one code block apart";
+  }
+}
+
+// Property: both block codes correct the errors they promise to correct -
+// any single flipped bit per codeword decodes to the original payload.
+// 100 random payload/error patterns per scheme.
+TEST(CodingProperty, CodesCorrectSingleErrorPerBlock) {
+  sim::Rng rng(9300);
+  struct Scheme {
+    CodeScheme code;
+    std::size_t block;  // coded bits per codeword
+  };
+  for (const Scheme& s : {Scheme{CodeScheme::kHamming74, 7},
+                          Scheme{CodeScheme::kRepetition3, 3}}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<std::uint8_t> payload(
+          static_cast<std::size_t>(rng.UniformInt(4, 64)));
+      for (auto& b : payload) {
+        b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+      }
+      auto coded = Encode(s.code, payload);
+      for (std::size_t block = 0; block + s.block <= coded.size();
+           block += s.block) {
+        if (rng.Chance(0.7)) {
+          const std::size_t flip = block + static_cast<std::size_t>(rng.UniformInt(
+                                               0, static_cast<int>(s.block) - 1));
+          coded[flip] ^= 1;
+        }
+      }
+      const auto decoded = Decode(s.code, coded);
+      ASSERT_GE(decoded.size(), payload.size());
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        ASSERT_EQ(decoded[i], payload[i])
+            << ToString(s.code) << " trial " << trial << " bit " << i;
+      }
+    }
+  }
+}
+
+// Property: MapBits/DemapSymbols are exact inverses for every modulation
+// on noiseless symbols. 100 random payloads across the constellations.
+TEST(ConstellationProperty, MapDemapRoundTripsEveryModulation) {
+  sim::Rng rng(9400);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (Modulation m : AllModulations()) {
+      const unsigned bps = BitsPerSymbol(m);
+      const std::size_t n_symbols =
+          static_cast<std::size_t>(rng.UniformInt(1, 40));
+      std::vector<std::uint8_t> bits(n_symbols * bps);
+      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+      const auto symbols = MapBits(m, bits);
+      ASSERT_EQ(symbols.size(), n_symbols) << ToString(m);
+      EXPECT_EQ(DemapSymbols(m, symbols), bits)
+          << ToString(m) << " trial " << trial;
+    }
+  }
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
 // Property sweeps over the modem's configuration space: both band plans,
 // all modulations, varying payload sizes, sub-channel re-planning, and
 // the near-ultrasound phone-phone protocol profile.
+//
+// The 48-case loopback matrix fans out across sim::ParallelExecutor:
+// every case is an independent task with its own deterministic seed, so
+// the sweep both finishes in wall-clock/thread-count time and doubles as
+// an integration test of the executor under real modem workloads.
 #include <gtest/gtest.h>
 
 #include "audio/medium.h"
 #include "modem/modem.h"
 #include "protocol/session.h"
+#include "sim/executor.h"
 #include "sim/rng.h"
 
 namespace wearlock {
@@ -20,10 +26,33 @@ struct SweepCase {
   std::size_t n_bits;
 };
 
-class ModemSweep : public ::testing::TestWithParam<SweepCase> {};
+std::vector<SweepCase> MakeCases() {
+  std::vector<SweepCase> cases;
+  for (Modulation m : modem::AllModulations()) {
+    for (bool nu : {false, true}) {
+      for (std::size_t bits : {8u, 32u, 100u, 256u}) {
+        cases.push_back({m, nu, bits});
+      }
+    }
+  }
+  return cases;
+}
 
-TEST_P(ModemSweep, LoopbackUnderMildNoise) {
-  const SweepCase& c = GetParam();
+std::string CaseName(const SweepCase& c) {
+  return ToString(c.modulation) +
+         std::string(c.near_ultrasound ? " NU" : " audible") +
+         " bits=" + std::to_string(c.n_bits);
+}
+
+struct CaseResult {
+  bool demodulated = false;
+  double ber = 1.0;
+  double bound = 0.0;
+};
+
+CaseResult RunCase(const SweepCase& c) {
+  // Seeds match the original serial TEST_P matrix: the per-case channel
+  // depends only on the payload size, independent of scheduling.
   sim::Rng rng(1000 + static_cast<std::uint64_t>(c.n_bits));
   modem::FrameSpec spec;
   if (c.near_ultrasound) spec.plan = modem::SubchannelPlan::NearUltrasound();
@@ -42,41 +71,36 @@ TEST_P(ModemSweep, LoopbackUnderMildNoise) {
   const auto tx = modem.Modulate(c.modulation, bits);
   const auto rx = channel.Transmit(tx.samples, 0.5);
   const auto result = modem.Demodulate(rx.recording, c.modulation, c.n_bits);
-  ASSERT_TRUE(result.has_value());
+
+  CaseResult out;
   // Phase-bearing dense constellations have deliberate hardware floors;
   // everything else should be near-clean at 25 cm in a quiet room.
   // Small payloads quantize BER coarsely (1 flipped bit out of 8 is
   // 12.5%), so the bound gets a one-bit allowance.
-  const double bound = ((c.modulation == Modulation::k8Psk ||
-                         c.modulation == Modulation::k16Qam)
-                            ? 0.12
-                            : 0.03) +
-                       1.0 / static_cast<double>(c.n_bits);
-  EXPECT_LE(modem::BitErrorRate(result->bits, bits), bound)
-      << ToString(c.modulation) << (c.near_ultrasound ? " NU" : " audible")
-      << " bits=" << c.n_bits;
-}
-
-std::vector<SweepCase> MakeCases() {
-  std::vector<SweepCase> cases;
-  for (Modulation m : modem::AllModulations()) {
-    for (bool nu : {false, true}) {
-      for (std::size_t bits : {8u, 32u, 100u, 256u}) {
-        cases.push_back({m, nu, bits});
-      }
-    }
+  out.bound = ((c.modulation == Modulation::k8Psk ||
+                c.modulation == Modulation::k16Qam)
+                   ? 0.12
+                   : 0.03) +
+              1.0 / static_cast<double>(c.n_bits);
+  if (result) {
+    out.demodulated = true;
+    out.ber = modem::BitErrorRate(result->bits, bits);
   }
-  return cases;
+  return out;
 }
 
-INSTANTIATE_TEST_SUITE_P(Matrix, ModemSweep, ::testing::ValuesIn(MakeCases()),
-                         [](const auto& info) {
-                           return ToString(info.param.modulation) +
-                                  std::string(info.param.near_ultrasound
-                                                  ? "_NU_"
-                                                  : "_AU_") +
-                                  std::to_string(info.param.n_bits);
-                         });
+TEST(ModemSweep, LoopbackUnderMildNoiseMatrix) {
+  const std::vector<SweepCase> cases = MakeCases();
+  sim::ParallelExecutor executor;
+  const auto results =
+      executor.Map(cases.size(), /*base_seed=*/0,
+                   [&](sim::TaskContext& ctx) { return RunCase(cases[ctx.index]); });
+  ASSERT_EQ(results.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    ASSERT_TRUE(results[i].demodulated) << CaseName(cases[i]);
+    EXPECT_LE(results[i].ber, results[i].bound) << CaseName(cases[i]);
+  }
+}
 
 TEST(ModemSweep, ReplannedSubchannelsStillRoundTrip) {
   // After sub-channel selection moves the data bins, TX and RX built

@@ -3,10 +3,13 @@
 #   1. wearlock-lint (layer DAG, determinism, banned APIs, header
 #      hygiene, shared state) - the repo's self-hosted static analysis
 #   2. plain build (warnings-as-errors) + full ctest, which includes
-#      the lint_test suite, the wearlock_lint_src tree gate and the
-#      header self-containment TUs
-#   3. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
-#      leg gets real cross-thread traffic from concurrency_stress_test)
+#      the lint_test suite, the wearlock_lint_src tree gate, the header
+#      self-containment TUs, and the bench_smoke quick-runs
+#   3. parallel-determinism gate: fig7 stdout must be byte-identical
+#      between --threads 1 and --threads 8 (docs/parallelism.md)
+#   4. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#      leg gets real cross-thread traffic from concurrency_stress_test,
+#      executor_test at WEARLOCK_THREADS=8, and a parallel bench sweep)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -31,6 +34,15 @@ banner "plain build + full test suite"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
+banner "parallel determinism: fig7 --threads 1 vs --threads 8"
+# The executor's contract (docs/parallelism.md): sweep tables are a pure
+# function of the seed, never of the thread count. Tables go to stdout,
+# timing diagnostics to stderr, so the diff below pins bit-identity.
+build/bench/fig7_ber_distance --quick --threads 1 >build/fig7-t1.out
+build/bench/fig7_ber_distance --quick --threads 8 >build/fig7-t8.out
+diff -u build/fig7-t1.out build/fig7-t8.out
+echo "fig7 output byte-identical across thread counts"
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "skipping sanitizer builds (--skip-sanitizers): ${SANITIZERS[*]}"
   exit 0
@@ -44,6 +56,15 @@ for san in "${SANITIZERS[@]}"; do
   # Tier-1 (the full suite, per ROADMAP) including the obs suites.
   TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "build-$san" --output-on-failure
+  if [[ "$san" == "thread" ]]; then
+    # Extra TSan traffic through the executor: the determinism tests on
+    # a wide pool, plus one real parallel sweep.
+    banner "TSan: executor under WEARLOCK_THREADS=8"
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        "build-$san/tests/executor_test"
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        "build-$san/bench/fig7_ber_distance" --quick >/dev/null
+  fi
 done
 
 banner "all green"

@@ -13,16 +13,20 @@
 // metrics registry.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "audio/wav.h"
 #include "dsp/spectrogram.h"
 #include "modem/datagram.h"
+#include "modem/golden.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/executor.h"
 
 namespace {
 
@@ -50,29 +54,64 @@ int Usage() {
                "  wearlock_modem_cli recv <in.wav> [mod] [code]\n"
                "  wearlock_modem_cli probe <out.wav>\n"
                "  wearlock_modem_cli spectrogram <in.wav>\n"
+               "  wearlock_modem_cli --regen-golden\n"
                "  mod:  qpsk (default) | qask | 8psk | bpsk | bask | 16qam\n"
-               "  code: none (default) | hamming | rep3\n");
+               "  code: none (default) | hamming | rep3\n"
+               "  --regen-golden reprints the tests/modem_golden_test.cpp\n"
+               "  table after an intentional DSP change; --threads <n> sizes\n"
+               "  its worker pool (default: WEARLOCK_THREADS or all cores).\n");
   return 2;
+}
+
+/// Recompute the golden table in parallel (one task per modulation) and
+/// print pasteable rows for tests/modem_golden_test.cpp.
+int RegenGolden(std::size_t threads) {
+  sim::ParallelExecutor executor(threads);
+  const std::vector<modem::Modulation>& mods = modem::AllModulations();
+  const auto rows =
+      executor.Map(mods.size(), modem::kGoldenSeed, [&](sim::TaskContext& ctx) {
+        const auto golden =
+            modem::ComputeGoldenVector(mods[ctx.index], modem::kGoldenSeed);
+        if (!golden.demodulated) {
+          throw std::runtime_error("clean loopback failed for " +
+                                   ToString(golden.modulation));
+        }
+        return modem::FormatGoldenRow(golden);
+      });
+  std::printf("// seed 0x%llX, %zu payload bits, clean loopback\n",
+              static_cast<unsigned long long>(modem::kGoldenSeed),
+              modem::kGoldenBits);
+  for (const std::string& row : rows) std::printf("    %s\n", row.c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull the telemetry flags out; everything else stays positional.
+  // Pull the telemetry/parallelism flags out; everything else stays
+  // positional.
   std::string trace_path;
   std::string metrics_path;
+  std::size_t threads = 0;  // 0 = WEARLOCK_THREADS or hardware default
+  bool regen_golden = false;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--regen-golden") == 0) {
+      regen_golden = true;
     } else {
       pos.push_back(argv[i]);
     }
   }
   argc = static_cast<int>(pos.size()) + 1;
   for (int i = 1; i < argc; ++i) argv[i] = pos[i - 1];
+
+  if (regen_golden) return RegenGolden(threads);
 
   // Host-clock tracer: this tool has no virtual time.
   const auto t0 = std::chrono::steady_clock::now();

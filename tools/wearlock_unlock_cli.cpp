@@ -8,19 +8,29 @@
 //                       [--different-room] [--no-link] [--config 1|2|3]
 //                       [--activity sitting|walking|running]
 //                       [--attempts N] [--seed S] [--retries R]
+//                       [--threads T]
 //                       [--trace out.json] [--metrics out.json] [--verbose]
 //
 // --trace writes a Chrome trace_event JSON of every span the attempts
 // produced (virtual-time timestamps; open in chrome://tracing or
 // https://ui.perfetto.dev). --metrics dumps the session's metrics
 // registry as JSON. --verbose routes library diagnostics to stderr.
+//
+// --threads T with T > 1 fans the attempts across a
+// sim::ParallelExecutor: each attempt becomes an independent
+// UnlockSession whose seed is forked from (--seed, attempt index), and
+// the per-attempt traces print in attempt order regardless of
+// scheduling. The default (T = 1) keeps the classic sequential behavior
+// of one session attempted repeatedly, which --trace/--metrics require.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "obs/log.h"
 #include "protocol/session.h"
+#include "sim/executor.h"
 
 namespace {
 using namespace wearlock;
@@ -40,6 +50,26 @@ sensors::Activity ParseActivity(const char* s) {
   return sensors::Activity::kSitting;
 }
 
+std::string FormatReport(int attempt, const UnlockReport& report) {
+  std::string out =
+      "attempt " + std::to_string(attempt + 1) + ": " + ToString(report.outcome);
+  if (report.mode) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), " (%s, token BER %.3f, %.0f ms)",
+                  ToString(*report.mode).c_str(), report.token_ber,
+                  report.timings.total_ms());
+    out += detail;
+  }
+  out += "\n";
+  for (const auto& event : report.trace) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  [%7.0f ms] %-14s %s\n", event.at_ms,
+                  event.step.c_str(), event.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +77,7 @@ int main(int argc, char** argv) {
   config.scene.distance_m = 0.3;
   int attempts = 1;
   int retries = 0;
+  std::size_t threads = 1;
   std::string trace_path;
   std::string metrics_path;
 
@@ -79,6 +110,9 @@ int main(int argc, char** argv) {
       attempts = std::atoi(next());
     } else if (arg == "--retries") {
       retries = std::atoi(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::atoi(next()));
+      if (threads == 0) threads = sim::ParallelExecutor::DefaultThreadCount();
     } else if (arg == "--seed") {
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--trace") {
@@ -95,8 +129,43 @@ int main(int argc, char** argv) {
     }
   }
 
-  UnlockSession session(config);
   int unlocked = 0;
+  if (threads > 1) {
+    // Parallel mode: every attempt is an independent session, seeded
+    // from (--seed, attempt index); output buffers print in order.
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      std::fprintf(stderr,
+                   "--trace/--metrics need sequential mode; ignoring "
+                   "(drop --threads to keep them)\n");
+      trace_path.clear();
+      metrics_path.clear();
+    }
+    sim::ParallelExecutor executor(threads);
+    struct AttemptResult {
+      bool unlocked = false;
+      std::string text;
+    };
+    const auto results = executor.Map(
+        static_cast<std::size_t>(attempts), config.seed,
+        [&](sim::TaskContext& ctx) {
+          ScenarioConfig attempt_config = config;
+          attempt_config.seed =
+              sim::ParallelExecutor::TaskSeed(config.seed, ctx.index);
+          UnlockSession session(attempt_config);
+          const UnlockReport report = session.AttemptWithRetries(retries);
+          return AttemptResult{report.unlocked,
+                               FormatReport(static_cast<int>(ctx.index),
+                                            report)};
+        });
+    for (const AttemptResult& result : results) {
+      if (result.unlocked) ++unlocked;
+      std::fputs(result.text.c_str(), stdout);
+    }
+    std::printf("unlocked %d/%d\n", unlocked, attempts);
+    return unlocked > 0 ? 0 : 1;
+  }
+
+  UnlockSession session(config);
   for (int a = 0; a < attempts; ++a) {
     session.keyguard().Relock();
     if (!session.keyguard().CanAttemptWearlock()) {
@@ -105,17 +174,7 @@ int main(int argc, char** argv) {
     }
     const UnlockReport report = session.AttemptWithRetries(retries);
     if (report.unlocked) ++unlocked;
-    std::printf("attempt %d: %s", a + 1, ToString(report.outcome).c_str());
-    if (report.mode) {
-      std::printf(" (%s, token BER %.3f, %.0f ms)",
-                  ToString(*report.mode).c_str(), report.token_ber,
-                  report.timings.total_ms());
-    }
-    std::printf("\n");
-    for (const auto& event : report.trace) {
-      std::printf("  [%7.0f ms] %-14s %s\n", event.at_ms, event.step.c_str(),
-                  event.detail.c_str());
-    }
+    std::fputs(FormatReport(a, report).c_str(), stdout);
   }
   if (!trace_path.empty()) {
     std::ofstream os(trace_path);
