@@ -80,10 +80,13 @@ BenchOptions ParseBenchArgs(int argc, char** argv, std::uint64_t base_seed) {
       options.threads = ParseCount(argv[++i]);
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       options.base_seed = ParseCount(argv[++i]);
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "bench: unknown flag '%s'\n"
-                   "usage: %s [--threads N] [--quick] [--seed S]\n",
+                   "usage: %s [--threads N] [--quick] [--seed S] "
+                   "[--json PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
@@ -136,6 +139,35 @@ void SweepRunner::PrintTiming(const std::string& sweep_name) const {
                "(mean point %.2f ms)\n",
                sweep_name.c_str(), points.size(), thread_count(), total_ms,
                point_summary.mean);
+  if (!options_.json_path.empty()) {
+    WriteJsonReport(sweep_name, options_.json_path);
+  }
+}
+
+bool SweepRunner::WriteJsonReport(const std::string& bench_name,
+                                  const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[sweep] cannot write json report '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  const std::vector<double> totals =
+      registry_->SeriesValues("bench.sweep.total_ms");
+  const std::vector<double> points =
+      registry_->SeriesValues("bench.sweep.point_ms");
+  double wall_ms = 0.0;
+  for (double t : totals) wall_ms += t;
+  std::fprintf(out, "{\"bench\":\"%s\",\"threads\":%zu,\"seed\":%llu,",
+               bench_name.c_str(), thread_count(),
+               static_cast<unsigned long long>(options_.base_seed));
+  std::fprintf(out, "\"wall_ms\":%.3f,\"per_point_ms\":[", wall_ms);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(out, "%s%.3f", i ? "," : "", points[i]);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  return true;
 }
 
 }  // namespace wearlock::bench

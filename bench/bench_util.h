@@ -42,10 +42,13 @@ void Banner(const std::string& title);
 ///   --quick       smoke mode: 1 round per point, grids trimmed to 2
 ///                 points per axis (the ctest `bench_smoke` label)
 ///   --seed S      override the bench's base seed
+///   --json PATH   also write the sweep timing report as one JSON
+///                 object to PATH (see SweepRunner::WriteJsonReport)
 struct BenchOptions {
   std::size_t threads = 0;
   bool quick = false;
   std::uint64_t base_seed = 0;
+  std::string json_path;
 
   /// Rounds per point: 1 under --quick, else `full`.
   int Rounds(int full) const { return quick ? 1 : full; }
@@ -91,6 +94,15 @@ class SweepRunner {
     return results;
   }
 
+  /// Run fn(TaskContext&) over n_points WITHOUT recording sweep timings:
+  /// primes per-worker-thread state (the thread_local dsp::Workspace,
+  /// the shared FFT plan cache) so a timed Run()/RunGrid() that follows
+  /// is allocation-free on its hot paths. Results are discarded.
+  template <typename Fn>
+  void WarmUp(std::size_t n_points, Fn&& fn) {
+    executor_.Map(n_points, options_.base_seed, std::forward<Fn>(fn));
+  }
+
   /// Grid flavour of Run(): row-major fn(GridPoint, Rng&) with the same
   /// per-point timing.
   template <typename Fn>
@@ -108,8 +120,17 @@ class SweepRunner {
 
   /// Print "<name>: N points on T threads, total X ms (mean point Y ms)"
   /// to stderr, reading the timings back from the metrics registry (the
-  /// acceptance path for wall-clock comparisons across --threads).
+  /// acceptance path for wall-clock comparisons across --threads). When
+  /// --json was given, also writes WriteJsonReport() to that path.
   void PrintTiming(const std::string& sweep_name) const;
+
+  /// Write `{"bench":name,"threads":T,"seed":S,"wall_ms":X,
+  /// "per_point_ms":[...]}` to `path`. Timing goes to a side file, never
+  /// stdout: table output must stay byte-identical across --threads.
+  /// Returns false (with a note on stderr) when the file cannot be
+  /// written.
+  bool WriteJsonReport(const std::string& bench_name,
+                       const std::string& path) const;
 
   std::size_t thread_count() const { return executor_.thread_count(); }
   const BenchOptions& options() const { return options_; }

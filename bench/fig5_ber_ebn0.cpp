@@ -17,7 +17,9 @@
 
 #include "audio/medium.h"
 #include "bench_util.h"
+#include "dsp/fft_plan.h"
 #include "dsp/stats.h"
+#include "dsp/workspace.h"
 #include "modem/modem.h"
 #include "modem/snr.h"
 #include "sim/rng.h"
@@ -87,6 +89,21 @@ int main(int argc, char** argv) {
 
   // One task per (modulation, noise) cell, row-major over modulations.
   bench::SweepRunner runner(options);
+
+  // Untimed warm-up: one point per modulation primes every worker
+  // thread's dsp::Workspace slots and the shared FFT plan cache. The
+  // timed sweep below must then hold both counters flat - at
+  // --threads 1 (where one worker runs every point, so warm-up
+  // coverage is exact) any delta is a hot-path allocation regression
+  // and fails the bench.
+  runner.WarmUp(modulations.size(), [&](sim::TaskContext& ctx) {
+    return MeasurePoint(modulations[ctx.index], noise_spls.front(),
+                        /*rounds=*/1, ctx.rng)
+        .has_value();
+  });
+  const std::uint64_t misses_before = dsp::PlanCache::Shared().misses();
+  const std::uint64_t growths_before = dsp::Workspace::TotalGrowths();
+
   const auto cells = runner.RunGrid(
       modulations.size(), noise_spls.size(),
       [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng& rng) {
@@ -94,6 +111,25 @@ int main(int argc, char** argv) {
                             rounds, rng);
       });
   runner.PrintTiming("fig5_ber_ebn0");
+
+  const std::uint64_t miss_delta =
+      dsp::PlanCache::Shared().misses() - misses_before;
+  const std::uint64_t growth_delta =
+      dsp::Workspace::TotalGrowths() - growths_before;
+  std::fprintf(stderr,
+               "[alloc] steady-state sweep: %llu plan-cache misses, %llu "
+               "workspace growths (cache: %llu hits / %llu misses lifetime)\n",
+               static_cast<unsigned long long>(miss_delta),
+               static_cast<unsigned long long>(growth_delta),
+               static_cast<unsigned long long>(dsp::PlanCache::Shared().hits()),
+               static_cast<unsigned long long>(
+                   dsp::PlanCache::Shared().misses()));
+  if (runner.thread_count() == 1 && (miss_delta != 0 || growth_delta != 0)) {
+    std::fprintf(stderr,
+                 "[alloc] FAIL: hot path allocated after warm-up "
+                 "(zero-allocation steady state violated)\n");
+    return 1;
+  }
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t mi = 0; mi < modulations.size(); ++mi) {

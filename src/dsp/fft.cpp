@@ -1,48 +1,18 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
+
+#include "dsp/fft_plan.h"
+#include "dsp/workspace.h"
 
 namespace wearlock::dsp {
 namespace {
 
 constexpr double kPi = std::numbers::pi;
-
-// Bit-reversal permutation for the iterative FFT.
-void BitReverse(ComplexVec& x) {
-  const std::size_t n = x.size();
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-}
-
-// Core transform; `inverse` flips the twiddle sign (no scaling here).
-void Transform(ComplexVec& x, bool inverse) {
-  if (!IsPowerOfTwo(x.size())) {
-    throw std::invalid_argument("Fft: size must be a power of two, got " +
-                                std::to_string(x.size()));
-  }
-  const std::size_t n = x.size();
-  BitReverse(x);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-    const Complex wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
 
 // O(n^2) DFT for the small, possibly non-power-of-two sequences that the
 // pilot interpolator can produce. n is at most a few dozen there.
@@ -65,7 +35,7 @@ ComplexVec Dft(const ComplexVec& x, bool inverse) {
 ComplexVec ForwardAnySize(const ComplexVec& x) {
   if (IsPowerOfTwo(x.size())) {
     ComplexVec copy = x;
-    Transform(copy, /*inverse=*/false);
+    PlanCache::Shared().Get(copy.size())->Forward(copy.data());
     return copy;
   }
   return Dft(x, /*inverse=*/false);
@@ -74,28 +44,42 @@ ComplexVec ForwardAnySize(const ComplexVec& x) {
 ComplexVec InverseAnySize(const ComplexVec& x) {
   if (IsPowerOfTwo(x.size())) {
     ComplexVec copy = x;
-    Transform(copy, /*inverse=*/true);
-    const double inv_n = 1.0 / static_cast<double>(copy.size());
-    for (Complex& c : copy) c *= inv_n;
+    PlanCache::Shared().Get(copy.size())->Inverse(copy.data());
     return copy;
   }
   return Dft(x, /*inverse=*/true);
 }
 
+void RequirePowerOfTwo(std::size_t n) {
+  if (!IsPowerOfTwo(n)) {
+    throw std::invalid_argument("Fft: size must be a power of two, got " +
+                                std::to_string(n));
+  }
+}
+
 }  // namespace
 
 std::size_t NextPowerOfTwo(std::size_t n) {
+  constexpr std::size_t kLargest = std::size_t{1}
+                                   << (std::numeric_limits<std::size_t>::digits - 1);
+  if (n > kLargest) {
+    throw std::invalid_argument(
+        "NextPowerOfTwo: no representable power of two >= " +
+        std::to_string(n));
+  }
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
 }
 
-void Fft(ComplexVec& x) { Transform(x, /*inverse=*/false); }
+void Fft(ComplexVec& x) {
+  RequirePowerOfTwo(x.size());
+  PlanCache::Shared().Get(x.size())->Forward(x.data());
+}
 
 void Ifft(ComplexVec& x) {
-  Transform(x, /*inverse=*/true);
-  const double inv_n = 1.0 / static_cast<double>(x.size());
-  for (Complex& c : x) c *= inv_n;
+  RequirePowerOfTwo(x.size());
+  PlanCache::Shared().Get(x.size())->Inverse(x.data());
 }
 
 ComplexVec FftReal(const RealVec& x) {
@@ -137,6 +121,39 @@ ComplexVec FftInterpolate(const ComplexVec& points, std::size_t out_len) {
   const double scale = static_cast<double>(out_len) / static_cast<double>(m);
   for (Complex& c : out) c *= scale;
   return out;
+}
+
+ComplexVec& FftInterpolateInto(const ComplexVec& points,
+                               std::size_t out_len, Workspace& ws,
+                               const FftPlan* fwd_plan,
+                               const FftPlan* inv_plan) {
+  const std::size_t m = points.size();
+  if (m == 0 || !IsPowerOfTwo(m) || !IsPowerOfTwo(out_len) || out_len <= m) {
+    // Cold shapes (and the degenerate/throwing cases) keep the legacy
+    // any-size semantics; only the result's storage changes.
+    ComplexVec& out = ws.ComplexBuf(CSlot::kInterpPadded, 0);
+    out = FftInterpolate(points, out_len);
+    return out;
+  }
+  ComplexVec& spec = ws.ComplexBuf(CSlot::kInterpSpec, m);
+  std::copy(points.begin(), points.end(), spec.begin());
+  if (fwd_plan != nullptr) {
+    fwd_plan->Forward(spec.data());
+  } else {
+    PlanCache::Shared().Get(m)->Forward(spec.data());
+  }
+  ComplexVec& padded = ws.ComplexZeroed(CSlot::kInterpPadded, out_len);
+  const std::size_t half = (m + 1) / 2;  // low-frequency half (incl. DC)
+  for (std::size_t i = 0; i < half; ++i) padded[i] = spec[i];
+  for (std::size_t i = half; i < m; ++i) padded[out_len - m + i] = spec[i];
+  if (inv_plan != nullptr) {
+    inv_plan->Inverse(padded.data());
+  } else {
+    PlanCache::Shared().Get(out_len)->Inverse(padded.data());
+  }
+  const double scale = static_cast<double>(out_len) / static_cast<double>(m);
+  for (Complex& c : padded) c *= scale;
+  return padded;
 }
 
 }  // namespace wearlock::dsp

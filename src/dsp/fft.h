@@ -11,6 +11,9 @@
 
 namespace wearlock::dsp {
 
+class FftPlan;    // dsp/fft_plan.h
+class Workspace;  // dsp/workspace.h
+
 using Complex = std::complex<double>;
 using ComplexVec = std::vector<Complex>;
 using RealVec = std::vector<double>;
@@ -18,7 +21,9 @@ using RealVec = std::vector<double>;
 /// True if n is a power of two (and nonzero).
 constexpr bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-/// Smallest power of two >= n (n must be representable).
+/// Smallest power of two >= n.
+/// @throws std::invalid_argument when no power of two >= n is
+/// representable in std::size_t (n > 2^63 on 64-bit targets).
 std::size_t NextPowerOfTwo(std::size_t n);
 
 /// In-place iterative radix-2 decimation-in-time FFT.
@@ -42,5 +47,18 @@ RealVec IfftReal(ComplexVec spectrum);
 /// data sub-channels (paper §III "FFT-based interpolation").
 /// Works for any sizes; internally zero-pads the spectrum.
 ComplexVec FftInterpolate(const ComplexVec& points, std::size_t out_len);
+
+/// Workspace-based FftInterpolate: identical values, but the result
+/// lives in workspace slot CSlot::kInterpPadded (valid until the next
+/// FftInterpolateInto on `ws`) and power-of-two shapes allocate nothing
+/// in steady state. Optional `fwd_plan`/`inv_plan` (sizes points.size()
+/// and out_len) let hot callers skip the cache lookup; pass nullptr to
+/// resolve through PlanCache::Shared(). Non-power-of-two shapes fall
+/// back to the allocating any-size path. The reference is mutable so
+/// callers (the channel estimator) can post-process in place.
+ComplexVec& FftInterpolateInto(const ComplexVec& points,
+                               std::size_t out_len, Workspace& ws,
+                               const FftPlan* fwd_plan = nullptr,
+                               const FftPlan* inv_plan = nullptr);
 
 }  // namespace wearlock::dsp

@@ -5,6 +5,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/fft_plan.h"
+#include "dsp/workspace.h"
+
 namespace wearlock::dsp {
 namespace {
 constexpr double kPi = std::numbers::pi;
@@ -120,11 +123,51 @@ double BiquadCascade::MagnitudeAt(double f_hz, double sample_rate_hz) const {
   return mag;
 }
 
+namespace {
+
+// Below these sizes the direct form wins (and keeps its exact-arithmetic
+// guarantees for the tiny kernels the unit tests and filter design rely
+// on); above them the O(n log n) transform path dominates. The hardware
+// models convolve ~0.5 s frames against ~15 ms ringing tails, which sits
+// far beyond both thresholds.
+constexpr std::size_t kFftKernelMin = 64;
+constexpr std::size_t kFftSignalMin = 2048;
+
+// lint: hot-path
+std::vector<double> ConvolveFft(const std::vector<double>& x,
+                                const std::vector<double>& h) {
+  const std::size_t out_len = x.size() + h.size() - 1;
+  const std::size_t n = NextPowerOfTwo(out_len);
+  const auto plan = PlanCache::Shared().Get(n);
+  Workspace& ws = Workspace::PerThread();
+  ComplexVec& fx = ws.ComplexZeroed(CSlot::kConvX, n);
+  ComplexVec& fh = ws.ComplexZeroed(CSlot::kConvH, n);
+  for (std::size_t i = 0; i < x.size(); ++i) fx[i] = Complex(x[i], 0.0);
+  for (std::size_t i = 0; i < h.size(); ++i) fh[i] = Complex(h[i], 0.0);
+  plan->Forward(fx.data());
+  plan->Forward(fh.data());
+  for (std::size_t i = 0; i < n; ++i) fx[i] *= fh[i];
+  plan->Inverse(fx.data());
+  std::vector<double> y(out_len);  // NOLINT(hot-path-alloc): the result
+  for (std::size_t k = 0; k < out_len; ++k) y[k] = fx[k].real();
+  return y;
+}
+
+}  // namespace
+
 std::vector<double> Convolve(const std::vector<double>& x,
                              const std::vector<double>& h) {
   if (x.empty() || h.empty()) return {};
+  if (h.size() >= kFftKernelMin && x.size() >= kFftSignalMin) {
+    return ConvolveFft(x, h);
+  }
   std::vector<double> y(x.size() + h.size() - 1, 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
+    // Skipping zero inputs is exact: the accumulator is seeded with +0.0
+    // and can never round to -0.0, so adding a +/-0.0 product is the
+    // identity. Frames carry long guard/lead-in zero runs, so this cuts
+    // a large share of the inner iterations.
+    if (x[i] == 0.0) continue;
     for (std::size_t j = 0; j < h.size(); ++j) y[i + j] += x[i] * h[j];
   }
   return y;

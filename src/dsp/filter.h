@@ -62,8 +62,10 @@ class BiquadCascade {
   std::vector<Biquad> sections_;
 };
 
-/// Full linear convolution y = x * h (length |x|+|h|-1). Direct form;
-/// impulse responses in the hardware models are short.
+/// Full linear convolution y = x * h (length |x|+|h|-1). Direct form
+/// (exact arithmetic) for short inputs; long signal x long kernel pairs
+/// take an FFT overlap-free path through the shared plan cache and the
+/// per-thread workspace.
 std::vector<double> Convolve(const std::vector<double>& x,
                              const std::vector<double>& h);
 

@@ -3,21 +3,26 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/fft_plan.h"
+#include "dsp/workspace.h"
+
 namespace wearlock::dsp {
 
 ComplexVec AnalyticSignal(const RealVec& x) {
   if (x.empty()) return {};
   const std::size_t n = NextPowerOfTwo(x.size());
-  ComplexVec spec(n, Complex(0.0, 0.0));
+  const auto plan = PlanCache::Shared().Get(n);
+  ComplexVec& spec =
+      Workspace::PerThread().ComplexZeroed(CSlot::kFftScratch, n);
   for (std::size_t i = 0; i < x.size(); ++i) spec[i] = Complex(x[i], 0.0);
-  Fft(spec);
+  plan->Forward(spec.data());
   // Analytic filter: keep DC and Nyquist, double positive freqs, zero
   // negative freqs.
   for (std::size_t k = 1; k < n / 2; ++k) spec[k] *= 2.0;
   for (std::size_t k = n / 2 + 1; k < n; ++k) spec[k] = Complex(0.0, 0.0);
-  Ifft(spec);
-  spec.resize(x.size());
-  return spec;
+  plan->Inverse(spec.data());
+  return ComplexVec(spec.begin(),
+                    spec.begin() + static_cast<std::ptrdiff_t>(x.size()));
 }
 
 RealVec RotatePhase(const RealVec& x, const RealVec& theta) {

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/workspace.h"
+
 namespace wearlock::dsp {
 namespace {
 
@@ -35,9 +37,12 @@ std::vector<double> DelayFractional(const std::vector<double>& x,
   const double frac = delay_samples - static_cast<double>(whole);
   if (frac < 1e-12) return DelayInteger(x, whole);
 
-  // Windowed-sinc interpolation of the fractional part.
+  // Windowed-sinc interpolation of the fractional part. Taps and the
+  // shifted copy live in this thread's workspace: channel simulation
+  // delays every path of every frame, so steady state reuses them.
+  Workspace& ws = Workspace::PerThread();
   const std::size_t half = taps / 2;
-  std::vector<double> h(taps);
+  RealVec& h = ws.RealBuf(RSlot::kResampleTaps, taps);
   double norm = 0.0;
   for (std::size_t i = 0; i < taps; ++i) {
     const double n = static_cast<double>(i) - static_cast<double>(half) - frac;
@@ -53,8 +58,11 @@ std::vector<double> DelayFractional(const std::vector<double>& x,
     for (double& v : h) v /= norm;
   }
 
-  std::vector<double> frac_delayed(x.size() + taps - 1, 0.0);
+  RealVec& frac_delayed = ws.RealZeroed(RSlot::kResampleShift, x.size() + taps - 1);
   for (std::size_t i = 0; i < x.size(); ++i) {
+    // Exact zero-skip (see Convolve): guard intervals and lead-in
+    // silence are long runs of +0.0 whose products are additive no-ops.
+    if (x[i] == 0.0) continue;
     for (std::size_t j = 0; j < taps; ++j) frac_delayed[i + j] += x[i] * h[j];
   }
   // The filter centre sits `half` samples in; compensate so total delay is

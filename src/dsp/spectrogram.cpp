@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/window.h"
+#include "dsp/workspace.h"
 
 namespace wearlock::dsp {
 
@@ -25,13 +27,21 @@ Spectrogram ComputeSpectrogram(const std::vector<double>& x,
       options.hann_window ? WindowType::kHann : WindowType::kRectangular,
       options.fft_size);
 
+  const auto plan = PlanCache::Shared().Get(options.fft_size);
+  Workspace& ws = Workspace::PerThread();
   for (std::size_t start = 0; start + options.fft_size <= x.size();
        start += options.hop) {
-    std::vector<double> frame(x.begin() + static_cast<long>(start),
-                              x.begin() +
-                                  static_cast<long>(start + options.fft_size));
+    RealVec& frame = ws.RealBuf(RSlot::kSpectroFrame, options.fft_size);
+    std::copy(x.begin() + static_cast<long>(start),
+              x.begin() + static_cast<long>(start + options.fft_size),
+              frame.begin());
     ApplyWindow(frame, window);
-    const ComplexVec spectrum = FftReal(frame);
+    ComplexVec& spectrum =
+        ws.ComplexBuf(CSlot::kSpectroSpec, options.fft_size);
+    for (std::size_t i = 0; i < options.fft_size; ++i) {
+      spectrum[i] = Complex(frame[i], 0.0);
+    }
+    plan->Forward(spectrum.data());
     std::vector<double> row(options.fft_size / 2);
     for (std::size_t k = 0; k < row.size(); ++k) {
       const double p = std::norm(spectrum[k]);

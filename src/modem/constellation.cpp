@@ -166,25 +166,36 @@ std::vector<Complex> MapBits(Modulation m, const std::vector<std::uint8_t>& bits
 
 std::vector<std::uint8_t> DemapSymbols(Modulation m,
                                        const std::vector<Complex>& symbols) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * BitsPerSymbol(m));
+  DemapSymbolsInto(m, symbols, bits);
+  return bits;
+}
+
+void DemapSymbolsInto(Modulation m, std::span<const Complex> symbols,
+                      std::vector<std::uint8_t>& out) {
   const Constellation& c = Constellation::Get(m);
   const unsigned bps = c.bits_per_symbol();
-  std::vector<std::uint8_t> bits;
-  bits.reserve(symbols.size() * bps);
   for (const Complex& s : symbols) {
     const unsigned sym = c.Demap(s);
     for (unsigned b = 0; b < bps; ++b) {
-      bits.push_back(static_cast<std::uint8_t>((sym >> (bps - 1 - b)) & 1u));
+      out.push_back(static_cast<std::uint8_t>((sym >> (bps - 1 - b)) & 1u));
     }
   }
-  return bits;
 }
 
 std::vector<double> DemapSymbolsSoft(Modulation m,
                                      const std::vector<Complex>& symbols) {
+  std::vector<double> llrs;
+  llrs.reserve(symbols.size() * BitsPerSymbol(m));
+  DemapSymbolsSoftInto(m, symbols, llrs);
+  return llrs;
+}
+
+void DemapSymbolsSoftInto(Modulation m, std::span<const Complex> symbols,
+                          std::vector<double>& out) {
   const Constellation& c = Constellation::Get(m);
   const unsigned bps = c.bits_per_symbol();
-  std::vector<double> llrs;
-  llrs.reserve(symbols.size() * bps);
   for (const Complex& r : symbols) {
     for (unsigned b = 0; b < bps; ++b) {
       const unsigned mask = 1u << (bps - 1 - b);
@@ -197,10 +208,9 @@ std::vector<double> DemapSymbolsSoft(Modulation m,
           best0 = std::min(best0, d);
         }
       }
-      llrs.push_back(best1 - best0);
+      out.push_back(best1 - best0);
     }
   }
-  return llrs;
 }
 
 double TheoreticalBer(Modulation m, double ebn0_db) {

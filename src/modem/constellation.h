@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,12 +58,22 @@ std::vector<Complex> MapBits(Modulation m, const std::vector<std::uint8_t>& bits
 std::vector<std::uint8_t> DemapSymbols(Modulation m,
                                        const std::vector<Complex>& symbols);
 
+/// Appending DemapSymbols: identical bits pushed onto `out`. Hot callers
+/// reserve `out` for the whole frame so per-symbol calls never
+/// reallocate.
+void DemapSymbolsInto(Modulation m, std::span<const Complex> symbols,
+                      std::vector<std::uint8_t>& out);
+
 /// Soft demapping: per-bit log-likelihood ratios via the max-log
 /// approximation, LLR = min_{s: bit=1} |r-s|^2 - min_{s: bit=0} |r-s|^2,
 /// so positive means "bit 0 more likely". Units are squared distance
 /// (the common noise variance cancels in the soft decoders).
 std::vector<double> DemapSymbolsSoft(Modulation m,
                                      const std::vector<Complex>& symbols);
+
+/// Appending DemapSymbolsSoft: identical LLRs pushed onto `out`.
+void DemapSymbolsSoftInto(Modulation m, std::span<const Complex> symbols,
+                          std::vector<double>& out);
 
 /// Textbook AWGN bit-error-rate approximation (Gray coding assumed) at a
 /// given Eb/N0 in dB. Used for the adaptive-modulation mode table and as

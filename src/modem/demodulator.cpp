@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/fft_plan.h"
 #include "dsp/spl.h"
+#include "dsp/workspace.h"
 #include "modem/snr.h"
 #include "modem/sync.h"
 #include "obs/instrument.h"
@@ -22,11 +24,19 @@ std::vector<double> SnrBoundsDb() {
 namespace wearlock::modem {
 
 Demodulator::Demodulator(FrameSpec spec, DemodConfig config)
-    : spec_(spec), config_(config), detector_(spec, config.detector) {
+    : spec_(spec),
+      config_(config),
+      detector_(spec, config.detector),
+      geometry_(spec) {
   spec_.plan.Validate();
+  data_bins_ = spec_.plan.data;
+  std::sort(data_bins_.begin(), data_bins_.end());
+  if (dsp::IsPowerOfTwo(spec_.fft_size())) {
+    fft_plan_ = dsp::PlanCache::Shared().Get(spec_.fft_size());
+  }
 }
 
-long Demodulator::FrameOffset(const audio::Samples& recording,
+long Demodulator::FrameOffset(std::span<const double> recording,
                               std::size_t symbols_start,
                               std::size_t n_symbols) const {
   WL_SPAN_V(span, "modem.sync.fine");
@@ -42,23 +52,35 @@ long Demodulator::FrameOffset(const audio::Samples& recording,
   return sync.offset;
 }
 
-std::optional<dsp::ComplexVec> Demodulator::SymbolSpectrumAt(
-    const audio::Samples& recording, std::size_t symbols_start,
-    std::size_t index, long offset) const {
+// lint: hot-path
+const dsp::ComplexVec* Demodulator::SymbolSpectrumInto(
+    std::span<const double> recording, std::size_t symbols_start,
+    std::size_t index, long offset, dsp::Workspace& ws) const {
   const std::size_t cp_start = symbols_start + index * spec_.symbol_samples();
   const long body_start_signed = static_cast<long>(cp_start) + offset +
                                  static_cast<long>(spec_.cyclic_prefix_samples);
-  if (body_start_signed < 0) return std::nullopt;
+  if (body_start_signed < 0) return nullptr;
   const std::size_t body_start = static_cast<std::size_t>(body_start_signed);
-  if (body_start + spec_.fft_size() > recording.size()) return std::nullopt;
-  audio::Samples body(recording.begin() + static_cast<long>(body_start),
-                      recording.begin() +
-                          static_cast<long>(body_start + spec_.fft_size()));
-  return SymbolSpectrum(spec_, body);
+  const std::size_t n = spec_.fft_size();
+  if (body_start + n > recording.size()) return nullptr;
+  dsp::ComplexVec& spectrum = ws.ComplexBuf(dsp::CSlot::kSymbolSpectrum, n);
+  if (fft_plan_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      spectrum[i] = dsp::Complex(recording[body_start + i], 0.0);
+    }
+    fft_plan_->Forward(spectrum.data());
+  } else {
+    // Cold any-size fallback (a plan requires a power-of-two size).
+    const audio::Samples body(recording.begin() + static_cast<long>(body_start),
+                              recording.begin() +
+                                  static_cast<long>(body_start + n));
+    spectrum = SymbolSpectrum(spec_, body);
+  }
+  return &spectrum;
 }
 
 std::optional<DemodResult> Demodulator::Demodulate(
-    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+    std::span<const double> recording, Modulation m, std::size_t n_bits) const {
   WL_SPAN_V(span, "modem.demod");
   WL_TIMED_SERIES("modem.demod.host_ms");
   WL_COUNT("modem.demod.calls");
@@ -74,30 +96,30 @@ std::optional<DemodResult> Demodulator::Demodulate(
   const std::size_t symbols_start =
       detection->preamble_start + spec_.header_samples();
 
-  std::vector<std::size_t> data_bins = spec_.plan.data;
-  std::sort(data_bins.begin(), data_bins.end());
-
   DemodResult result;
   result.preamble_score = detection->score;
   result.preamble_start = detection->preamble_start;
+  result.bits.reserve(n_ofdm * bits_per_ofdm);
   double snr_acc = 0.0;
   const long offset = FrameOffset(recording, symbols_start, n_ofdm);
+  // The fine-sync offset is common to the frame (see FrameOffset).
+  result.fine_offsets.assign(n_ofdm, offset);
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
   WL_SPAN_V(eq_span, "modem.equalize_demap");
   WL_SPAN_ATTR(eq_span, "n_symbols", static_cast<double>(n_ofdm));
   for (std::size_t s = 0; s < n_ofdm; ++s) {
-    const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
-    if (!spectrum) {
+    const dsp::ComplexVec* spectrum =
+        SymbolSpectrumInto(recording, symbols_start, s, offset, ws);
+    if (spectrum == nullptr) {
       WL_COUNT("modem.demod.truncated");
       return std::nullopt;  // frame truncated
     }
-    result.fine_offsets.push_back(offset);
     snr_acc += PilotSnrDb(spec_, *spectrum);
 
-    const ChannelEstimate channel = EstimateChannel(spec_, *spectrum);
-    const std::vector<dsp::Complex> equalized =
-        Equalize(channel, *spectrum, data_bins);
-    const std::vector<std::uint8_t> bits = DemapSymbols(m, equalized);
-    result.bits.insert(result.bits.end(), bits.begin(), bits.end());
+    const ChannelView channel = EstimateChannelInto(geometry_, *spectrum, ws);
+    const std::span<const dsp::Complex> equalized =
+        EqualizeInto(channel, *spectrum, data_bins_, ws);
+    DemapSymbolsInto(m, equalized, result.bits);
   }
   result.mean_pilot_snr_db =
       n_ofdm > 0 ? snr_acc / static_cast<double>(n_ofdm) : 0.0;
@@ -110,7 +132,7 @@ std::optional<DemodResult> Demodulator::Demodulate(
 }
 
 std::optional<std::vector<double>> Demodulator::DemodulateSoft(
-    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+    std::span<const double> recording, Modulation m, std::size_t n_bits) const {
   WL_SPAN_V(span, "modem.demod_soft");
   WL_TIMED_SERIES("modem.demod_soft.host_ms");
   WL_COUNT("modem.demod_soft.calls");
@@ -120,19 +142,19 @@ std::optional<std::vector<double>> Demodulator::DemodulateSoft(
   const std::size_t n_ofdm = (n_bits + bits_per_ofdm - 1) / bits_per_ofdm;
   const std::size_t symbols_start =
       detection->preamble_start + spec_.header_samples();
-  std::vector<std::size_t> data_bins = spec_.plan.data;
-  std::sort(data_bins.begin(), data_bins.end());
 
   std::vector<double> llrs;
+  llrs.reserve(n_ofdm * bits_per_ofdm);
   const long offset = FrameOffset(recording, symbols_start, n_ofdm);
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
   for (std::size_t s = 0; s < n_ofdm; ++s) {
-    const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
-    if (!spectrum) return std::nullopt;
-    const ChannelEstimate channel = EstimateChannel(spec_, *spectrum);
-    const std::vector<dsp::Complex> equalized =
-        Equalize(channel, *spectrum, data_bins);
-    const std::vector<double> chunk = DemapSymbolsSoft(m, equalized);
-    llrs.insert(llrs.end(), chunk.begin(), chunk.end());
+    const dsp::ComplexVec* spectrum =
+        SymbolSpectrumInto(recording, symbols_start, s, offset, ws);
+    if (spectrum == nullptr) return std::nullopt;
+    const ChannelView channel = EstimateChannelInto(geometry_, *spectrum, ws);
+    const std::span<const dsp::Complex> equalized =
+        EqualizeInto(channel, *spectrum, data_bins_, ws);
+    DemapSymbolsSoftInto(m, equalized, llrs);
   }
   if (llrs.size() < n_bits) return std::nullopt;
   llrs.resize(n_bits);
@@ -151,7 +173,7 @@ std::optional<std::vector<double>> Demodulator::DemodulateSoft(
 }
 
 std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
-    const audio::Samples& recording) const {
+    std::span<const double> recording) const {
   WL_SPAN_V(span, "modem.probe_analysis");
   WL_TIMED_SERIES("modem.probe_analysis.host_ms");
   WL_COUNT("modem.probe_analysis.calls");
@@ -185,11 +207,11 @@ std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
   {
     WL_SPAN_V(noise_span, "modem.probe.noise_rank");
     if (detection->preamble_start >= spec_.fft_size()) {
-      audio::Samples ambient(
-          recording.begin(),
-          recording.begin() + static_cast<long>(detection->preamble_start));
+      const std::span<const double> ambient =
+          recording.first(detection->preamble_start);
       probe.noise_power = NoisePowerFromAmbient(spec_, ambient);
-      probe.ambient_spl_db = dsp::SplOf(ambient);
+      probe.ambient_spl_db =
+          dsp::SplOf(audio::Samples(ambient.begin(), ambient.end()));
     } else {
       probe.noise_power.assign(spec_.fft_size(), 0.0);
       probe.ambient_spl_db = -100.0;
@@ -206,10 +228,12 @@ std::optional<ProbeAnalysis> Demodulator::AnalyzeProbe(
   std::size_t snr_n = 0;
   const std::size_t probe_symbols = std::max<std::size_t>(spec_.probe_symbols, 1);
   const long offset = FrameOffset(recording, symbols_start, probe_symbols);
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
   std::vector<ChannelEstimate> estimates;
   for (std::size_t s = 0; s < probe_symbols; ++s) {
-    const auto spectrum = SymbolSpectrumAt(recording, symbols_start, s, offset);
-    if (!spectrum) break;
+    const dsp::ComplexVec* spectrum =
+        SymbolSpectrumInto(recording, symbols_start, s, offset, ws);
+    if (spectrum == nullptr) break;
     snr_acc += PilotSnrDb(spec_, *spectrum);
     ++snr_n;
     estimates.push_back(EstimateChannel(spec_, *spectrum));

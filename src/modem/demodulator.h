@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "audio/signal.h"
@@ -56,37 +58,50 @@ class Demodulator {
 
   /// Demodulate a payload of n_bits (the length is agreed over the
   /// control channel). Returns nullopt when no preamble is found or the
-  /// recording is too short for the expected frame.
-  std::optional<DemodResult> Demodulate(const audio::Samples& recording,
+  /// recording is too short for the expected frame. The recording is a
+  /// view: callers (the streaming receiver) pass slices without copying,
+  /// and the per-symbol chain runs on this thread's dsp::Workspace.
+  std::optional<DemodResult> Demodulate(std::span<const double> recording,
                                         Modulation m, std::size_t n_bits) const;
 
   /// Soft-output variant: per-bit LLRs (positive = bit 0 likelier) for
   /// soft-decision channel decoding. Same synchronization/equalization
   /// chain as Demodulate.
   std::optional<std::vector<double>> DemodulateSoft(
-      const audio::Samples& recording, Modulation m, std::size_t n_bits) const;
+      std::span<const double> recording, Modulation m,
+      std::size_t n_bits) const;
 
   /// Analyze an RTS probe recording (preamble + guard + block pilot).
-  std::optional<ProbeAnalysis> AnalyzeProbe(const audio::Samples& recording) const;
+  std::optional<ProbeAnalysis> AnalyzeProbe(
+      std::span<const double> recording) const;
 
   const FrameSpec& spec() const { return spec_; }
   const DemodConfig& config() const { return config_; }
 
  private:
-  /// Spectrum of symbol `index` at a given common fine-sync offset;
-  /// nullopt if out of bounds.
-  std::optional<dsp::ComplexVec> SymbolSpectrumAt(
-      const audio::Samples& recording, std::size_t symbols_start,
-      std::size_t index, long offset) const;
+  /// Spectrum of symbol `index` at a given common fine-sync offset,
+  /// computed into ws slot CSlot::kSymbolSpectrum through the cached FFT
+  /// plan; nullptr if out of bounds. The pointer is valid until the next
+  /// call on the same workspace.
+  const dsp::ComplexVec* SymbolSpectrumInto(std::span<const double> recording,
+                                            std::size_t symbols_start,
+                                            std::size_t index, long offset,
+                                            dsp::Workspace& ws) const;
 
   /// Joint fine-sync offset for a frame of n_symbols, with the
   /// min_sync_metric fallback applied.
-  long FrameOffset(const audio::Samples& recording, std::size_t symbols_start,
+  long FrameOffset(std::span<const double> recording, std::size_t symbols_start,
                    std::size_t n_symbols) const;
 
   FrameSpec spec_;
   DemodConfig config_;
   PreambleDetector detector_;
+  /// Per-instance caches resolved at construction: sorted data bins,
+  /// pilot geometry, and the symbol FFT plan (null for non-power-of-two
+  /// FFT sizes, where the legacy any-size path is used).
+  std::vector<std::size_t> data_bins_;
+  PilotGeometry geometry_;
+  std::shared_ptr<const dsp::FftPlan> fft_plan_;
 };
 
 }  // namespace wearlock::modem

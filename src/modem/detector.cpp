@@ -5,6 +5,7 @@
 
 #include "dsp/correlate.h"
 #include "dsp/spl.h"
+#include "dsp/workspace.h"
 #include "obs/instrument.h"
 
 namespace wearlock::modem {
@@ -13,27 +14,31 @@ PreambleDetector::PreambleDetector(FrameSpec spec, DetectorConfig config)
     : spec_(spec), config_(config), preamble_(MakePreamble(spec)) {}
 
 std::vector<double> PreambleDetector::Scores(
-    const audio::Samples& recording) const {
+    std::span<const double> recording) const {
   if (recording.size() < preamble_.size()) return {};
   return dsp::NormalizedCrossCorrelate(recording, preamble_);
 }
 
+// lint: hot-path
 std::optional<std::size_t> PreambleDetector::FindSignalOnset(
-    const audio::Samples& recording) const {
+    std::span<const double> recording) const {
   const std::size_t w = config_.energy_window;
   if (recording.size() < w || w == 0) return std::nullopt;
-  // Window RMS sequence.
-  std::vector<double> window_rms;
-  window_rms.reserve(recording.size() / w);
-  for (std::size_t i = 0; i + w <= recording.size(); i += w) {
+  // Window RMS sequence, in this thread's workspace.
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
+  const std::size_t n_windows = recording.size() / w;
+  if (n_windows == 0) return std::nullopt;
+  dsp::RealVec& window_rms = ws.RealBuf(dsp::RSlot::kOnsetRms, n_windows);
+  for (std::size_t k = 0; k < n_windows; ++k) {
+    const std::size_t i = k * w;
     double e = 0.0;
     for (std::size_t j = 0; j < w; ++j) e += recording[i + j] * recording[i + j];
-    window_rms.push_back(std::sqrt(e / static_cast<double>(w)));
+    window_rms[k] = std::sqrt(e / static_cast<double>(w));
   }
-  if (window_rms.empty()) return std::nullopt;
   // Noise floor: quietest decile (robust when most of the buffer is
   // signal).
-  std::vector<double> sorted = window_rms;
+  dsp::RealVec& sorted = ws.RealBuf(dsp::RSlot::kOnsetSorted, n_windows);
+  std::copy(window_rms.begin(), window_rms.end(), sorted.begin());
   std::sort(sorted.begin(), sorted.end());
   const double floor_rms =
       std::max(sorted[sorted.size() / 10], dsp::kReferencePressure);
@@ -44,8 +49,9 @@ std::optional<std::size_t> PreambleDetector::FindSignalOnset(
   return std::nullopt;
 }
 
+// lint: hot-path
 std::optional<Detection> PreambleDetector::Detect(
-    const audio::Samples& recording) const {
+    std::span<const double> recording) const {
   WL_SPAN_V(span, "modem.sync.detect");
   WL_TIMED_SERIES("modem.sync.host_ms");
   WL_COUNT("modem.sync.calls");
@@ -55,13 +61,16 @@ std::optional<Detection> PreambleDetector::Detect(
     return std::nullopt;
   }
   // Search from a little before the gate opening (the gate has window
-  // granularity).
+  // granularity). The region is a view, not a copy, and the correlation
+  // scores land in workspace scratch.
   const std::size_t begin =
       *onset >= config_.energy_window ? *onset - config_.energy_window : 0;
-  audio::Samples region(recording.begin() + static_cast<long>(begin),
-                        recording.end());
-  const std::vector<double> scores = Scores(region);
-  if (scores.empty()) return std::nullopt;
+  const std::span<const double> region = recording.subspan(begin);
+  if (region.size() < preamble_.size()) return std::nullopt;
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
+  dsp::RealVec& scores = ws.RealBuf(dsp::RSlot::kDetectorScores,
+                                    region.size() - preamble_.size() + 1);
+  dsp::NormalizedCrossCorrelateInto(region, preamble_, ws, scores);
   const dsp::PeakResult peak = dsp::FindPeak(scores);
   if (peak.score < config_.score_threshold) {
     WL_COUNT("modem.sync.no_preamble");

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "audio/signal.h"
@@ -37,16 +38,19 @@ class PreambleDetector {
 
   /// Find the preamble in a recording. Returns nullopt if the energy
   /// gate never opens or the correlation peak is under threshold.
-  std::optional<Detection> Detect(const audio::Samples& recording) const;
+  /// Runs entirely on this thread's dsp::Workspace - no region copies,
+  /// no per-call score vectors.
+  std::optional<Detection> Detect(std::span<const double> recording) const;
 
   /// Raw normalized correlation scores against the preamble template
   /// (exposed for the NLOS delay-profile analysis).
-  std::vector<double> Scores(const audio::Samples& recording) const;
+  std::vector<double> Scores(std::span<const double> recording) const;
 
   /// First sample index whose surrounding window exceeds the noise floor
   /// by the energy gate, or nullopt if the recording stays silent.
   /// The noise floor is estimated from the quietest decile of windows.
-  std::optional<std::size_t> FindSignalOnset(const audio::Samples& recording) const;
+  std::optional<std::size_t> FindSignalOnset(
+      std::span<const double> recording) const;
 
   const DetectorConfig& config() const { return config_; }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/fft_plan.h"
+#include "dsp/workspace.h"
+
 namespace wearlock::modem {
 
 ChannelEstimate::ChannelEstimate(std::size_t first_bin, dsp::ComplexVec response)
@@ -97,6 +100,79 @@ std::vector<dsp::Complex> Equalize(const ChannelEstimate& estimate,
     out.push_back(spectrum[bin] / h);
   }
   return out;
+}
+
+PilotGeometry::PilotGeometry(const FrameSpec& spec)
+    : pilots_(spec.plan.pilots) {
+  std::sort(pilots_.begin(), pilots_.end());
+  values_.reserve(pilots_.size());
+  for (std::size_t p : pilots_) values_.push_back(PilotValue(p));
+  if (pilots_.size() < 2) return;
+  spacing_ = pilots_[1] - pilots_[0];
+  for (std::size_t i = 1; i < pilots_.size(); ++i) {
+    if (pilots_[i] - pilots_[i - 1] != spacing_) return;
+  }
+  uniform_ = true;
+  if (dsp::IsPowerOfTwo(count()) && dsp::IsPowerOfTwo(dense_len()) &&
+      dense_len() > count()) {
+    fwd_plan_ = dsp::PlanCache::Shared().Get(count());
+    inv_plan_ = dsp::PlanCache::Shared().Get(dense_len());
+  }
+}
+
+// lint: hot-path
+ChannelView EstimateChannelInto(const PilotGeometry& geometry,
+                                const dsp::ComplexVec& spectrum,
+                                dsp::Workspace& ws) {
+  if (geometry.count() < 2) {
+    throw std::invalid_argument("EstimateChannel: need >= 2 pilots");
+  }
+  if (!geometry.uniform()) {
+    throw std::invalid_argument("EstimateChannel: pilots not equally spaced");
+  }
+  const std::size_t m = geometry.count();
+  // Raw estimates at pilot bins: H(p) = z(p) / pilot value (unit power).
+  dsp::ComplexVec& h_pilots = ws.ComplexBuf(dsp::CSlot::kEqPilots, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    h_pilots[i] = spectrum[geometry.pilot(i)] / geometry.pilot_value(i);
+  }
+  // Same bulk-delay derotation as EstimateChannel (see the free function
+  // for the rationale); only the storage differs.
+  dsp::Complex slope_acc(0.0, 0.0);
+  for (std::size_t i = 1; i < m; ++i) {
+    slope_acc += h_pilots[i] * std::conj(h_pilots[i - 1]);
+  }
+  const double slope = std::arg(slope_acc);  // radians per pilot spacing
+  dsp::ComplexVec& derotated = ws.ComplexBuf(dsp::CSlot::kEqDerot, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    derotated[i] =
+        h_pilots[i] * std::polar(1.0, -slope * static_cast<double>(i));
+  }
+  dsp::ComplexVec& dense = dsp::FftInterpolateInto(
+      derotated, geometry.dense_len(), ws, geometry.fwd_plan(),
+      geometry.inv_plan());
+  const double spacing = static_cast<double>(geometry.spacing());
+  for (std::size_t j = 0; j < dense.size(); ++j) {
+    dense[j] *= std::polar(1.0, slope * static_cast<double>(j) / spacing);
+  }
+  return ChannelView{geometry.first_bin(), {dense.data(), dense.size()}};
+}
+
+// lint: hot-path
+std::span<const dsp::Complex> EqualizeInto(const ChannelView& estimate,
+                                           const dsp::ComplexVec& spectrum,
+                                           std::span<const std::size_t> bins,
+                                           dsp::Workspace& ws) {
+  constexpr double kEpsilon = 1e-9;
+  dsp::ComplexVec& out = ws.ComplexBuf(dsp::CSlot::kEqualized, bins.size());
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    dsp::Complex h = estimate.At(bins[k]);
+    if (std::abs(h) < kEpsilon) {
+      h = dsp::Complex(kEpsilon, 0.0);
+    }
+    out[k] = spectrum[bins[k]] / h;
+  }
+  return {out.data(), out.size()};
 }
 
 }  // namespace wearlock::modem

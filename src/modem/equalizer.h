@@ -7,10 +7,17 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "dsp/fft.h"
 #include "modem/frame.h"
+
+namespace wearlock::dsp {
+class FftPlan;    // dsp/fft_plan.h
+class Workspace;  // dsp/workspace.h
+}  // namespace wearlock::dsp
 
 namespace wearlock::modem {
 
@@ -52,5 +59,66 @@ ChannelEstimate EstimateChannel(const FrameSpec& spec,
 std::vector<dsp::Complex> Equalize(const ChannelEstimate& estimate,
                                    const dsp::ComplexVec& spectrum,
                                    const std::vector<std::size_t>& bins);
+
+/// Pilot geometry of a FrameSpec, precomputed once so the per-symbol
+/// estimator does no sorting, no PilotValue trigonometry, and no plan
+/// lookups. Construction never throws on a degenerate pilot set; the
+/// estimator raises EstimateChannel's errors at call time instead (same
+/// contract as the free function).
+class PilotGeometry {
+ public:
+  explicit PilotGeometry(const FrameSpec& spec);
+
+  std::size_t count() const { return pilots_.size(); }
+  std::size_t spacing() const { return spacing_; }
+  std::size_t first_bin() const { return pilots_.empty() ? 0 : pilots_.front(); }
+  std::size_t dense_len() const { return count() * spacing_; }
+  bool uniform() const { return uniform_; }
+  std::size_t pilot(std::size_t i) const { return pilots_[i]; }
+  const dsp::Complex& pilot_value(std::size_t i) const { return values_[i]; }
+  /// Cached interpolation plans (null when the shape is not power-of-two;
+  /// the interpolator then falls back to its any-size path).
+  const dsp::FftPlan* fwd_plan() const { return fwd_plan_.get(); }
+  const dsp::FftPlan* inv_plan() const { return inv_plan_.get(); }
+
+ private:
+  std::vector<std::size_t> pilots_;  ///< ascending
+  dsp::ComplexVec values_;
+  std::size_t spacing_ = 0;
+  bool uniform_ = false;
+  std::shared_ptr<const dsp::FftPlan> fwd_plan_;
+  std::shared_ptr<const dsp::FftPlan> inv_plan_;
+};
+
+/// Non-owning view of a channel estimate whose response lives in a
+/// Workspace slot. Valid until the next EstimateChannelInto (or other
+/// kInterpPadded owner) call on the same workspace.
+struct ChannelView {
+  std::size_t first_bin = 0;
+  std::span<const dsp::Complex> response;
+
+  /// Same clamping semantics as ChannelEstimate::At.
+  dsp::Complex At(std::size_t bin) const {
+    if (response.empty()) return dsp::Complex(1.0, 0.0);
+    if (bin < first_bin) return response.front();
+    const std::size_t idx = bin - first_bin;
+    if (idx >= response.size()) return response.back();
+    return response[idx];
+  }
+};
+
+/// Workspace EstimateChannel: bit-identical response values computed
+/// into ws scratch (slots kEqPilots, kEqDerot, and the interpolator's).
+/// @throws std::invalid_argument exactly as EstimateChannel does.
+ChannelView EstimateChannelInto(const PilotGeometry& geometry,
+                                const dsp::ComplexVec& spectrum,
+                                dsp::Workspace& ws);
+
+/// Workspace Equalize: identical values into ws slot kEqualized; the
+/// returned span is valid until the next EqualizeInto on the workspace.
+std::span<const dsp::Complex> EqualizeInto(const ChannelView& estimate,
+                                           const dsp::ComplexVec& spectrum,
+                                           std::span<const std::size_t> bins,
+                                           dsp::Workspace& ws);
 
 }  // namespace wearlock::modem

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "dsp/chirp.h"
+#include "dsp/fft_plan.h"
+#include "dsp/workspace.h"
 
 namespace wearlock::modem {
 
@@ -54,6 +56,39 @@ audio::Samples BuildSymbol(const FrameSpec& spec,
                 body.end());
   symbol.insert(symbol.end(), body.begin(), body.end());
   return symbol;
+}
+
+// lint: hot-path
+void WriteSymbol(const FrameSpec& spec, const dsp::FftPlan& plan,
+                 std::span<const BinLoad> fixed,
+                 std::span<const std::size_t> data_bins,
+                 std::span<const dsp::Complex> data_values,
+                 dsp::Workspace& ws, std::span<double> out) {
+  const std::size_t n = spec.fft_size();
+  const std::size_t cp = spec.cyclic_prefix_samples;
+  if (data_bins.size() != data_values.size()) {
+    throw std::invalid_argument("WriteSymbol: data_bins/data_values mismatch");
+  }
+  if (out.size() != spec.symbol_samples()) {
+    throw std::invalid_argument("WriteSymbol: out size != symbol_samples");
+  }
+  dsp::ComplexVec& spectrum = ws.ComplexZeroed(dsp::CSlot::kSymbolBuild, n);
+  const auto load = [&](std::size_t bin, const dsp::Complex& value) {
+    if (bin == 0 || bin >= n / 2) {
+      throw std::invalid_argument("BuildSymbol: bin out of (0, N/2)");
+    }
+    spectrum[bin] = value;
+    spectrum[n - bin] = std::conj(value);  // Hermitian -> real signal
+  };
+  for (const BinLoad& f : fixed) load(f.bin, f.value);
+  for (std::size_t i = 0; i < data_bins.size(); ++i) {
+    load(data_bins[i], data_values[i]);
+  }
+  plan.Inverse(spectrum.data());
+  // Body goes to out[cp..cp+n); the cyclic prefix is then the body tail,
+  // which already sits at out[n..n+cp).
+  for (std::size_t i = 0; i < n; ++i) out[cp + i] = spectrum[i].real();
+  for (std::size_t j = 0; j < cp; ++j) out[j] = out[n + j];
 }
 
 dsp::ComplexVec SymbolSpectrum(const FrameSpec& spec,

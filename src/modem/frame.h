@@ -8,11 +8,17 @@
 
 #include <cstddef>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "audio/signal.h"
 #include "dsp/fft.h"
 #include "modem/subchannel.h"
+
+namespace wearlock::dsp {
+class FftPlan;    // dsp/fft_plan.h
+class Workspace;  // dsp/workspace.h
+}  // namespace wearlock::dsp
 
 namespace wearlock::modem {
 
@@ -68,6 +74,27 @@ audio::Samples MakePreamble(const FrameSpec& spec);
 /// @throws std::invalid_argument if a bin is out of (0, N/2).
 audio::Samples BuildSymbol(const FrameSpec& spec,
                            const std::map<std::size_t, dsp::Complex>& loads);
+
+/// One spectral load for WriteSymbol: `value` goes to `bin` (the
+/// Hermitian mirror bin is filled internally).
+struct BinLoad {
+  std::size_t bin = 0;
+  dsp::Complex value;
+};
+
+/// Hot-path symbol builder: writes one CP-prefixed OFDM symbol - exactly
+/// spec.symbol_samples() samples, bit-identical to BuildSymbol on the
+/// same loads - into `out`, running the IFFT through a cached plan and
+/// the workspace's scratch so steady-state calls allocate nothing.
+/// `fixed` carries precomputed loads (pilots); `data_bins[i]` carries
+/// `data_values[i]`. All bins must be distinct.
+/// @throws std::invalid_argument on a bin out of (0, N/2), a
+/// data_bins/data_values length mismatch, or a mis-sized `out`.
+void WriteSymbol(const FrameSpec& spec, const dsp::FftPlan& plan,
+                 std::span<const BinLoad> fixed,
+                 std::span<const std::size_t> data_bins,
+                 std::span<const dsp::Complex> data_values,
+                 dsp::Workspace& ws, std::span<double> out);
 
 /// FFT of one received symbol body (CP already stripped): returns the
 /// complex spectrum (size N).

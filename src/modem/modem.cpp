@@ -19,7 +19,10 @@ std::uint32_t WordFromBits(const std::vector<std::uint8_t>& bits) {
   }
   std::uint32_t word = 0;
   for (std::size_t i = 0; i < 32; ++i) {
-    word = (word << 1) | static_cast<std::uint32_t>(bits[i] & 1u);
+    if (bits[i] > 1u) {
+      throw std::invalid_argument("WordFromBits: bit values must be 0 or 1");
+    }
+    word = (word << 1) | static_cast<std::uint32_t>(bits[i]);
   }
   return word;
 }
@@ -40,17 +43,17 @@ TxFrame AcousticModem::MakeProbeFrame() const {
 }
 
 std::optional<DemodResult> AcousticModem::Demodulate(
-    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+    std::span<const double> recording, Modulation m, std::size_t n_bits) const {
   return demodulator_.Demodulate(recording, m, n_bits);
 }
 
 std::optional<std::vector<double>> AcousticModem::DemodulateSoft(
-    const audio::Samples& recording, Modulation m, std::size_t n_bits) const {
+    std::span<const double> recording, Modulation m, std::size_t n_bits) const {
   return demodulator_.DemodulateSoft(recording, m, n_bits);
 }
 
 std::optional<ProbeAnalysis> AcousticModem::AnalyzeProbe(
-    const audio::Samples& recording) const {
+    std::span<const double> recording) const {
   return demodulator_.AnalyzeProbe(recording);
 }
 

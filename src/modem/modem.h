@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "modem/adaptive.h"
@@ -14,6 +15,9 @@ namespace wearlock::modem {
 
 /// Convert a 32-bit word into its bit vector (MSB first) and back -
 /// the OTP token's on-air representation.
+/// @throws std::invalid_argument unless bits has exactly 32 entries,
+/// every one of them 0 or 1 (a value > 1 is a caller bug that silent
+/// masking used to hide).
 std::vector<std::uint8_t> BitsFromWord(std::uint32_t word);
 std::uint32_t WordFromBits(const std::vector<std::uint8_t>& bits);
 
@@ -27,16 +31,18 @@ class AcousticModem {
   /// TX: RTS channel-probing frame.
   TxFrame MakeProbeFrame() const;
 
-  /// RX: recover n_bits from a recording.
-  std::optional<DemodResult> Demodulate(const audio::Samples& recording,
+  /// RX: recover n_bits from a recording (a non-owning view).
+  std::optional<DemodResult> Demodulate(std::span<const double> recording,
                                         Modulation m, std::size_t n_bits) const;
 
   /// RX: soft per-bit LLRs for soft-decision decoding.
   std::optional<std::vector<double>> DemodulateSoft(
-      const audio::Samples& recording, Modulation m, std::size_t n_bits) const;
+      std::span<const double> recording, Modulation m,
+      std::size_t n_bits) const;
 
   /// RX: analyze an RTS probe.
-  std::optional<ProbeAnalysis> AnalyzeProbe(const audio::Samples& recording) const;
+  std::optional<ProbeAnalysis> AnalyzeProbe(
+      std::span<const double> recording) const;
 
   /// Re-plan data sub-channels from probed per-bin noise and return a
   /// modem configured with the new plan (modems are cheap value types).

@@ -2,12 +2,26 @@
 
 #include <algorithm>
 
+#include "dsp/fft_plan.h"
 #include "dsp/window.h"
+#include "dsp/workspace.h"
 
 namespace wearlock::modem {
 
 Modulator::Modulator(FrameSpec spec) : spec_(spec), preamble_(MakePreamble(spec)) {
   spec_.plan.Validate();
+  pilot_loads_.reserve(spec_.plan.pilots.size());
+  for (std::size_t b : spec_.plan.pilots) {
+    pilot_loads_.push_back(BinLoad{b, PilotValue(b)});
+  }
+  // Data bins are filled in ascending frequency order.
+  data_bins_ = spec_.plan.data;
+  std::sort(data_bins_.begin(), data_bins_.end());
+  probe_loads_ = pilot_loads_;
+  probe_loads_.reserve(pilot_loads_.size() + spec_.plan.data.size());
+  for (std::size_t b : spec_.plan.data) {
+    probe_loads_.push_back(BinLoad{b, PilotValue(b)});
+  }
 }
 
 std::size_t Modulator::SymbolsForBits(Modulation m, std::size_t n_bits) const {
@@ -25,23 +39,22 @@ TxFrame Modulator::ModulateBits(Modulation m,
   while (symbols.size() % per_ofdm != 0) symbols.push_back(c.Map(0));
   const std::size_t n_ofdm = symbols.size() / per_ofdm;
 
-  // Data bins are filled in ascending frequency order.
-  std::vector<std::size_t> data_bins = spec_.plan.data;
-  std::sort(data_bins.begin(), data_bins.end());
-
   TxFrame frame;
   frame.n_bits = bits.size();
   frame.n_symbols = n_ofdm;
-  frame.samples = preamble_;
-  audio::Append(frame.samples,
-                audio::Silence(spec_.preamble_guard_samples));
+  // Assemble in place: preamble, zero guard (from the fill), then each
+  // symbol written directly into its slice - no per-symbol vectors.
+  frame.samples.assign(spec_.FrameSamples(n_ofdm), 0.0);
+  std::copy(preamble_.begin(), preamble_.end(), frame.samples.begin());
+  const auto plan = dsp::PlanCache::Shared().Get(spec_.fft_size());
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
+  const std::span<double> out(frame.samples);
+  const std::span<const dsp::Complex> all_symbols(symbols);
   for (std::size_t s = 0; s < n_ofdm; ++s) {
-    std::map<std::size_t, dsp::Complex> loads;
-    for (std::size_t b : spec_.plan.pilots) loads[b] = PilotValue(b);
-    for (std::size_t i = 0; i < per_ofdm; ++i) {
-      loads[data_bins[i]] = symbols[s * per_ofdm + i];
-    }
-    audio::Append(frame.samples, BuildSymbol(spec_, loads));
+    WriteSymbol(spec_, *plan, pilot_loads_, data_bins_,
+                all_symbols.subspan(s * per_ofdm, per_ofdm), ws,
+                out.subspan(spec_.header_samples() + s * spec_.symbol_samples(),
+                            spec_.symbol_samples()));
   }
   NormalizeFrame(spec_, frame.samples);
   // Soften the very start against the speaker rise effect.
@@ -53,15 +66,22 @@ TxFrame Modulator::MakeProbeFrame() const {
   TxFrame frame;
   frame.n_bits = 0;
   frame.n_symbols = spec_.probe_symbols;
-  frame.samples = preamble_;
-  audio::Append(frame.samples,
-                audio::Silence(spec_.preamble_guard_samples));
-  std::map<std::size_t, dsp::Complex> loads;
-  for (std::size_t b : spec_.plan.pilots) loads[b] = PilotValue(b);
-  for (std::size_t b : spec_.plan.data) loads[b] = PilotValue(b);
-  const audio::Samples symbol = BuildSymbol(spec_, loads);
-  for (std::size_t s = 0; s < spec_.probe_symbols; ++s) {
-    audio::Append(frame.samples, symbol);
+  frame.samples.assign(spec_.FrameSamples(spec_.probe_symbols), 0.0);
+  std::copy(preamble_.begin(), preamble_.end(), frame.samples.begin());
+  const auto plan = dsp::PlanCache::Shared().Get(spec_.fft_size());
+  const std::span<double> out(frame.samples);
+  if (spec_.probe_symbols > 0) {
+    const std::span<double> first =
+        out.subspan(spec_.header_samples(), spec_.symbol_samples());
+    WriteSymbol(spec_, *plan, probe_loads_, {}, {},
+                dsp::Workspace::PerThread(), first);
+    // The block pilot symbol repeats verbatim.
+    for (std::size_t s = 1; s < spec_.probe_symbols; ++s) {
+      std::copy(first.begin(), first.end(),
+                out.begin() +
+                    static_cast<std::ptrdiff_t>(spec_.header_samples() +
+                                                s * spec_.symbol_samples()));
+    }
   }
   NormalizeFrame(spec_, frame.samples);
   dsp::ApplyFadeIn(frame.samples, 8);

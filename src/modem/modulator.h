@@ -40,6 +40,12 @@ class Modulator {
  private:
   FrameSpec spec_;
   audio::Samples preamble_;
+  /// Precomputed at construction so the per-symbol loop carries no map
+  /// churn: pilot loads, ascending data bins, and the probe symbol's
+  /// all-pilot load set.
+  std::vector<BinLoad> pilot_loads_;
+  std::vector<std::size_t> data_bins_;
+  std::vector<BinLoad> probe_loads_;
 };
 
 }  // namespace wearlock::modem

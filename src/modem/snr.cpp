@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/fft_plan.h"
 #include "dsp/spl.h"
+#include "dsp/workspace.h"
 
 namespace wearlock::modem {
 namespace {
@@ -54,18 +56,30 @@ std::vector<double> NoisePowerPerBin(
 }
 
 std::vector<double> NoisePowerFromAmbient(const FrameSpec& spec,
-                                          const audio::Samples& ambient) {
+                                          std::span<const double> ambient) {
   const std::size_t n = spec.fft_size();
   if (ambient.size() < n) {
     throw std::invalid_argument("NoisePowerFromAmbient: recording shorter than FFT");
   }
-  std::vector<dsp::ComplexVec> spectra;
+  // Accumulate |X(k)|^2 window by window through one reused spectrum
+  // buffer; summation order matches NoisePowerPerBin over the same
+  // windows, so the result is bit-identical to the old materialize-
+  // everything path.
+  const auto plan = dsp::PlanCache::Shared().Get(n);
+  dsp::Workspace& ws = dsp::Workspace::PerThread();
+  std::vector<double> power(n, 0.0);
+  std::size_t windows = 0;
   for (std::size_t i = 0; i + n <= ambient.size(); i += n) {
-    audio::Samples window(ambient.begin() + static_cast<long>(i),
-                          ambient.begin() + static_cast<long>(i + n));
-    spectra.push_back(dsp::FftReal(window));
+    dsp::ComplexVec& spectrum = ws.ComplexBuf(dsp::CSlot::kNoiseSpectrum, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      spectrum[j] = dsp::Complex(ambient[i + j], 0.0);
+    }
+    plan->Forward(spectrum.data());
+    for (std::size_t k = 0; k < n; ++k) power[k] += std::norm(spectrum[k]);
+    ++windows;
   }
-  return NoisePowerPerBin(spec, spectra);
+  for (double& p : power) p /= static_cast<double>(windows);
+  return power;
 }
 
 }  // namespace wearlock::modem

@@ -8,6 +8,8 @@
 // via Eb/N0 = C/N * B/R.
 #pragma once
 
+#include <span>
+
 #include "dsp/fft.h"
 #include "modem/constellation.h"
 #include "modem/frame.h"
@@ -33,8 +35,9 @@ std::vector<double> NoisePowerPerBin(const FrameSpec& spec,
                                      const std::vector<dsp::ComplexVec>& spectra);
 
 /// Convenience: chop an ambient recording into FFT-size windows and
-/// average their bin powers.
+/// average their bin powers. Window FFTs run through the cached plan and
+/// per-thread workspace, so no per-window spectra are materialized.
 std::vector<double> NoisePowerFromAmbient(const FrameSpec& spec,
-                                          const audio::Samples& ambient);
+                                          std::span<const double> ambient);
 
 }  // namespace wearlock::modem

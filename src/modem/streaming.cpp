@@ -22,18 +22,28 @@ DetectorConfig StreamingDetector(const StreamingConfig& config) {
   return det;
 }
 
+std::size_t FrameSymbols(const FrameSpec& spec, const StreamingConfig& config) {
+  const std::size_t bits_per_ofdm =
+      spec.plan.data.size() * BitsPerSymbol(config.modulation);
+  return (config.payload_bits + bits_per_ofdm - 1) / bits_per_ofdm;
+}
+
 }  // namespace
 
 StreamingReceiver::StreamingReceiver(FrameSpec spec, StreamingConfig config)
     : spec_(spec),
       config_(config),
       detector_(spec, StreamingDetector(config)),
-      demodulator_(spec, config.demod) {
+      demodulator_(spec, config.demod),
+      frame_symbols_(FrameSymbols(spec, config)) {
   spec_.plan.Validate();
 }
 
 void StreamingReceiver::Reset() {
-  buffer_.clear();
+  // Release the backing store, don't just clear it: a receiver parked
+  // after a long session should not pin a frame's worth of audio.
+  audio::Samples().swap(buffer_);
+  head_ = 0;
   decode_attempts_ = 0;
   consumed_ = 0;
   discarded_ = 0;
@@ -46,17 +56,27 @@ StreamState StreamingReceiver::Push(const audio::Samples& chunk) {
   if (state_ == StreamState::kDone || state_ == StreamState::kFailed) {
     return state_;
   }
+  // Compact the discarded prefix before growing, so the backing store
+  // never holds more than the retained tail plus this chunk. This is a
+  // bounded memmove; with warm capacity the insert below cannot
+  // reallocate.
+  if (head_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(head_));
+    head_ = 0;
+  }
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
   consumed_ += chunk.size();
 
   if (state_ == StreamState::kSearching) {
     TrySearch();
     // Bound memory while idle: drop audio that can no longer contain the
-    // start of a frame we would still catch.
+    // start of a frame we would still catch. O(1) - the head index moves;
+    // the bytes leave at the next Push's compaction.
     if (state_ == StreamState::kSearching &&
-        buffer_.size() > config_.search_retain_samples) {
-      const std::size_t drop = buffer_.size() - config_.search_retain_samples;
-      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+        buffered_samples() > config_.search_retain_samples) {
+      const std::size_t drop =
+          buffered_samples() - config_.search_retain_samples;
+      head_ += drop;
       discarded_ += drop;
     }
   }
@@ -66,12 +86,13 @@ StreamState StreamingReceiver::Push(const audio::Samples& chunk) {
 
 void StreamingReceiver::TrySearch() {
   // Cheap gate first; the correlator only runs when energy shows up.
-  const auto detection = detector_.Detect(buffer_);
+  const std::span<const double> view = View();
+  const auto detection = detector_.Detect(view);
   if (!detection) return;
   // A peak at the very end of the buffer may be the rising edge of a
   // still-arriving chirp; wait for the next chunk to confirm it is a
   // maximum rather than a slope.
-  if (detection->preamble_start + 2 * spec_.preamble_samples > buffer_.size()) {
+  if (detection->preamble_start + 2 * spec_.preamble_samples > view.size()) {
     return;
   }
   preamble_start_ = discarded_ + detection->preamble_start;
@@ -79,15 +100,12 @@ void StreamingReceiver::TrySearch() {
 }
 
 void StreamingReceiver::TryDecode() {
-  const Modulator shape(spec_);
-  const std::size_t n_symbols =
-      shape.SymbolsForBits(config_.modulation, config_.payload_bits);
   const std::size_t local_start = preamble_start_ - discarded_;
-  const std::size_t need = local_start + spec_.FrameSamples(n_symbols) +
+  const std::size_t need = local_start + spec_.FrameSamples(frame_symbols_) +
                            config_.guard_tail_samples;
-  if (buffer_.size() < need) return;  // keep collecting
+  if (buffered_samples() < need) return;  // keep collecting
 
-  const auto result = demodulator_.Demodulate(buffer_, config_.modulation,
+  const auto result = demodulator_.Demodulate(View(), config_.modulation,
                                               config_.payload_bits);
   if (result) {
     result_ = result;
@@ -102,8 +120,8 @@ void StreamingReceiver::TryDecode() {
     return;
   }
   const std::size_t drop =
-      std::min(buffer_.size(), preamble_start_ - discarded_ + 1);
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+      std::min(buffered_samples(), preamble_start_ - discarded_ + 1);
+  head_ += drop;
   discarded_ += drop;
   state_ = StreamState::kSearching;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "modem/demodulator.h"
 #include "modem/modulator.h"
@@ -61,15 +62,25 @@ class StreamingReceiver {
   const std::optional<DemodResult>& result() const { return result_; }
 
   /// Samples buffered right now (memory bound check).
-  std::size_t buffered_samples() const { return buffer_.size(); }
+  std::size_t buffered_samples() const { return buffer_.size() - head_; }
+
+  /// Backing-store capacity in samples (high-water memory check; bounded
+  /// by search_retain_samples + the largest chunk while searching).
+  std::size_t buffer_capacity() const { return buffer_.capacity(); }
 
   /// Total samples consumed since construction/Reset.
   std::size_t consumed_samples() const { return consumed_; }
 
-  /// Re-arm for the next frame (keeps nothing).
+  /// Re-arm for the next frame (keeps nothing - the buffer's backing
+  /// store is released, not just cleared).
   void Reset();
 
  private:
+  /// The live (not yet discarded) slice of the retained buffer.
+  std::span<const double> View() const {
+    return std::span<const double>(buffer_).subspan(head_);
+  }
+
   void TrySearch();
   void TryDecode();
 
@@ -77,10 +88,16 @@ class StreamingReceiver {
   StreamingConfig config_;
   PreambleDetector detector_;
   Demodulator demodulator_;
+  /// Sliding retained audio: the logical buffer is buffer_[head_..].
+  /// Discards advance head_ (O(1)); the prefix is compacted away only at
+  /// the next searching-state Push, so steady state does one bounded
+  /// memmove per chunk and never reallocates.
   audio::Samples buffer_;
+  std::size_t head_ = 0;
+  std::size_t frame_symbols_ = 0;  ///< expected OFDM symbols per frame
   int decode_attempts_ = 0;
   std::size_t consumed_ = 0;
-  std::size_t discarded_ = 0;       ///< samples dropped from buffer head
+  std::size_t discarded_ = 0;       ///< samples dropped from the logical head
   std::size_t preamble_start_ = 0;  ///< absolute index once detected
   StreamState state_ = StreamState::kSearching;
   std::optional<DemodResult> result_;

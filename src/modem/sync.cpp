@@ -8,7 +8,8 @@ namespace {
 
 // Normalized CP correlation of one symbol at one candidate offset, or 0
 // if out of bounds.
-double CpMetricAt(const audio::Samples& recording, long cp_start,
+// lint: hot-path
+double CpMetricAt(std::span<const double> recording, long cp_start,
                   const FrameSpec& spec) {
   const std::size_t tg = spec.cyclic_prefix_samples;
   const std::size_t ts = spec.fft_size();
@@ -29,7 +30,7 @@ double CpMetricAt(const audio::Samples& recording, long cp_start,
 
 }  // namespace
 
-FineSyncResult FineSyncJoint(const audio::Samples& recording,
+FineSyncResult FineSyncJoint(std::span<const double> recording,
                              std::size_t symbols_start, std::size_t n_symbols,
                              const FrameSpec& spec, long search_range) {
   FineSyncResult best;
@@ -52,7 +53,7 @@ FineSyncResult FineSyncJoint(const audio::Samples& recording,
   return best;
 }
 
-FineSyncResult FineSync(const audio::Samples& recording, std::size_t cp_start,
+FineSyncResult FineSync(std::span<const double> recording, std::size_t cp_start,
                         const FrameSpec& spec, long search_range) {
   const std::size_t tg = spec.cyclic_prefix_samples;
   const std::size_t ts = spec.fft_size();

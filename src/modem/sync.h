@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
-#include "audio/signal.h"
 #include "modem/frame.h"
 
 namespace wearlock::modem {
@@ -23,7 +23,7 @@ struct FineSyncResult {
 /// correlation between the CP window and the window one FFT-size later.
 /// Out-of-bounds offsets are skipped; if nothing is in bounds, offset 0 /
 /// metric 0 is returned.
-FineSyncResult FineSync(const audio::Samples& recording, std::size_t cp_start,
+FineSyncResult FineSync(std::span<const double> recording, std::size_t cp_start,
                         const FrameSpec& spec, long search_range);
 
 /// Joint fine sync: the timing offset is common to every symbol of a
@@ -33,7 +33,7 @@ FineSyncResult FineSync(const audio::Samples& recording, std::size_t cp_start,
 /// frames whose repeated identical symbols make the single-symbol metric
 /// flat: the first and last symbols border silence and anchor the true
 /// offset.
-FineSyncResult FineSyncJoint(const audio::Samples& recording,
+FineSyncResult FineSyncJoint(std::span<const double> recording,
                              std::size_t symbols_start, std::size_t n_symbols,
                              const FrameSpec& spec, long search_range);
 

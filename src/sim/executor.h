@@ -18,6 +18,12 @@
 // Thread count: explicit constructor argument, else the WEARLOCK_THREADS
 // environment variable, else std::thread::hardware_concurrency().
 //
+// Worker threads are long-lived, which the zero-allocation DSP core
+// leans on: a task that calls dsp::Workspace::PerThread() gets the same
+// thread_local arena on every point its worker runs, so scratch buffers
+// grown on the first (warm-up) point are reused allocation-free for the
+// rest of the sweep (docs/perf.md).
+//
 // There is deliberately no work stealing and no nested submission: the
 // tasks this repo runs are seconds-scale simulation points, so a single
 // shared index under one mutex is contention-free in practice and keeps

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "dsp/fft.h"
@@ -27,6 +28,16 @@ TEST(FftBasics, NextPowerOfTwo) {
   EXPECT_EQ(NextPowerOfTwo(3), 4u);
   EXPECT_EQ(NextPowerOfTwo(255), 256u);
   EXPECT_EQ(NextPowerOfTwo(257), 512u);
+}
+
+TEST(FftBasics, NextPowerOfTwoRejectsUnrepresentableSizes) {
+  // The doubling loop would wrap to 0 for n above 2^63; that must be a
+  // loud contract violation, not a silent infinite loop or bogus size.
+  const std::size_t top = std::size_t{1} << 63;
+  EXPECT_EQ(NextPowerOfTwo(top), top);  // largest representable result
+  EXPECT_THROW(NextPowerOfTwo(top + 1), std::invalid_argument);
+  EXPECT_THROW(NextPowerOfTwo(std::numeric_limits<std::size_t>::max()),
+               std::invalid_argument);
 }
 
 TEST(FftBasics, RejectsNonPowerOfTwo) {

@@ -61,6 +61,24 @@ TEST(ModemGolden, CleanLoopbackRecoversIdenticalPayloadEverywhere) {
   }
 }
 
+TEST(ModemGolden, RepeatedRunsOnAWarmWorkspaceStayBitIdentical) {
+  // The modem's hot paths borrow scratch from this thread's
+  // dsp::Workspace. Runs 2..4 reuse (and may shrink into) buffers the
+  // first run grew, so any dependence on stale slot contents or on slot
+  // capacity would move a checksum here.
+  const auto first =
+      modem::ComputeGoldenVector(Modulation::k16Qam, modem::kGoldenSeed);
+  for (int run = 0; run < 3; ++run) {
+    const auto again =
+        modem::ComputeGoldenVector(Modulation::k16Qam, modem::kGoldenSeed);
+    EXPECT_EQ(again.waveform_fnv, first.waveform_fnv) << run;
+    EXPECT_EQ(again.bits_fnv, first.bits_fnv) << run;
+    // Interleave a different modulation so the slots are resized between
+    // repeats, not just rewritten with identical lengths.
+    modem::ComputeGoldenVector(Modulation::kBask, modem::kGoldenSeed + 1);
+  }
+}
+
 TEST(ModemGolden, ChecksumsAreSeedSensitive) {
   // A different seed must move the waveform checksum - guards against the
   // checksum degenerating (e.g. hashing an empty span).

@@ -12,6 +12,7 @@
 #include "modem/demodulator.h"
 #include "modem/detector.h"
 #include "modem/equalizer.h"
+#include "modem/modem.h"
 #include "modem/modulator.h"
 #include "modem/nlos.h"
 #include "modem/snr.h"
@@ -32,6 +33,21 @@ TEST(Frame, LayoutArithmetic) {
   EXPECT_EQ(spec.FrameSamples(2), 1280u + 2 * 384u);
   // Data rate: 12 bins * 2 bits / 8.71 ms ~ 2756 bps for QPSK.
   EXPECT_NEAR(spec.DataRateBps(2), 2756.0, 5.0);
+}
+
+TEST(Words, WordFromBitsRoundTripsAndValidates) {
+  const std::uint32_t word = 0xA5C3'0F1Eu;
+  EXPECT_EQ(WordFromBits(BitsFromWord(word)), word);
+  // Wrong length.
+  EXPECT_THROW(WordFromBits(std::vector<std::uint8_t>(31, 0)),
+               std::invalid_argument);
+  // Bit VALUES outside {0,1} must throw, not silently corrupt the word
+  // (a stray 2 would shift into neighbouring bit positions).
+  std::vector<std::uint8_t> bits(32, 0);
+  bits[5] = 2;
+  EXPECT_THROW(WordFromBits(bits), std::invalid_argument);
+  bits[5] = 255;
+  EXPECT_THROW(WordFromBits(bits), std::invalid_argument);
 }
 
 TEST(Frame, PilotValuesAreUnitMagnitude) {

@@ -1,6 +1,8 @@
 // StreamingReceiver: chunked, memory-bounded reception.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "audio/medium.h"
 #include "modem/modem.h"
 #include "modem/streaming.h"
@@ -66,6 +68,29 @@ TEST(StreamingReceiver, MemoryBoundedWhileIdle) {
   }
   EXPECT_EQ(rx.state(), StreamState::kSearching);
   EXPECT_EQ(rx.consumed_samples(), 441000u);
+}
+
+TEST(StreamingReceiver, CapacityHighWaterIsBoundedAndResetReleasesIt) {
+  sim::Rng rng(97);
+  StreamingConfig config;
+  config.search_retain_samples = 8192;
+  StreamingReceiver rx{FrameSpec{}, config};
+  constexpr std::size_t kChunk = 4410;
+  // A long kSearching stream: the retained prefix is compacted in place
+  // before every insert, so the backing store's high-water mark stays a
+  // small multiple of (retained window + one chunk) - geometric vector
+  // growth slack at most - instead of tracking total samples consumed.
+  std::size_t high_water = 0;
+  for (int i = 0; i < 200; ++i) {
+    rx.Push(rng.GaussianVector(kChunk, 1e-5));
+    high_water = std::max(high_water, rx.buffer_capacity());
+  }
+  EXPECT_EQ(rx.state(), StreamState::kSearching);
+  EXPECT_LE(high_water, 2 * (config.search_retain_samples + kChunk));
+  // Reset must hand the backing store back, not just clear the size.
+  rx.Reset();
+  EXPECT_EQ(rx.buffer_capacity(), 0u);
+  EXPECT_EQ(rx.consumed_samples(), 0u);
 }
 
 TEST(StreamingReceiver, CatchesFrameAfterLongIdle) {

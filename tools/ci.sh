@@ -5,11 +5,15 @@
 #   2. plain build (warnings-as-errors) + full ctest, which includes
 #      the lint_test suite, the wearlock_lint_src tree gate, the header
 #      self-containment TUs, and the bench_smoke quick-runs
-#   3. parallel-determinism gate: fig7 stdout must be byte-identical
+#   3. bench report: fig5 --json at 1 and 8 threads collected into
+#      BENCH_dsp_core.json; the serial run is also the zero-allocation
+#      steady-state gate (docs/perf.md)
+#   4. parallel-determinism gate: fig7 stdout must be byte-identical
 #      between --threads 1 and --threads 8 (docs/parallelism.md)
-#   4. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#   5. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
 #      leg gets real cross-thread traffic from concurrency_stress_test,
-#      executor_test at WEARLOCK_THREADS=8, and a parallel bench sweep)
+#      executor_test and fft_plan_test at WEARLOCK_THREADS=8, and a
+#      parallel bench sweep)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -33,6 +37,26 @@ build/tools/lint/wearlock-lint src/
 banner "plain build + full test suite"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
+
+banner "bench report: fig5 timing JSON (BENCH_dsp_core.json)"
+# One timed quick sweep per thread count, each writing the schema
+# checked by bench_json_test; the two reports are collected side by side
+# so the committed artifact records serial and parallel wall time. The
+# --threads 1 run doubles as the zero-allocation gate: fig5 exits
+# non-zero if the warmed sweep misses the plan cache or grows a
+# workspace slot.
+build/bench/fig5_ber_ebn0 --quick --threads 1 \
+    --json build/fig5-t1.json >/dev/null
+build/bench/fig5_ber_ebn0 --quick --threads 8 \
+    --json build/fig5-t8.json >/dev/null
+{
+  printf '{"bench_suite":"dsp_core","reports":[\n'
+  cat build/fig5-t1.json
+  printf ',\n'
+  cat build/fig5-t8.json
+  printf ']}\n'
+} >BENCH_dsp_core.json
+echo "wrote BENCH_dsp_core.json"
 
 banner "parallel determinism: fig7 --threads 1 vs --threads 8"
 # The executor's contract (docs/parallelism.md): sweep tables are a pure
@@ -62,6 +86,9 @@ for san in "${SANITIZERS[@]}"; do
     banner "TSan: executor under WEARLOCK_THREADS=8"
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/tests/executor_test"
+    # PlanCache::Get under real contention (8 threads x shared plans).
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        "build-$san/tests/fft_plan_test"
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/bench/fig7_ber_distance" --quick >/dev/null
   fi

@@ -81,6 +81,7 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
     CheckBannedApi(f, &raw);
     CheckHeaderHygiene(f, &raw);
     CheckSharedState(f, &raw);
+    CheckHotPathAlloc(f, &raw);
   }
   CheckLayerDag(files, &raw);
 

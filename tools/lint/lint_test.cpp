@@ -267,6 +267,71 @@ TEST(SharedStateTest, GuardedByAnnotationNamesARealIdentifier) {
   EXPECT_NE(bogus[0].message.find("g_ghost"), std::string::npos);
 }
 
+// -- hot-path-alloc ---------------------------------------------------
+
+TEST(HotPathAllocTest, FlagsAllocationsInAnnotatedFunctions) {
+  const char* positives[] = {
+      "out.push_back(x);",
+      "buf.resize(n);",
+      "auto* p = new double[n];",
+      "std::vector<double> tmp(n);",
+      "std::vector<int> tmp{1, 2};",
+  };
+  for (const char* snippet : positives) {
+    const auto diags = RunAllOn(
+        "src/dsp/x.cpp", std::string("// lint: hot-path\nvoid F() { ") +
+                             snippet + " }\n");
+    EXPECT_TRUE(HasRule(diags, "hot-path-alloc")) << snippet;
+  }
+}
+
+TEST(HotPathAllocTest, UnannotatedFunctionsAndCleanBodiesPass) {
+  // The same allocations are fine without the annotation.
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/dsp/x.cpp", "void F(std::vector<double>& out) "
+                                "{ out.push_back(1.0); }\n"),
+      "hot-path-alloc"));
+  // Workspace borrowing, span params and vector-typed references pass.
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/dsp/x.cpp",
+               "// lint: hot-path\n"
+               "void F(std::span<const double> x, Workspace& ws) {\n"
+               "  std::vector<double>& s = ws.RealBuf(RSlot::kCorrX, 8);\n"
+               "  for (double v : x) s[0] += v;\n"
+               "  renewed += 1;  // 'new' inside an identifier\n"
+               "}\n"),
+      "hot-path-alloc"));
+  // The annotation only covers the next function.
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/dsp/x.cpp",
+               "// lint: hot-path\n"
+               "void Hot() { int a = 0; (void)a; }\n"
+               "void Cold(std::vector<double>& v) { v.resize(3); }\n"),
+      "hot-path-alloc"));
+}
+
+TEST(HotPathAllocTest, NolintSuppressesAColdBranch) {
+  const auto diags = RunAllOn(
+      "src/dsp/x.cpp",
+      "// lint: hot-path\n"
+      "void F(std::vector<double>& out) {\n"
+      "  out.resize(3);  // NOLINT(hot-path-alloc): cold fallback\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "hot-path-alloc"));
+}
+
+TEST(HotPathAllocTest, DiagnosticPointsAtTheAllocationLine) {
+  const auto diags = RunAllOn(
+      "src/dsp/x.cpp",
+      "// lint: hot-path\n"
+      "void F(std::vector<double>& out) {\n"
+      "  double a = 0.0;\n"
+      "  out.push_back(a);\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "hot-path-alloc"));
+  EXPECT_EQ(diags[0].line, 4);
+}
+
 // -- layer-dag --------------------------------------------------------
 
 TEST(LayerDagTest, UpwardIncludeIsFlagged) {
@@ -388,11 +453,12 @@ TEST(OutputTest, JsonOutputIsWellFormed) {
   EXPECT_NE(os.str().find("\"files_scanned\":2"), std::string::npos);
 }
 
-TEST(OutputTest, RuleCatalogueCoversAllFiveRules) {
+TEST(OutputTest, RuleCatalogueCoversAllSixRules) {
   std::vector<std::string> ids;
   for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
   for (const char* expected : {"layer-dag", "determinism", "banned-api",
-                               "header-hygiene", "shared-state"}) {
+                               "header-hygiene", "shared-state",
+                               "hot-path-alloc"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }

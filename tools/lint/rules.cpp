@@ -80,6 +80,11 @@ const std::vector<RuleInfo>& AllRules() {
       {"shared-state",
        "mutable namespace-scope/static state must be const, atomic, a sync "
        "primitive, thread_local, or annotated // lint: guarded-by(<mutex>)"},
+      {"hot-path-alloc",
+       "functions annotated // lint: hot-path may not allocate: no "
+       "std::vector construction, push_back, resize or new in the body "
+       "(use dsp::Workspace scratch; NOLINT(hot-path-alloc) for cold "
+       "branches)"},
   };
   return kRules;
 }
@@ -508,6 +513,106 @@ class SharedStateScanner {
 
 void CheckSharedState(const SourceFile& file, std::vector<Diagnostic>* out) {
   SharedStateScanner(file, out).Run();
+}
+
+// -- hot-path-alloc ---------------------------------------------------
+
+namespace {
+
+/// Byte offset of the first character of 1-based `line` in code().
+std::size_t LineStartOffset(const SourceFile& file, int line) {
+  const std::string_view view = file.CodeLine(line);
+  if (view.data() == nullptr) return file.code().size();
+  return static_cast<std::size_t>(view.data() - file.code().data());
+}
+
+/// True when `comment` carries a standalone "lint: hot-path" annotation
+/// (not the "hot-path-alloc" substring inside a NOLINT suppression).
+bool HasHotPathAnnotation(const std::string& comment) {
+  std::size_t tag = comment.find("hot-path");
+  while (tag != std::string::npos) {
+    const std::size_t end = tag + std::string("hot-path").size();
+    const bool standalone =
+        end >= comment.size() ||
+        (!IsIdentChar(comment[end]) && comment[end] != '-');
+    if (standalone && comment.rfind("lint:", tag) != std::string::npos) {
+      return true;
+    }
+    tag = comment.find("hot-path", end);
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckHotPathAlloc(const SourceFile& file, std::vector<Diagnostic>* out) {
+  const std::string& code = file.code();
+  for (int line = 1; line <= file.line_count(); ++line) {
+    if (!HasHotPathAnnotation(file.CommentOn(line))) continue;
+
+    // The annotation marks the next function: take the first '{' at or
+    // after the annotated line and brace-match to the end of the body.
+    const std::size_t open = code.find('{', LineStartOffset(file, line));
+    if (open == std::string::npos) continue;
+    std::size_t depth = 0;
+    std::size_t close = open;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '{') ++depth;
+      if (code[close] == '}' && --depth == 0) break;
+    }
+    const std::string body = code.substr(open, close - open);
+
+    static const char* kGrowers[] = {"push_back", "resize"};
+    for (const char* token : kGrowers) {
+      for (std::size_t pos : FindWord(body, token)) {
+        Emit(file, open + pos, "hot-path-alloc",
+             std::string("'") + token +
+                 "' in a '// lint: hot-path' function allocates; use a "
+                 "dsp::Workspace slot sized outside the loop",
+             out);
+      }
+    }
+    for (std::size_t pos : FindWord(body, "new")) {
+      Emit(file, open + pos, "hot-path-alloc",
+           "'new' in a '// lint: hot-path' function allocates; hot paths "
+           "borrow from dsp::Workspace",
+           out);
+    }
+    // A vector *construction*: the word `vector`, balanced <...>, then
+    // an argument list. Plain `std::vector<T>&` parameters/aliases pass.
+    for (std::size_t pos : FindWord(body, "vector")) {
+      std::size_t i = pos + std::string("vector").size();
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      if (i >= body.size() || body[i] != '<') continue;
+      int angle = 0;
+      for (; i < body.size(); ++i) {
+        if (body[i] == '<') ++angle;
+        if (body[i] == '>' && --angle == 0) {
+          ++i;
+          break;
+        }
+      }
+      // Skip an optional declarator name so both the temporary
+      // `std::vector<T>(n)` and the declaration `std::vector<T> v(n)`
+      // match; `std::vector<T>&` references to workspace slots do not.
+      std::size_t j = i;
+      while (j < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[j]))) {
+        ++j;
+      }
+      while (j < body.size() && IsIdentChar(body[j])) ++j;
+      const char next = NextSignificant(body, j);
+      if (next == '(' || next == '{') {
+        Emit(file, open + pos, "hot-path-alloc",
+             "vector constructed in a '// lint: hot-path' function; use a "
+             "dsp::Workspace slot",
+             out);
+      }
+    }
+  }
 }
 
 // -- layer-dag --------------------------------------------------------

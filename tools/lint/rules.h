@@ -54,6 +54,13 @@ void CheckHeaderHygiene(const SourceFile& file, std::vector<Diagnostic>* out);
 /// identifier declared elsewhere in the same file.
 void CheckSharedState(const SourceFile& file, std::vector<Diagnostic>* out);
 
+/// hot-path-alloc: a function annotated "// lint: hot-path" must not
+/// allocate - no std::vector<...>(...) construction, no push_back, no
+/// resize, no raw new anywhere in its body (scratch comes from
+/// dsp::Workspace slots and cached dsp::FftPlan tables instead).
+/// Suppress an intentional cold branch with NOLINT(hot-path-alloc).
+void CheckHotPathAlloc(const SourceFile& file, std::vector<Diagnostic>* out);
+
 // -- Project-level rule -----------------------------------------------
 
 /// layer-dag: quoted includes must be rooted at src/ and follow the
