@@ -1,0 +1,109 @@
+// Robustness sweep: unlock success vs control-message drop probability
+// under the resilience policy (timeouts, ARQ with chase combining,
+// degrade ladder). Not a paper figure - this is the companion curve to
+// docs/robustness.md: it shows where bounded retransmission stops
+// rescuing a lossy control channel.
+//
+// Grid: drop probability (rows) x independent trials (cols). Every cell
+// is one full unlock attempt with its own seeded session, so the sweep
+// fans out across bench::SweepRunner and stays byte-identical for any
+// --threads value.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "protocol/session.h"
+
+namespace {
+using namespace wearlock;
+
+struct CellResult {
+  protocol::UnlockOutcome outcome = protocol::UnlockOutcome::kNoWirelessLink;
+  bool unlocked = false;
+  std::size_t fault_events = 0;
+};
+
+CellResult RunCell(double drop_probability, std::uint64_t seed) {
+  protocol::ScenarioConfig config = protocol::ScenarioConfig::Config1();
+  config.scene.environment = audio::Environment::kQuietRoom;
+  config.scene.distance_m = 0.3;
+  config.seed = seed;
+  if (drop_probability > 0.0) {
+    config.faults =
+        sim::FaultPlan::Parse("drop=" + std::to_string(drop_probability));
+  } else {
+    // Transparent injector: same resilient code path, zero faults.
+    config.arm_resilience = true;
+  }
+  protocol::UnlockSession session(config);
+  const protocol::UnlockReport report = session.Attempt();
+  CellResult result;
+  result.outcome = report.outcome;
+  result.unlocked = report.unlocked;
+  if (session.faults() != nullptr) {
+    result.fault_events = session.faults()->events().size();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::ParseBenchArgs(argc, argv, /*base_seed=*/5000);
+  bench::Banner(
+      "Robustness: unlock outcome vs control-message drop probability "
+      "(Config 1, quiet room, 30 cm, resilience armed)");
+
+  const std::vector<double> drops =
+      options.Trim(std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.5, 0.7});
+  const std::size_t trials = static_cast<std::size_t>(options.Rounds(12));
+
+  bench::SweepRunner runner(options);
+  const auto results = runner.RunGrid(
+      drops.size(), trials,
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng&) {
+        // Seed from grid coordinates, not the task rng: the cell must
+        // replay bit-identically from the CLI via --seed.
+        const std::uint64_t seed =
+            options.base_seed + point.row * 1000 + point.col;
+        return RunCell(drops[point.row], seed);
+      });
+  runner.PrintTiming("fault_sweep");
+
+  std::vector<std::string> header = {"drop", "unlock rate", "mean faults",
+                                     "outcomes"};
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t row = 0; row < drops.size(); ++row) {
+    std::size_t unlocked = 0, faults = 0;
+    std::map<std::string, int> outcomes;
+    for (std::size_t col = 0; col < trials; ++col) {
+      const CellResult& cell = results[row * trials + col];
+      unlocked += cell.unlocked ? 1 : 0;
+      faults += cell.fault_events;
+      ++outcomes[protocol::ToString(cell.outcome)];
+    }
+    std::string dist;
+    for (const auto& [name, count] : outcomes) {
+      if (!dist.empty()) dist += ", ";
+      dist += name + ":" + std::to_string(count);
+    }
+    rows.push_back({bench::Fmt(drops[row], 2),
+                    bench::Fmt(static_cast<double>(unlocked) /
+                                   static_cast<double>(trials),
+                               3),
+                    bench::Fmt(static_cast<double>(faults) /
+                                   static_cast<double>(trials),
+                               1),
+                    dist});
+  }
+  bench::PrintTable(header, rows);
+
+  std::printf(
+      "\nReading: ARQ + chase combining hold the unlock rate high through\n"
+      "moderate loss; past the retry budget (drop >~ 0.5) sessions fail\n"
+      "closed as retries-exhausted instead of unlocking on bad data.\n");
+  return 0;
+}

@@ -227,4 +227,27 @@ std::vector<std::uint8_t> Deinterleave(const std::vector<std::uint8_t>& bits,
   return out;
 }
 
+void SoftCombiner::Add(const std::vector<double>& llrs) {
+  if (rounds_ == 0) {
+    sum_ = llrs;
+  } else {
+    if (llrs.size() != sum_.size()) {
+      throw std::invalid_argument(
+          "SoftCombiner: retransmission length mismatch");
+    }
+    for (std::size_t i = 0; i < llrs.size(); ++i) sum_[i] += llrs[i];
+  }
+  ++rounds_;
+  WL_COUNT("modem.chase.combined_rounds");
+}
+
+std::vector<std::uint8_t> SoftCombiner::HardBits() const {
+  return DecodeSoft(CodeScheme::kNone, sum_);
+}
+
+void SoftCombiner::Reset() {
+  sum_.clear();
+  rounds_ = 0;
+}
+
 }  // namespace wearlock::modem

@@ -60,4 +60,36 @@ std::vector<std::uint8_t> Interleave(const std::vector<std::uint8_t>& bits,
 std::vector<std::uint8_t> Deinterleave(const std::vector<std::uint8_t>& bits,
                                        std::size_t depth);
 
+/// Chase combining across retransmissions of the SAME payload: per-bit
+/// LLRs (positive = bit 0 likelier, the DemapSymbolsSoft convention)
+/// from each reception are summed element-wise before slicing or FEC
+/// decoding. Under independent noise the combined LLR's SNR grows
+/// linearly with the number of copies, so a retransmission at low SNR
+/// rescues a delivery instead of starting blind - the receiver half of
+/// the unlock protocol's ARQ (docs/robustness.md).
+class SoftCombiner {
+ public:
+  /// Accumulate one reception's LLRs.
+  /// @throws std::invalid_argument when the length differs from the
+  /// first reception's (retransmissions carry the same payload).
+  void Add(const std::vector<double>& llrs);
+
+  /// Receptions combined so far.
+  std::size_t rounds() const { return rounds_; }
+  bool empty() const { return rounds_ == 0; }
+
+  /// The running element-wise LLR sum (empty before the first Add).
+  const std::vector<double>& combined() const { return sum_; }
+
+  /// Hard decision on the combined LLRs (feed `combined()` to
+  /// DecodeSoft instead when a channel code is in use).
+  std::vector<std::uint8_t> HardBits() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> sum_;
+  std::size_t rounds_ = 0;
+};
+
 }  // namespace wearlock::modem

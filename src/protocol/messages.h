@@ -49,6 +49,10 @@ struct Phase2Report {
   /// Watch-side demodulated bits when processing locally (empty when the
   /// raw recording is offloaded instead).
   std::vector<std::uint8_t> demodulated_bits;
+  /// Per-bit LLRs alongside the hard bits when the phone asked for soft
+  /// output (resilient mode: the ARQ chase-combines these across
+  /// retransmissions, docs/robustness.md). Positive = bit 0 likelier.
+  std::vector<double> demodulated_llrs;
 };
 
 }  // namespace wearlock::protocol

@@ -8,6 +8,16 @@ std::string ToString(ProcessingSite site) {
 
 StepCost OffloadPlanner::Cost(sim::Millis host_ms, std::size_t recording_bytes,
                               sim::WirelessLink& link) const {
+  if (site == ProcessingSite::kWatchLocal) {
+    return CostWithTransfer(host_ms, 0.0, link.radio());
+  }
+  return CostWithTransfer(host_ms, link.SampleFileDelay(recording_bytes),
+                          link.radio());
+}
+
+StepCost OffloadPlanner::CostWithTransfer(sim::Millis host_ms,
+                                          sim::Millis transfer_ms,
+                                          sim::Radio radio) const {
   StepCost cost;
   if (site == ProcessingSite::kWatchLocal) {
     cost.compute_ms = watch.ScaleCompute(host_ms);
@@ -15,11 +25,10 @@ StepCost OffloadPlanner::Cost(sim::Millis host_ms, std::size_t recording_bytes,
         sim::DeviceProfile::EnergyMj(cost.compute_ms, watch.compute_power_mw);
     return cost;
   }
-  cost.transfer_ms = link.SampleFileDelay(recording_bytes);
+  cost.transfer_ms = transfer_ms;
   cost.compute_ms = phone.ScaleCompute(host_ms);
-  const double radio_power = link.radio() == sim::Radio::kBluetooth
-                                 ? watch.bt_power_mw
-                                 : watch.wifi_power_mw;
+  const double radio_power =
+      radio == sim::Radio::kBluetooth ? watch.bt_power_mw : watch.wifi_power_mw;
   cost.watch_energy_mj =
       sim::DeviceProfile::EnergyMj(cost.transfer_ms, radio_power);
   cost.phone_energy_mj =

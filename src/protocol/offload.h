@@ -38,6 +38,12 @@ struct OffloadPlanner {
   /// The transfer is sampled from `link`.
   StepCost Cost(sim::Millis host_ms, std::size_t recording_bytes,
                 sim::WirelessLink& link) const;
+
+  /// Same accounting with the transfer time supplied by the caller -
+  /// the resilient path samples the transfer through the fault injector
+  /// (retries included) and only needs the energy/compute arithmetic.
+  StepCost CostWithTransfer(sim::Millis host_ms, sim::Millis transfer_ms,
+                            sim::Radio radio) const;
 };
 
 /// Bytes of a recording of n samples as shipped over the wire (16-bit

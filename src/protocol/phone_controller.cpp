@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "dsp/spl.h"
+#include "modem/coding.h"
 #include "modem/snr.h"
 #include "obs/instrument.h"
 #include "obs/log.h"
@@ -59,8 +60,17 @@ std::string ToString(UnlockOutcome outcome) {
     case UnlockOutcome::kNlosAborted: return "nlos-aborted";
     case UnlockOutcome::kTokenRejected: return "token-rejected";
     case UnlockOutcome::kTimingViolation: return "timing-violation";
+    case UnlockOutcome::kStageTimeout: return "stage-timeout";
+    case UnlockOutcome::kLinkFlapped: return "link-flapped";
+    case UnlockOutcome::kRetriesExhausted: return "retries-exhausted";
   }
   return "?";
+}
+
+sim::Millis ResilienceConfig::BackoffMs(int attempt) const {
+  sim::Millis backoff = backoff_base_ms;
+  for (int i = 0; i < attempt && backoff < backoff_max_ms; ++i) backoff *= 2.0;
+  return std::min(backoff, backoff_max_ms);
 }
 
 PhoneController::PhoneController(PhoneConfig config, OtpService* otp,
@@ -75,11 +85,12 @@ UnlockReport PhoneController::Attempt(audio::TwoMicScene& scene,
                                       const sensors::MotionPair& motion,
                                       const OffloadPlanner& offload,
                                       sim::VirtualClock& clock,
-                                      const AttackInjection& attack) {
+                                      const AttackInjection& attack,
+                                      sim::FaultInjector* faults) {
   WL_SPAN_V(root, "session.attempt");
   WL_COUNT("protocol.attempt.calls");
   UnlockReport report =
-      AttemptInner(scene, watch, link, motion, offload, clock, attack);
+      AttemptInner(scene, watch, link, motion, offload, clock, attack, faults);
   {
     WL_SPAN_V(verdict, "session.verdict");
     WL_SPAN_ATTR(verdict, "outcome", ToString(report.outcome));
@@ -112,9 +123,34 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
                                            const sensors::MotionPair& motion,
                                            const OffloadPlanner& offload,
                                            sim::VirtualClock& clock,
-                                           const AttackInjection& attack) {
+                                           const AttackInjection& attack,
+                                           sim::FaultInjector* faults) {
   UnlockReport report;
   const std::uint64_t session_id = next_session_id_++;
+  const ResilienceConfig& res = config_.resilience;
+  // The ARQ / degrade machinery only engages when a fault injector is
+  // wired in; campaign mode (force_transmit) stays single-shot so the
+  // Table-I style raw-channel BER measurements are unaffected.
+  const bool resilient = faults != nullptr && !config_.force_transmit;
+  // Deterministic protocol-time accumulator: audio, communication and
+  // waits - everything modeled from the seed - but NOT host-measured
+  // compute, whose virtual charge varies with machine load. Budget and
+  // deadline decisions run on this accumulator, so a seed's fault
+  // handling replays bit-identically at any thread count (the
+  // 1-vs-8-thread gate in tests/fault_matrix_test.cpp); the virtual
+  // clock still carries compute for the latency reports.
+  sim::Millis proto_ms = 0.0;
+  auto charge = [&](sim::Millis ms) {
+    proto_ms += ms;
+    clock.Advance(ms);
+  };
+  auto total_left = [&] { return res.total_deadline_ms - proto_ms; };
+  // Degrade ladder state: after degrade_after_link_faults link faults,
+  // processing falls back from offload to watch-local for the rest of
+  // this attempt.
+  OffloadPlanner effective = offload;
+  int link_faults = 0;
+
   auto trace = [&](const std::string& step, const std::string& detail) {
     report.trace.push_back({step, detail, clock.now()});
   };
@@ -126,10 +162,161 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
     return oss.str();
   };
 
+  auto maybe_degrade = [&] {
+    if (effective.site == ProcessingSite::kOffloadToPhone &&
+        link_faults >= res.degrade_after_link_faults) {
+      effective.site = ProcessingSite::kWatchLocal;
+      WL_COUNT("protocol.degrade.count");
+      trace("degrade", "flaky link: processing falls back to watch-local");
+    }
+  };
+
+  // Bounded exponential pause between retransmissions, charged to the
+  // virtual clock like every other wait.
+  auto backoff_pause = [&](int attempt_idx, sim::Millis& comm_ms) {
+    const sim::Millis backoff = res.BackoffMs(attempt_idx);
+    WL_HIST("protocol.backoff_ms", backoff);
+    comm_ms += backoff;
+    charge(backoff);
+    if (faults != nullptr) faults->MaybeReconnect(link);
+  };
+
+  // The link went down mid-protocol. Wait out the scheduled outage (if
+  // any) up to the stage budget; a link that stays down is a defined
+  // failure, not a hang.
+  auto wait_out_link = [&](sim::Millis stage_left, sim::Millis& comm_ms)
+      -> std::optional<UnlockOutcome> {
+    ++link_faults;
+    maybe_degrade();
+    if (!faults->flap_down()) {
+      WL_COUNT("protocol.link_lost");
+      return UnlockOutcome::kLinkFlapped;
+    }
+    // All three bounds are durations, not absolute clock readings, so
+    // the wait (and whether the link recovers within it) is a pure
+    // function of the seed.
+    const sim::Millis outage_left =
+        std::max(0.0, faults->reconnect_at_ms() - clock.now());
+    const sim::Millis wait =
+        std::max(0.0, std::min({outage_left, stage_left, total_left()}));
+    if (wait > 0.0) {
+      WL_HIST("protocol.link_wait_ms", wait);
+      comm_ms += wait;
+      charge(wait);
+    }
+    faults->MaybeReconnect(link);
+    if (!link.connected()) {
+      WL_COUNT("protocol.link_lost");
+      return UnlockOutcome::kLinkFlapped;
+    }
+    return std::nullopt;
+  };
+
+  // One control message with the resilience policy applied: presumed
+  // lost after message_timeout_ms, retransmitted with bounded backoff,
+  // outage waits charged but not counted against the retry budget. The
+  // fault-free path is byte-identical to the plain protocol.
+  auto send_control = [&](const std::string& stage, sim::Millis& comm_ms)
+      -> std::optional<UnlockOutcome> {
+    if (faults == nullptr) {
+      const sim::Millis ms = link.SampleMessageDelay();
+      comm_ms += ms;
+      clock.Advance(ms);
+      return std::nullopt;
+    }
+    const sim::Millis stage_budget =
+        std::min(res.stage_budget_ms, total_left());
+    const sim::Millis stage_start = proto_ms;
+    int sends = 0;
+    while (true) {
+      if (proto_ms - stage_start >= stage_budget) {
+        WL_COUNT("protocol.timeout.stage");
+        return UnlockOutcome::kStageTimeout;
+      }
+      const sim::FaultInjector::SendResult r = faults->SendMessage(link, stage);
+      if (r.status == sim::FaultInjector::SendStatus::kLinkDown) {
+        if (auto fail = wait_out_link(stage_budget - (proto_ms - stage_start),
+                                      comm_ms)) {
+          return fail;
+        }
+        continue;  // outage waits do not burn the retransmit budget
+      }
+      if (r.status == sim::FaultInjector::SendStatus::kDelivered &&
+          r.delay_ms <= res.message_timeout_ms) {
+        comm_ms += r.delay_ms;
+        charge(r.delay_ms);
+        return std::nullopt;
+      }
+      // Dropped, or delay-spiked past the timeout: the sender sees only
+      // silence for message_timeout_ms, then retransmits.
+      ++link_faults;
+      maybe_degrade();
+      WL_COUNT("protocol.timeout.count");
+      comm_ms += res.message_timeout_ms;
+      charge(res.message_timeout_ms);
+      if (sends >= res.max_message_retries) {
+        WL_COUNT("protocol.retries_exhausted");
+        return UnlockOutcome::kRetriesExhausted;
+      }
+      WL_COUNT("protocol.retransmit.count");
+      backoff_pause(sends, comm_ms);
+      ++sends;
+    }
+  };
+
+  // One bulk transfer under faults (fault-free callers keep using
+  // OffloadPlanner::Cost, which samples the link itself). A delivered
+  // transfer is streamed - spikes slow it down but never time it out -
+  // and its duration is returned for the offload cost accounting rather
+  // than charged here.
+  auto send_file = [&](const std::string& stage, std::size_t bytes,
+                       sim::Millis& comm_ms, sim::Millis* transfer_ms)
+      -> std::optional<UnlockOutcome> {
+    const sim::Millis stage_budget =
+        std::min(res.stage_budget_ms, total_left());
+    const sim::Millis stage_start = proto_ms;
+    int sends = 0;
+    while (true) {
+      if (proto_ms - stage_start >= stage_budget) {
+        WL_COUNT("protocol.timeout.stage");
+        return UnlockOutcome::kStageTimeout;
+      }
+      const sim::FaultInjector::SendResult r =
+          faults->SendFile(link, bytes, stage);
+      if (r.status == sim::FaultInjector::SendStatus::kLinkDown) {
+        if (auto fail = wait_out_link(stage_budget - (proto_ms - stage_start),
+                                      comm_ms)) {
+          return fail;
+        }
+        continue;
+      }
+      if (r.status == sim::FaultInjector::SendStatus::kDelivered) {
+        *transfer_ms = r.delay_ms;
+        return std::nullopt;
+      }
+      // Transfer dropped mid-flight.
+      ++link_faults;
+      maybe_degrade();
+      WL_COUNT("protocol.timeout.count");
+      comm_ms += res.message_timeout_ms;
+      charge(res.message_timeout_ms);
+      if (sends >= res.max_message_retries) {
+        WL_COUNT("protocol.retries_exhausted");
+        return UnlockOutcome::kRetriesExhausted;
+      }
+      WL_COUNT("protocol.retransmit.count");
+      backoff_pause(sends, comm_ms);
+      ++sends;
+    }
+  };
+
   if (!keyguard_->CanAttemptWearlock()) {
     report.outcome = UnlockOutcome::kLockedOut;
     return report;
   }
+  // A flap scheduled during an earlier attempt may have elapsed during
+  // the inter-attempt backoff; recover before the link check.
+  if (faults != nullptr) faults->MaybeReconnect(link);
   // Filter 0: no wireless link, no WearLock (cheapest possible skip).
   {
     WL_SPAN("phase1.link_check");
@@ -147,9 +334,20 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
   // Start message + watch ack.
   {
     WL_SPAN("phase1.rts_cts");
-    const sim::Millis rtt = link.SampleRoundTrip();
-    report.timings.phase1_comm_ms += rtt;
-    clock.Advance(rtt);
+    if (faults == nullptr) {
+      const sim::Millis rtt = link.SampleRoundTrip();
+      report.timings.phase1_comm_ms += rtt;
+      clock.Advance(rtt);
+    } else {
+      // RTS out, CTS back - each leg individually subject to faults.
+      for (int leg = 0; leg < 2; ++leg) {
+        if (auto fail = send_control("rts", report.timings.phase1_comm_ms)) {
+          report.outcome = *fail;
+          trace("rts-cts", "control channel failed: " + ToString(*fail));
+          return report;
+        }
+      }
+    }
   }
 
   // Phone self-records a short ambient window to size the probe volume
@@ -160,7 +358,7 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
   const auto [phone_ambient_pre, watch_ambient_pre] =
       scene.RecordAmbientPair(ambient_n);
   report.timings.phase1_audio_ms += AudioMs(ambient_n);
-  clock.Advance(AudioMs(ambient_n));
+  charge(AudioMs(ambient_n));
   report.ambient_spl_db = dsp::SplOf(phone_ambient_pre);
   WL_SPAN_ATTR(ambient_span, "ambient_spl_db", report.ambient_spl_db);
   WL_SPAN_END(ambient_span);
@@ -178,45 +376,91 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
   trace("volume-rule", "ambient " + fmt(report.ambient_spl_db, 1) +
                            " dB -> volume " + fmt(report.probe_volume));
 
-  // Emit the RTS probe; both mics record.
-  WL_SPAN_V(probe_tx_span, "phase1.probe_tx");
+  // Emit the RTS probe; both mics record. Under the resilience policy a
+  // probe the watch did not hear (e.g. the capture was truncated or
+  // lost) is re-emitted up to max_probe_retransmits times.
   const modem::TxFrame probe_tx = modem.MakeProbeFrame();
-  const audio::SceneReception probe_rx =
-      scene.TransmitFromPhone(probe_tx.samples, report.probe_volume);
-  report.timings.phase1_audio_ms += AudioMs(probe_rx.watch_recording.size());
-  clock.Advance(AudioMs(probe_rx.watch_recording.size()));
-  WL_SPAN_ATTR(probe_tx_span, "samples",
-               static_cast<double>(probe_tx.samples.size()));
-  WL_SPAN_END(probe_tx_span);
-
-  // The watch ships its Phase-1 data (recording + sensors).
-  const Phase1Report phase1 = watch.MakePhase1Report(
-      session_id, probe_rx.watch_recording, motion.watch);
-
-  // Probe processing runs at the offload site.
-  WL_SPAN_V(probe_span, "phase1.probe_analysis");
   std::optional<modem::ProbeAnalysis> probe;
-  const sim::Millis probe_host_ms = sim::TimeHostMs(
-      [&] { probe = modem.AnalyzeProbe(phase1.recording); });
-  const StepCost phase1_cost = offload.Cost(
-      probe_host_ms, RecordingBytes(phase1.recording.size()),
-      link);
-  report.timings.phase1_compute_ms += phase1_cost.compute_ms;
-  report.timings.phase1_comm_ms += phase1_cost.transfer_ms;
-  report.watch_energy_mj += phase1_cost.watch_energy_mj;
-  report.phone_energy_mj += phase1_cost.phone_energy_mj;
-  // Recording the probe costs the watch energy too.
-  report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
-      AudioMs(phase1.recording.size()), offload.watch.record_power_mw);
-  clock.Advance(phase1_cost.compute_ms + phase1_cost.transfer_ms);
-  WL_SPAN_ATTR(probe_span, "compute_ms", phase1_cost.compute_ms);
-  WL_SPAN_ATTR(probe_span, "transfer_ms", phase1_cost.transfer_ms);
-  WL_SPAN_END(probe_span);
+  Phase1Report phase1;
+  int probe_rounds = 0;
+  while (true) {
+    WL_SPAN_V(probe_tx_span, "phase1.probe_tx");
+    const audio::SceneReception probe_rx =
+        scene.TransmitFromPhone(probe_tx.samples, report.probe_volume);
+    report.timings.phase1_audio_ms += AudioMs(probe_rx.watch_recording.size());
+    charge(AudioMs(probe_rx.watch_recording.size()));
+    WL_SPAN_ATTR(probe_tx_span, "samples",
+                 static_cast<double>(probe_tx.samples.size()));
+    WL_SPAN_END(probe_tx_span);
 
-  if (!probe) {
-    report.outcome = UnlockOutcome::kNoPreamble;
-    trace("probe-analysis", "no preamble found in the watch recording");
-    return report;
+    audio::Samples watch_probe = probe_rx.watch_recording;
+    if (faults != nullptr) faults->MutateRecording("rts", &watch_probe);
+
+    // The watch ships its Phase-1 data (recording + sensors).
+    phase1 = watch.MakePhase1Report(session_id, std::move(watch_probe),
+                                    motion.watch);
+
+    // Probe processing runs at the offload site.
+    WL_SPAN_V(probe_span, "phase1.probe_analysis");
+    probe.reset();
+    const sim::Millis probe_host_ms = sim::TimeHostMs(
+        [&] { probe = modem.AnalyzeProbe(phase1.recording); });
+    StepCost phase1_cost;
+    if (faults == nullptr) {
+      phase1_cost = offload.Cost(
+          probe_host_ms, RecordingBytes(phase1.recording.size()), link);
+    } else {
+      sim::Millis transfer_ms = 0.0;
+      if (effective.site == ProcessingSite::kOffloadToPhone) {
+        if (auto fail = send_file("p1-upload",
+                                  RecordingBytes(phase1.recording.size()),
+                                  report.timings.phase1_comm_ms,
+                                  &transfer_ms)) {
+          maybe_degrade();
+          if (effective.site == ProcessingSite::kOffloadToPhone ||
+              *fail == UnlockOutcome::kStageTimeout) {
+            report.outcome = *fail;
+            trace("phase1-upload", "upload failed: " + ToString(*fail));
+            return report;
+          }
+          // Degrade ladder: keep the analysis on the watch instead.
+          trace("phase1-upload",
+                "upload failed (" + ToString(*fail) +
+                    "); degraded to watch-local analysis");
+          transfer_ms = 0.0;
+        }
+      }
+      phase1_cost = effective.CostWithTransfer(probe_host_ms, transfer_ms,
+                                               link.radio());
+    }
+    report.timings.phase1_compute_ms += phase1_cost.compute_ms;
+    report.timings.phase1_comm_ms += phase1_cost.transfer_ms;
+    report.watch_energy_mj += phase1_cost.watch_energy_mj;
+    report.phone_energy_mj += phase1_cost.phone_energy_mj;
+    // Recording the probe costs the watch energy too.
+    report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
+        AudioMs(phase1.recording.size()), offload.watch.record_power_mw);
+    if (faults == nullptr) {
+      clock.Advance(phase1_cost.compute_ms + phase1_cost.transfer_ms);
+    } else {
+      charge(phase1_cost.transfer_ms);
+      clock.Advance(phase1_cost.compute_ms);
+    }
+    WL_SPAN_ATTR(probe_span, "compute_ms", phase1_cost.compute_ms);
+    WL_SPAN_ATTR(probe_span, "transfer_ms", phase1_cost.transfer_ms);
+    WL_SPAN_END(probe_span);
+
+    if (probe) break;
+    if (!resilient || probe_rounds >= res.max_probe_retransmits ||
+        total_left() <= 0.0) {
+      report.outcome = UnlockOutcome::kNoPreamble;
+      trace("probe-analysis", "no preamble found in the watch recording");
+      return report;
+    }
+    WL_COUNT("protocol.retransmit.probe");
+    trace("probe-retransmit", "no preamble heard; re-emitting the RTS probe");
+    backoff_pause(probe_rounds, report.timings.phase1_comm_ms);
+    ++probe_rounds;
   }
   report.preamble_score = probe->preamble_score;
   trace("probe-analysis",
@@ -385,120 +629,212 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
   {
     WL_SPAN("phase2.config_send");
     watch.ApplyPhase2Config(phase2_config);
-    const sim::Millis config_ms = link.SampleMessageDelay();
-    report.timings.phase2_comm_ms += config_ms;
-    clock.Advance(config_ms);
+    if (auto fail = send_control("p2-config", report.timings.phase2_comm_ms)) {
+      report.outcome = *fail;
+      trace("phase2-config", "control channel failed: " + ToString(*fail));
+      return report;
+    }
   }
 
   // --- Phase 2: OFDM-modulated OTP ------------------------------------
   WL_SPAN_V(otp_span, "phase2.otp_generate");
   const std::vector<std::uint8_t> token_bits = otp_->NextTokenBits();
   WL_SPAN_END(otp_span);
-  WL_SPAN_V(data_tx_span, "phase2.data_tx");
+
+  // ARQ over the acoustic hop: the SAME token frame is re-emitted up to
+  // max_phase2_retransmits times, and the receiver chase-combines the
+  // per-bit LLRs of every copy before each decision, so late rounds
+  // decode at the summed SNR instead of starting blind
+  // (docs/robustness.md). Fault-free sessions run exactly one round.
   const modem::TxFrame data_tx = modem.Modulate(*mode, token_bits);
-  const audio::SceneReception data_rx =
-      scene.TransmitFromPhone(data_tx.samples, report.probe_volume);
-  report.timings.phase2_audio_ms += AudioMs(data_rx.watch_recording.size());
-  clock.Advance(AudioMs(data_rx.watch_recording.size()));
-  WL_SPAN_ATTR(data_tx_span, "samples",
-               static_cast<double>(data_tx.samples.size()));
-  WL_SPAN_END(data_tx_span);
+  const bool want_soft = resilient && res.enable_chase_combining;
+  modem::SoftCombiner combiner;
+  int p2_round = 0;
+  while (true) {
+    WL_SPAN_V(data_tx_span, "phase2.data_tx");
+    const audio::SceneReception data_rx =
+        scene.TransmitFromPhone(data_tx.samples, report.probe_volume);
+    const sim::Millis round_audio_ms = AudioMs(data_rx.watch_recording.size());
+    report.timings.phase2_audio_ms += round_audio_ms;
+    charge(round_audio_ms);
+    WL_SPAN_ATTR(data_tx_span, "samples",
+                 static_cast<double>(data_tx.samples.size()));
+    WL_SPAN_END(data_tx_span);
 
-  // Optional eavesdropper tap on the same emission.
-  if (attack.eavesdrop_distance_m) {
-    report.eavesdropped_recording = scene.RecordAtDistance(
-        data_tx.samples, report.probe_volume, *attack.eavesdrop_distance_m,
-        audio::PropagationSpec::IndoorLos());
-  }
+    // Optional eavesdropper tap on the first emission.
+    if (p2_round == 0 && attack.eavesdrop_distance_m) {
+      report.eavesdropped_recording = scene.RecordAtDistance(
+          data_tx.samples, report.probe_volume, *attack.eavesdrop_distance_m,
+          audio::PropagationSpec::IndoorLos());
+    }
 
-  // Replay attacker substitution / added path latency.
-  const audio::Samples& phase2_recording =
-      attack.replayed_phase2_recording ? *attack.replayed_phase2_recording
-                                       : data_rx.watch_recording;
-  report.timings.phase2_audio_ms += attack.extra_acoustic_delay_ms;
-  clock.Advance(attack.extra_acoustic_delay_ms);
+    // Replay attacker substitution / added path latency. The attacker
+    // controls the acoustic path, so the substitution applies to every
+    // ARQ round - a retransmission must not rescue a replayed session.
+    audio::Samples phase2_recording =
+        attack.replayed_phase2_recording ? *attack.replayed_phase2_recording
+                                         : data_rx.watch_recording;
+    report.timings.phase2_audio_ms += attack.extra_acoustic_delay_ms;
+    charge(attack.extra_acoustic_delay_ms);
 
-  // Timing-window replay defense: the acoustic phase cannot take longer
-  // than frame duration + stack slack.
-  {
-    WL_SPAN("phase2.timing_gate");
-    const sim::Millis expected_audio_ms =
-        AudioMs(data_rx.watch_recording.size());
-    if (report.timings.phase2_audio_ms >
-        expected_audio_ms + config_.timing_slack_ms) {
-      keyguard_->ReportFailure();
-      report.outcome = UnlockOutcome::kTimingViolation;
+    // Timing-window replay defense, per round: this round's acoustic
+    // exchange cannot take longer than frame duration + stack slack.
+    // Fails closed immediately - no retransmission after a violation.
+    {
+      WL_SPAN("phase2.timing_gate");
+      const sim::Millis observed_audio_ms =
+          round_audio_ms + attack.extra_acoustic_delay_ms;
+      if (observed_audio_ms > round_audio_ms + config_.timing_slack_ms) {
+        keyguard_->ReportFailure();
+        report.outcome = UnlockOutcome::kTimingViolation;
+        return report;
+      }
+    }
+
+    if (faults != nullptr) faults->MutateRecording("p2-data", &phase2_recording);
+
+    // Demodulation at the offload site (post-degrade-ladder site).
+    WL_SPAN_V(demod_span, "phase2.demod");
+    const bool watch_local = effective.site == ProcessingSite::kWatchLocal;
+    WL_SPAN_ATTR(demod_span, "watch_local", watch_local ? 1.0 : 0.0);
+    sim::Millis watch_host_ms = 0.0;
+    const Phase2Report phase2 = watch.MakePhase2Report(
+        session_id, std::move(phase2_recording), phase2_config, watch_local,
+        &watch_host_ms, want_soft);
+
+    std::vector<std::uint8_t> bits;
+    std::vector<double> round_llrs;
+    if (watch_local) {
+      bits = phase2.demodulated_bits;
+      round_llrs = phase2.demodulated_llrs;
+      const sim::Millis t = offload.watch.ScaleCompute(watch_host_ms);
+      report.timings.phase2_compute_ms += t;
+      report.watch_energy_mj +=
+          sim::DeviceProfile::EnergyMj(t, offload.watch.compute_power_mw);
+      // Result bits travel back as a small message.
+      if (faults == nullptr) {
+        const sim::Millis result_ms = link.SampleMessageDelay();
+        report.timings.phase2_comm_ms += result_ms;
+        clock.Advance(t + result_ms);
+      } else {
+        clock.Advance(t);
+        if (auto fail =
+                send_control("p2-result", report.timings.phase2_comm_ms)) {
+          report.outcome = *fail;
+          trace("phase2-result", "control channel failed: " + ToString(*fail));
+          return report;
+        }
+      }
+    } else {
+      std::optional<modem::DemodResult> demod;
+      std::optional<std::vector<double>> soft;
+      sim::Millis transfer_ms = 0.0;
+      bool upload_ok = true;
+      if (faults != nullptr) {
+        if (auto fail = send_file("p2-upload",
+                                  RecordingBytes(phase2.recording.size()),
+                                  report.timings.phase2_comm_ms,
+                                  &transfer_ms)) {
+          maybe_degrade();
+          if (effective.site == ProcessingSite::kOffloadToPhone ||
+              *fail == UnlockOutcome::kStageTimeout) {
+            report.outcome = *fail;
+            trace("phase2-upload", "upload failed: " + ToString(*fail));
+            return report;
+          }
+          // Degraded mid-phase: this round's copy is lost; the next
+          // round demodulates on the watch.
+          trace("phase2-upload", "upload failed (" + ToString(*fail) +
+                                     "); degraded to watch-local demod");
+          upload_ok = false;
+          transfer_ms = 0.0;
+        }
+      }
+      const sim::Millis host_ms = sim::TimeHostMs([&] {
+        if (upload_ok) {
+          demod = modem.Demodulate(phase2.recording, *mode,
+                                   phase2_config.payload_bits);
+          if (want_soft) {
+            soft = modem.DemodulateSoft(phase2.recording, *mode,
+                                        phase2_config.payload_bits);
+          }
+        }
+      });
+      const StepCost cost =
+          faults == nullptr
+              ? offload.Cost(host_ms, RecordingBytes(phase2.recording.size()),
+                             link)
+              : effective.CostWithTransfer(host_ms, transfer_ms, link.radio());
+      report.timings.phase2_compute_ms += cost.compute_ms;
+      report.timings.phase2_comm_ms += cost.transfer_ms;
+      report.watch_energy_mj += cost.watch_energy_mj;
+      report.phone_energy_mj += cost.phone_energy_mj;
+      if (demod) bits = demod->bits;
+      if (soft) round_llrs = *soft;
+      if (faults == nullptr) {
+        clock.Advance(cost.compute_ms + cost.transfer_ms);
+      } else {
+        charge(cost.transfer_ms);
+        clock.Advance(cost.compute_ms);
+      }
+    }
+    report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
+        AudioMs(data_rx.watch_recording.size()), offload.watch.record_power_mw);
+    WL_SPAN_END(demod_span);
+
+    // Chase combining: fold this round's soft output into the running
+    // LLR sum; from the second copy on, the combined LLRs (not this
+    // round's alone) drive the hard decision.
+    if (want_soft && round_llrs.size() == phase2_config.payload_bits &&
+        (combiner.empty() ||
+         round_llrs.size() == combiner.combined().size())) {
+      combiner.Add(round_llrs);
+      if (combiner.rounds() > 1) {
+        bits = combiner.HardBits();
+        WL_COUNT("protocol.chase.decisions");
+      }
+    }
+
+    WL_SPAN_V(validate_span, "phase2.token_validate");
+    TokenValidation validation;
+    if (bits.size() == phase2_config.payload_bits) {
+      // Token validation: BER against the expected counter window (the
+      // counter only advances on acceptance, so re-validating across
+      // ARQ rounds cannot burn the window).
+      validation = otp_->ValidateBits(bits, required_ber);
+      report.token_ber = validation.ber;
+      WL_SPAN_ATTR(validate_span, "token_ber", validation.ber);
+      WL_SPAN_ATTR(validate_span, "accepted", validation.accepted ? 1.0 : 0.0);
+#if WEARLOCK_OBS_ENABLED
+      WL_HIST_BOUNDS("protocol.token_ber", BerBounds(), validation.ber);
+      RecordSubchannelBer(report.plan, *mode, bits, validation.expected_bits);
+#endif
+      trace("token-validate",
+            "BER " + fmt(validation.ber, 3) + " vs bound " +
+                fmt(required_ber) +
+                (validation.accepted ? ": accepted" : ": rejected"));
+    }
+    if (validation.accepted) {
+      keyguard_->ReportSuccess();
+      report.outcome = UnlockOutcome::kUnlocked;
+      report.unlocked = true;
       return report;
     }
+    // Failed round. One keyguard strike per *attempt*, charged at final
+    // failure only - in-protocol retransmissions are not user mistakes.
+    if (!resilient || p2_round >= res.max_phase2_retransmits ||
+        total_left() <= 0.0) {
+      keyguard_->ReportFailure();
+      report.outcome = UnlockOutcome::kTokenRejected;
+      return report;
+    }
+    WL_COUNT("protocol.retransmit.phase2");
+    trace("phase2-retransmit",
+          "token rejected; retransmitting for chase combining (round " +
+              std::to_string(p2_round + 2) + ")");
+    backoff_pause(p2_round, report.timings.phase2_comm_ms);
+    ++p2_round;
   }
-
-  // Demodulation at the offload site.
-  WL_SPAN_V(demod_span, "phase2.demod");
-  const bool watch_local = offload.site == ProcessingSite::kWatchLocal;
-  WL_SPAN_ATTR(demod_span, "watch_local", watch_local ? 1.0 : 0.0);
-  sim::Millis watch_host_ms = 0.0;
-  const Phase2Report phase2 = watch.MakePhase2Report(
-      session_id, phase2_recording, phase2_config, watch_local,
-      &watch_host_ms);
-
-  std::vector<std::uint8_t> bits;
-  if (watch_local) {
-    bits = phase2.demodulated_bits;
-    const sim::Millis t = offload.watch.ScaleCompute(watch_host_ms);
-    report.timings.phase2_compute_ms += t;
-    report.watch_energy_mj +=
-        sim::DeviceProfile::EnergyMj(t, offload.watch.compute_power_mw);
-    // Result bits travel back as a small message.
-    const sim::Millis result_ms = link.SampleMessageDelay();
-    report.timings.phase2_comm_ms += result_ms;
-    clock.Advance(t + result_ms);
-  } else {
-    std::optional<modem::DemodResult> demod;
-    const sim::Millis host_ms = sim::TimeHostMs([&] {
-      demod = modem.Demodulate(phase2.recording, *mode,
-                               phase2_config.payload_bits);
-    });
-    const StepCost cost = offload.Cost(
-        host_ms, RecordingBytes(phase2.recording.size()), link);
-    report.timings.phase2_compute_ms += cost.compute_ms;
-    report.timings.phase2_comm_ms += cost.transfer_ms;
-    report.watch_energy_mj += cost.watch_energy_mj;
-    report.phone_energy_mj += cost.phone_energy_mj;
-    if (demod) bits = demod->bits;
-    clock.Advance(cost.compute_ms + cost.transfer_ms);
-  }
-  report.watch_energy_mj += sim::DeviceProfile::EnergyMj(
-      AudioMs(data_rx.watch_recording.size()), offload.watch.record_power_mw);
-  WL_SPAN_END(demod_span);
-
-  WL_SPAN_V(validate_span, "phase2.token_validate");
-  if (bits.size() != phase2_config.payload_bits) {
-    keyguard_->ReportFailure();
-    report.outcome = UnlockOutcome::kTokenRejected;
-    return report;
-  }
-
-  // Token validation: BER against the expected counter window.
-  const TokenValidation validation = otp_->ValidateBits(bits, required_ber);
-  report.token_ber = validation.ber;
-  WL_SPAN_ATTR(validate_span, "token_ber", validation.ber);
-  WL_SPAN_ATTR(validate_span, "accepted", validation.accepted ? 1.0 : 0.0);
-#if WEARLOCK_OBS_ENABLED
-  WL_HIST_BOUNDS("protocol.token_ber", BerBounds(), validation.ber);
-  RecordSubchannelBer(report.plan, *mode, bits, validation.expected_bits);
-#endif
-  trace("token-validate", "BER " + fmt(validation.ber, 3) + " vs bound " +
-                              fmt(required_ber) +
-                              (validation.accepted ? ": accepted" : ": rejected"));
-  if (!validation.accepted) {
-    keyguard_->ReportFailure();
-    report.outcome = UnlockOutcome::kTokenRejected;
-    return report;
-  }
-  keyguard_->ReportSuccess();
-  report.outcome = UnlockOutcome::kUnlocked;
-  report.unlocked = true;
-  return report;
 }
 
 }  // namespace wearlock::protocol

@@ -18,6 +18,7 @@
 #include "protocol/watch_controller.h"
 #include "sensors/filter.h"
 #include "sim/clock.h"
+#include "sim/faults.h"
 #include "sim/wireless.h"
 
 namespace wearlock::protocol {
@@ -33,9 +34,45 @@ enum class UnlockOutcome {
   kNlosAborted,       ///< severe body blocking and policy says abort
   kTokenRejected,     ///< Phase 2 BER above the required bound
   kTimingViolation,   ///< acoustic path slower than physics allows: MITM
+  kStageTimeout,      ///< a stage budget or the attempt deadline expired
+  kLinkFlapped,       ///< link dropped mid-protocol and stayed down
+  kRetriesExhausted,  ///< control message lost beyond the retry budget
 };
 
 std::string ToString(UnlockOutcome outcome);
+
+/// Timeout, retry and degradation policy for one unlock attempt. All
+/// waits are charged to the virtual clock; all budgets are virtual
+/// time, so a faulted attempt still terminates with a defined outcome
+/// before total_deadline_ms (docs/robustness.md).
+struct ResilienceConfig {
+  /// A control message unacknowledged past this is presumed lost.
+  sim::Millis message_timeout_ms = 600.0;
+  /// Per-stage budget (RTS/CTS, Phase-1 upload, Phase-2 exchange).
+  sim::Millis stage_budget_ms = 6000.0;
+  /// Hard ceiling on one Attempt() - the user is standing at the
+  /// lockscreen; past this we fail with kStageTimeout no matter what.
+  sim::Millis total_deadline_ms = 20000.0;
+  /// Retransmissions per control message before kRetriesExhausted.
+  int max_message_retries = 3;
+  /// Extra RTS probe emissions when the watch hears no preamble.
+  int max_probe_retransmits = 1;
+  /// Extra Phase-2 OTP frame transmissions (chase-combined).
+  int max_phase2_retransmits = 2;
+  /// Bounded exponential backoff between retransmissions:
+  /// min(backoff_max_ms, backoff_base_ms * 2^attempt).
+  sim::Millis backoff_base_ms = 50.0;
+  sim::Millis backoff_max_ms = 800.0;
+  /// Sum per-bit LLRs across Phase-2 retransmissions before the final
+  /// decision (chase combining) instead of judging each copy alone.
+  bool enable_chase_combining = true;
+  /// Degrade ladder: after this many link faults in one attempt, stop
+  /// offloading and fall back to watch-local processing.
+  int degrade_after_link_faults = 2;
+
+  /// min(backoff_max_ms, backoff_base_ms * 2^attempt).
+  sim::Millis BackoffMs(int attempt) const;
+};
 
 /// What to do when the motion filter reports strong co-location
 /// (score < d_l). Algorithm 1 says "skip second phase"; the evaluation
@@ -93,6 +130,7 @@ struct PhoneConfig {
   sim::Millis timing_slack_ms = 350.0;
   /// Ambient window the phone self-records before probing (seconds).
   double ambient_window_s = 0.10;
+  ResilienceConfig resilience{};
 };
 
 struct PhaseTimings {
@@ -164,12 +202,16 @@ class PhoneController {
 
   /// One power-button press: runs the whole protocol against the given
   /// scene/watch/link and returns the full report. Advances `clock` by
-  /// every modeled latency.
+  /// every modeled latency. When `faults` is non-null, every control
+  /// message and capture routes through it and the resilience policy
+  /// (timeouts, ARQ, degrade ladder) earns its keep; when null, the
+  /// path is byte-identical to the fault-free protocol.
   UnlockReport Attempt(audio::TwoMicScene& scene, WatchController& watch,
                        sim::WirelessLink& link,
                        const sensors::MotionPair& motion,
                        const OffloadPlanner& offload, sim::VirtualClock& clock,
-                       const AttackInjection& attack = {});
+                       const AttackInjection& attack = {},
+                       sim::FaultInjector* faults = nullptr);
 
   const PhoneConfig& config() const { return config_; }
 
@@ -181,7 +223,8 @@ class PhoneController {
                             const sensors::MotionPair& motion,
                             const OffloadPlanner& offload,
                             sim::VirtualClock& clock,
-                            const AttackInjection& attack);
+                            const AttackInjection& attack,
+                            sim::FaultInjector* faults);
 
   PhoneConfig config_;
   OtpService* otp_;

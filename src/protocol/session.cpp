@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/instrument.h"
+
 namespace wearlock::protocol {
 namespace {
 
@@ -49,6 +51,13 @@ UnlockSession::UnlockSession(ScenarioConfig config)
                .watch = config.watch_profile,
                .phone = config.phone_profile},
       motion_sim_(rng_.Fork()) {
+  // The injector's stream forks AFTER scene/link/motion, so adding (or
+  // clearing) a fault plan never shifts those subsystems' draws - the
+  // no-fault acoustics of a seed are identical with or without faults.
+  sim::Rng fault_rng = rng_.Fork();
+  if (!config_.faults.empty() || config_.arm_resilience) {
+    fault_injector_.emplace(config_.faults, std::move(fault_rng), &clock_);
+  }
   tracer_.BindClock([this] { return clock_.now(); });
 }
 
@@ -74,7 +83,7 @@ UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
   obs::ScopedMetricsRegistry install_metrics(&metrics_);
   const sensors::MotionPair motion = SampleMotion();
   return phone_controller_.Attempt(scene_, watch_controller_, link_, motion,
-                                   offload_, clock_, attack);
+                                   offload_, clock_, attack, faults());
 }
 
 UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
@@ -85,11 +94,27 @@ UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
       case UnlockOutcome::kTokenRejected:
       case UnlockOutcome::kNoPreamble:
       case UnlockOutcome::kInsufficientSnr:
+      case UnlockOutcome::kStageTimeout:
+      case UnlockOutcome::kLinkFlapped:
+      case UnlockOutcome::kRetriesExhausted:
         break;  // transient: worth retrying
       default:
         return report;  // structural refusal: stop
     }
     if (!keyguard_.CanAttemptWearlock()) return report;
+    // Inter-attempt pause with bounded exponential backoff, charged to
+    // the session clock like any other wait (a flap outage scheduled
+    // mid-failure can elapse during it, so the next attempt may find
+    // the link recovered).
+    {
+      obs::ScopedTracer install_tracer(&tracer_);
+      obs::ScopedMetricsRegistry install_metrics(&metrics_);
+      const sim::Millis backoff =
+          phone_controller_.config().resilience.BackoffMs(retry);
+      WL_COUNT("protocol.retry.count");
+      WL_HIST("protocol.retry.backoff_ms", backoff);
+      clock_.Advance(backoff);
+    }
     report = Attempt(attack);
   }
   return report;

@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "audio/scene.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocol/phone_controller.h"
 #include "sensors/motion_sim.h"
+#include "sim/faults.h"
 #include "sim/wireless.h"
 
 namespace wearlock::protocol {
@@ -37,6 +39,15 @@ struct ScenarioConfig {
                                        '8', '9', '0', '1', '2', '3', '4',
                                        '5', '6', '7', '8', '9', '0'};
   std::uint64_t seed = 1;
+  /// Faults to inject (default: none). A non-empty plan wires a
+  /// seed-forked FaultInjector into every attempt, which also arms the
+  /// resilience policy (timeouts, ARQ, degrade ladder).
+  sim::FaultPlan faults{};
+  /// Arm the resilience policy even with an empty fault plan (the
+  /// injector is then a transparent pass-through). Lets marginal-SNR
+  /// deployments benefit from ARQ + chase combining without any
+  /// injected faults.
+  bool arm_resilience = false;
 
   /// The paper's three delay configurations (Fig. 12).
   static ScenarioConfig Config1();  ///< WiFi offload to Nexus 6 (fastest)
@@ -72,6 +83,12 @@ class UnlockSession {
   sim::VirtualClock& clock() { return clock_; }
   const ScenarioConfig& config() const { return config_; }
 
+  /// The session's fault injector, or nullptr when the scenario's plan
+  /// is empty (plain deployment). Exposes the fault trace for goldens.
+  sim::FaultInjector* faults() {
+    return fault_injector_ ? &*fault_injector_ : nullptr;
+  }
+
   /// Session-local telemetry. The tracer is bound to this session's
   /// virtual clock, and both are installed as the ambient sinks for the
   /// duration of each Attempt - so two sessions never mix samples, and
@@ -91,6 +108,7 @@ class UnlockSession {
   OffloadPlanner offload_;
   sensors::MotionSimulator motion_sim_;
   sim::VirtualClock clock_;
+  std::optional<sim::FaultInjector> fault_injector_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
 };

@@ -43,16 +43,22 @@ double WirelessLink::Jitter() {
   return std::exp(rng_.Gaussian(model_.jitter_sigma));
 }
 
-Millis WirelessLink::SampleMessageDelay() {
-  if (!connected_) throw std::logic_error("WirelessLink: link is down");
+std::optional<Millis> WirelessLink::TrySendMessageDelay() {
+  if (!connected_) {
+    WL_COUNT("link.send_on_down");
+    return std::nullopt;
+  }
   const Millis delay = model_.message_base_ms * Jitter();
   WL_COUNT("link.messages");
   WL_HIST("link.message_ms", delay);
   return delay;
 }
 
-Millis WirelessLink::SampleFileDelay(std::size_t bytes) {
-  if (!connected_) throw std::logic_error("WirelessLink: link is down");
+std::optional<Millis> WirelessLink::TrySendFileDelay(std::size_t bytes) {
+  if (!connected_) {
+    WL_COUNT("link.send_on_down");
+    return std::nullopt;
+  }
   const Millis transfer =
       static_cast<double>(bytes) / model_.throughput_bytes_per_ms;
   const Millis delay = (model_.file_setup_ms + transfer) * Jitter();
@@ -62,8 +68,30 @@ Millis WirelessLink::SampleFileDelay(std::size_t bytes) {
   return delay;
 }
 
+std::optional<Millis> WirelessLink::TrySendRoundTrip() {
+  const auto out = TrySendMessageDelay();
+  if (!out) return std::nullopt;
+  const auto back = TrySendMessageDelay();
+  if (!back) return std::nullopt;
+  return *out + *back;
+}
+
+Millis WirelessLink::SampleMessageDelay() {
+  const auto delay = TrySendMessageDelay();
+  if (!delay) throw std::logic_error("WirelessLink: link is down");
+  return *delay;
+}
+
+Millis WirelessLink::SampleFileDelay(std::size_t bytes) {
+  const auto delay = TrySendFileDelay(bytes);
+  if (!delay) throw std::logic_error("WirelessLink: link is down");
+  return *delay;
+}
+
 Millis WirelessLink::SampleRoundTrip() {
-  return SampleMessageDelay() + SampleMessageDelay();
+  const auto rtt = TrySendRoundTrip();
+  if (!rtt) throw std::logic_error("WirelessLink: link is down");
+  return *rtt;
 }
 
 }  // namespace wearlock::sim

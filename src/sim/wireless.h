@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "sim/clock.h"
@@ -47,15 +48,28 @@ class WirelessLink {
   void set_connected(bool connected) { connected_ = connected; }
   Radio radio() const { return model_.radio; }
 
+  /// Outcome-returning send APIs: nullopt when the link is down (a
+  /// defined protocol condition - disconnects mid-unlock are an
+  /// expected channel state, not a programming error). No jitter is
+  /// consumed from the rng on a down link, so a flap-and-recover
+  /// sequence draws exactly the same stream as an always-up link.
+  std::optional<Millis> TrySendMessageDelay();
+  std::optional<Millis> TrySendFileDelay(std::size_t bytes);
+  std::optional<Millis> TrySendRoundTrip();
+
   /// Sampled one-way latency (ms) for a short control message.
+  /// Throwing shim over TrySendMessageDelay for legacy callers that
+  /// check connected() themselves.
   /// @throws std::logic_error if the link is down.
   Millis SampleMessageDelay();
 
   /// Sampled latency (ms) to move `bytes` of bulk payload (e.g. a
   /// recorded audio clip being offloaded).
+  /// @throws std::logic_error if the link is down.
   Millis SampleFileDelay(std::size_t bytes);
 
   /// Round-trip time of message + reply.
+  /// @throws std::logic_error if the link is down.
   Millis SampleRoundTrip();
 
   const LinkModel& model() const { return model_; }

@@ -1,0 +1,440 @@
+// Fault-injection matrix: the tentpole robustness gate.
+//
+// Sweeps {message drop, delay spike, link flap, truncated recording}
+// across the paper's three delay configurations and pins the
+// resilience contract (docs/robustness.md):
+//
+//   * every faulted attempt terminates with a *defined* outcome well
+//     inside the total deadline - no hangs, no undefined states;
+//   * no false unlocks: an unlock under faults still means the token
+//     BER cleared the required bound;
+//   * the same seed replays the same fault sequence and the same
+//     outcome bit-identically, on 1 thread and on 8;
+//   * chase combining demonstrably rescues a marginal-SNR cell that
+//     single-shot Phase 2 loses;
+//   * the fault trace serializes as well-formed JSONL and matches the
+//     committed golden (timestamps normalized: virtual time includes
+//     host-measured compute, so at_ms jitters while the fault
+//     sequence itself must not - same rationale as
+//     concurrency_stress_test.cpp excluding phase timings).
+//
+// Regenerate the golden after an intentional fault-model change with
+//   WEARLOCK_REGEN_FAULT_GOLDEN=1 ./tests/fault_matrix_test
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_check.h"
+#include "modem/coding.h"
+#include "protocol/session.h"
+#include "sim/executor.h"
+#include "sim/faults.h"
+
+namespace wearlock {
+namespace {
+
+using protocol::ResilienceConfig;
+using protocol::ScenarioConfig;
+using protocol::UnlockOutcome;
+using protocol::UnlockReport;
+using protocol::UnlockSession;
+
+// --- The matrix ------------------------------------------------------
+
+const char* const kFaultSpecs[] = {
+    "drop=0.3",            // control messages silently lost
+    "spike=0.6x12,dup=0.3",// delivery stalls + duplicate deliveries
+    "flap@any",            // link flaps at the first link op
+    "trunc=0.35",          // watch captures cut short
+};
+
+ScenarioConfig ConfigByIndex(int which) {
+  switch (which) {
+    case 0: return ScenarioConfig::Config1();
+    case 1: return ScenarioConfig::Config2();
+    default: return ScenarioConfig::Config3();
+  }
+}
+
+constexpr int kNumSpecs = 4;
+constexpr int kNumConfigs = 3;
+constexpr int kNumCells = kNumSpecs * kNumConfigs;
+
+/// One matrix cell: spec x config, seed pinned per cell.
+ScenarioConfig CellScenario(int cell) {
+  const int spec = cell / kNumConfigs;
+  const int config = cell % kNumConfigs;
+  ScenarioConfig c = ConfigByIndex(config);
+  c.scene.environment = audio::Environment::kQuietRoom;
+  c.scene.distance_m = 0.3;
+  c.faults = sim::FaultPlan::Parse(kFaultSpecs[spec]);
+  c.seed = 7000 + static_cast<std::uint64_t>(cell);
+  return c;
+}
+
+/// Everything about a faulted attempt that must be deterministic under
+/// a fixed seed. Virtual-time stamps (and durations) are excluded:
+/// they include host-measured compute, which jitters; the *decisions*
+/// - fault sequence, outcome, signal statistics, step order - must not.
+std::string CellFingerprint(const ScenarioConfig& config) {
+  UnlockSession session(config);
+  const UnlockReport report = session.Attempt();
+
+  std::ostringstream fp;
+  fp << std::hexfloat;
+  fp << ToString(report.outcome) << "|" << report.unlocked << "|"
+     << report.token_ber << "|" << report.required_ber << "|"
+     << report.pilot_snr_db << "|" << report.preamble_score << "|"
+     << report.ambient_similarity << "|steps:";
+  for (const auto& step : report.trace) {
+    fp << step.step << "=" << step.detail << ";";
+  }
+  fp << "|spans:";
+  for (const auto& span : session.tracer().spans()) fp << span.name << ",";
+  fp << "|faults:";
+  EXPECT_NE(session.faults(), nullptr) << "non-empty plan must arm injector";
+  if (session.faults() != nullptr) {
+    for (const auto& event : session.faults()->events()) {
+      fp << ToString(event.kind) << "@" << event.stage << "=" << event.value
+         << ";";
+    }
+  }
+  return fp.str();
+}
+
+// --- Termination + no-false-unlock over the whole matrix -------------
+
+TEST(FaultMatrixTest, EveryCellTerminatesWithDefinedOutcome) {
+  for (int cell = 0; cell < kNumCells; ++cell) {
+    SCOPED_TRACE("cell " + std::to_string(cell) + " spec " +
+                 kFaultSpecs[cell / kNumConfigs]);
+    const ScenarioConfig config = CellScenario(cell);
+    UnlockSession session(config);
+    const UnlockReport report = session.Attempt();
+
+    // Defined outcome: every enumerator stringifies.
+    EXPECT_NE(ToString(report.outcome), "?");
+
+    // Terminates inside the budget. The deadline gates the *start* of
+    // protocol steps, so the last started step (one stage budget, plus
+    // audio/compute slack) may run past it - but never unboundedly.
+    const ResilienceConfig& res = config.phone.resilience;
+    EXPECT_LT(session.clock().now(),
+              res.total_deadline_ms + res.stage_budget_ms + 15000.0);
+
+    // No false unlock: unlocking under faults still requires the token
+    // BER to clear the bound the adaptation chose.
+    EXPECT_EQ(report.unlocked, report.outcome == UnlockOutcome::kUnlocked);
+    if (report.unlocked) {
+      EXPECT_LE(report.token_ber, report.required_ber);
+    }
+
+    // The fault trace is well-formed JSONL, line by line.
+    ASSERT_NE(session.faults(), nullptr);
+    std::istringstream trace(
+        sim::FaultTraceJsonl(session.faults()->events()));
+    std::string line;
+    testing::JsonChecker checker;
+    while (std::getline(trace, line)) {
+      EXPECT_TRUE(checker.Check(line)) << checker.error() << " in: " << line;
+    }
+  }
+}
+
+// --- Deterministic replay (same seed, same everything) ---------------
+
+TEST(FaultMatrixTest, SameSeedReplaysBitIdentically) {
+  for (int cell = 0; cell < kNumCells; ++cell) {
+    SCOPED_TRACE("cell " + std::to_string(cell));
+    const ScenarioConfig config = CellScenario(cell);
+    const std::string first = CellFingerprint(config);
+    const std::string second = CellFingerprint(config);
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+  }
+}
+
+TEST(FaultMatrixTest, ByteIdenticalAcrossThreadCounts) {
+  auto run_matrix = [](std::size_t n_threads) {
+    sim::ParallelExecutor executor(n_threads);
+    return executor.Map(kNumCells, /*base_seed=*/0, [](sim::TaskContext& ctx) {
+      // Cell seeds are pinned by CellScenario; ctx.rng is deliberately
+      // unused so the fingerprint is a pure function of the index.
+      return CellFingerprint(
+          CellScenario(static_cast<int>(ctx.index)));
+    });
+  };
+  const std::vector<std::string> serial = run_matrix(1);
+  const std::vector<std::string> parallel = run_matrix(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+// --- Golden fault trace ----------------------------------------------
+
+/// The pinned fully-faulted unlock: drops, spikes, duplicates and
+/// truncated captures all fire, and the session still unlocks.
+ScenarioConfig GoldenScenario() {
+  ScenarioConfig c = ScenarioConfig::Config1();
+  c.scene.environment = audio::Environment::kQuietRoom;
+  c.scene.distance_m = 0.3;
+  c.faults = sim::FaultPlan::Parse("drop=0.35,dup=0.3,spike=0.5x10,trunc=0.7");
+  c.seed = 10;  // pinned by a sweep: 12 events, every planned kind fires
+  return c;
+}
+
+/// Zero out the "at_ms" values: virtual time includes host-measured
+/// compute, so timestamps jitter while the event sequence must not.
+std::string NormalizeTraceTimestamps(const std::string& jsonl) {
+  std::string out;
+  std::size_t pos = 0;
+  const std::string key = "\"at_ms\":";
+  while (pos < jsonl.size()) {
+    const std::size_t hit = jsonl.find(key, pos);
+    if (hit == std::string::npos) {
+      out += jsonl.substr(pos);
+      break;
+    }
+    out += jsonl.substr(pos, hit - pos) + key + "0";
+    pos = hit + key.size();
+    while (pos < jsonl.size() && jsonl[pos] != ',' && jsonl[pos] != '}') ++pos;
+  }
+  return out;
+}
+
+TEST(FaultMatrixTest, GoldenFaultedUnlockTrace) {
+  UnlockSession session(GoldenScenario());
+  const UnlockReport report = session.Attempt();
+  EXPECT_TRUE(report.unlocked) << ToString(report.outcome);
+  ASSERT_NE(session.faults(), nullptr);
+
+  const std::string raw = sim::FaultTraceJsonl(session.faults()->events());
+  EXPECT_FALSE(raw.empty()) << "golden scenario must actually inject faults";
+
+  // Well-formed JSONL before any normalization.
+  {
+    std::istringstream lines(raw);
+    std::string line;
+    testing::JsonChecker checker;
+    while (std::getline(lines, line)) {
+      EXPECT_TRUE(checker.Check(line)) << checker.error() << " in: " << line;
+    }
+  }
+
+  const std::string normalized = NormalizeTraceTimestamps(raw);
+  const std::string golden_path =
+      std::string(WEARLOCK_FAULT_GOLDEN_DIR) + "/faulted_unlock_trace.jsonl";
+  if (std::getenv("WEARLOCK_REGEN_FAULT_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << normalized;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path
+                         << " (regen with WEARLOCK_REGEN_FAULT_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(normalized, golden.str())
+      << "fault trace drifted from the committed golden; if the change "
+         "is intentional, regen with WEARLOCK_REGEN_FAULT_GOLDEN=1";
+}
+
+// --- Chase combining rescues a marginal-SNR cell ---------------------
+
+/// Pinned by a sweep over (environment, distance, seed): quiet room at
+/// 1.70 m, seed 201 - single-shot Phase 2 rejects the token, ARQ with
+/// chase-combined LLRs unlocks, and ARQ *without* combining (each copy
+/// judged alone) still fails. This is the cell that proves combining
+/// adds real decoding gain rather than just more dice rolls.
+ScenarioConfig MarginalSnrScenario() {
+  ScenarioConfig c = ScenarioConfig::Config1();
+  c.scene.environment = audio::Environment::kQuietRoom;
+  c.scene.distance_m = 1.70;
+  c.seed = 201;
+  return c;
+}
+
+TEST(ChaseCombiningTest, RescuesMarginalSnrCellThatSingleShotLoses) {
+  // Single shot: the plain protocol (no injector, no ARQ) rejects.
+  {
+    UnlockSession session(MarginalSnrScenario());
+    const UnlockReport report = session.Attempt();
+    EXPECT_EQ(report.outcome, UnlockOutcome::kTokenRejected);
+    EXPECT_FALSE(report.unlocked);
+  }
+  // Armed resilience (empty fault plan, transparent injector): the
+  // same acoustics, but Phase-2 retransmissions chase-combine.
+  {
+    ScenarioConfig config = MarginalSnrScenario();
+    config.arm_resilience = true;
+    UnlockSession session(config);
+    const UnlockReport report = session.Attempt();
+    EXPECT_EQ(report.outcome, UnlockOutcome::kUnlocked);
+    EXPECT_TRUE(report.unlocked);
+    EXPECT_LE(report.token_ber, report.required_ber);
+  }
+  // Same retransmission budget with combining disabled: every copy is
+  // judged alone and every copy fails - the rescue is the combining,
+  // not the extra transmissions.
+  {
+    ScenarioConfig config = MarginalSnrScenario();
+    config.arm_resilience = true;
+    config.phone.resilience.enable_chase_combining = false;
+    UnlockSession session(config);
+    const UnlockReport report = session.Attempt();
+    EXPECT_FALSE(report.unlocked);
+  }
+}
+
+// --- Targeted fault -> outcome mappings ------------------------------
+
+TEST(ResilienceOutcomeTest, TotalMessageLossExhaustsRetries) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  config.faults = sim::FaultPlan::Parse("drop=1.0");
+  config.seed = 11;
+  UnlockSession session(config);
+  const UnlockReport report = session.Attempt();
+  EXPECT_EQ(report.outcome, UnlockOutcome::kRetriesExhausted);
+  EXPECT_FALSE(report.unlocked);
+  // Initial send + max_message_retries retransmissions, all dropped.
+  const int expected_drops =
+      1 + config.phone.resilience.max_message_retries;
+  int drops = 0;
+  for (const auto& event : session.faults()->events()) {
+    if (event.kind == sim::FaultKind::kMessageDrop) ++drops;
+  }
+  EXPECT_EQ(drops, expected_drops);
+}
+
+TEST(ResilienceOutcomeTest, PermanentFlapFailsClosedAsLinkFlapped) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  // Outage far beyond the stage budget: waiting it out cannot succeed.
+  config.faults = sim::FaultPlan::Parse("flap@rts:360000");
+  config.seed = 12;
+  UnlockSession session(config);
+  const UnlockReport report = session.Attempt();
+  EXPECT_EQ(report.outcome, UnlockOutcome::kLinkFlapped);
+  EXPECT_FALSE(report.unlocked);
+}
+
+TEST(ResilienceOutcomeTest, LostCapturesRetransmitProbeThenFailSafe) {
+  ScenarioConfig config = ScenarioConfig::Config1();
+  config.faults = sim::FaultPlan::Parse("recdrop=1.0");
+  config.seed = 13;
+  UnlockSession session(config);
+  const UnlockReport report = session.Attempt();
+  EXPECT_EQ(report.outcome, UnlockOutcome::kNoPreamble);
+  EXPECT_FALSE(report.unlocked);
+  // The probe was re-emitted: initial round + max_probe_retransmits,
+  // every capture dropped.
+  const int expected =
+      1 + config.phone.resilience.max_probe_retransmits;
+  int recording_drops = 0;
+  for (const auto& event : session.faults()->events()) {
+    if (event.kind == sim::FaultKind::kRecordingDrop) ++recording_drops;
+  }
+  EXPECT_EQ(recording_drops, expected);
+}
+
+// --- ResilienceConfig / FaultPlan / SoftCombiner units ---------------
+
+TEST(ResilienceConfigTest, BackoffIsBoundedExponential) {
+  const ResilienceConfig res;  // base 50, cap 800
+  EXPECT_DOUBLE_EQ(res.BackoffMs(0), 50.0);
+  EXPECT_DOUBLE_EQ(res.BackoffMs(1), 100.0);
+  EXPECT_DOUBLE_EQ(res.BackoffMs(2), 200.0);
+  EXPECT_DOUBLE_EQ(res.BackoffMs(4), 800.0);
+  EXPECT_DOUBLE_EQ(res.BackoffMs(40), 800.0);  // capped, no overflow
+}
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  const sim::FaultPlan plan = sim::FaultPlan::Parse(
+      "drop=0.3,dup=0.1,spike=0.6x12,flap@rts:250,trunc=0.5,clip=0.8,"
+      "recdrop=0.05");
+  EXPECT_DOUBLE_EQ(plan.message_drop_p, 0.3);
+  EXPECT_DOUBLE_EQ(plan.message_dup_p, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay_spike_p, 0.6);
+  EXPECT_DOUBLE_EQ(plan.delay_spike_mult, 12.0);
+  EXPECT_EQ(plan.flap_stage, "rts");
+  EXPECT_DOUBLE_EQ(plan.flap_down_ms, 250.0);
+  EXPECT_DOUBLE_EQ(plan.recording_truncate_keep, 0.5);
+  EXPECT_DOUBLE_EQ(plan.recording_clip_level, 0.8);
+  EXPECT_DOUBLE_EQ(plan.recording_drop_p, 0.05);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, EmptySpecIsTransparent) {
+  EXPECT_TRUE(sim::FaultPlan::Parse("").empty());
+  EXPECT_TRUE(sim::FaultPlan{}.empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(sim::FaultPlan::Parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::Parse("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::Parse("spike=0.2x0.5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::Parse("trunc=0"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::Parse("flap@"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::Parse("clip=-1"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::Parse("drop=abc"), std::invalid_argument);
+}
+
+TEST(SoftCombinerTest, SumsLlrsAndDecidesOnTheSum) {
+  modem::SoftCombiner combiner;
+  EXPECT_TRUE(combiner.empty());
+  // LLR convention: positive favors bit 0 (DemapSymbolsSoft).
+  combiner.Add({+2.0, -1.0, +0.5});
+  combiner.Add({-1.0, -1.0, -2.0});
+  EXPECT_EQ(combiner.rounds(), 2u);
+  const std::vector<double>& sum = combiner.combined();
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum[0], 1.0);
+  EXPECT_DOUBLE_EQ(sum[1], -2.0);
+  EXPECT_DOUBLE_EQ(sum[2], -1.5);
+  const std::vector<std::uint8_t> bits = combiner.HardBits();
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 0);  // positive sum -> 0
+  EXPECT_EQ(bits[1], 1);
+  EXPECT_EQ(bits[2], 1);
+  combiner.Reset();
+  EXPECT_TRUE(combiner.empty());
+  EXPECT_EQ(combiner.rounds(), 0u);
+}
+
+TEST(SoftCombinerTest, RejectsLengthMismatch) {
+  modem::SoftCombiner combiner;
+  combiner.Add({1.0, 2.0});
+  EXPECT_THROW(combiner.Add({1.0}), std::invalid_argument);
+}
+
+/// A weak copy that alone decodes wrong can be outvoted by two noisy
+/// but net-correct copies - the chase-combining mechanism in miniature.
+TEST(SoftCombinerTest, CombinedDecisionBeatsWorstSingleCopy) {
+  const std::vector<std::uint8_t> truth = {0, 1, 0, 1};
+  auto ber = [&](const std::vector<std::uint8_t>& bits) {
+    int errors = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      errors += (bits[i] & 1) != (truth[i] & 1);
+    }
+    return static_cast<double>(errors) / static_cast<double>(truth.size());
+  };
+  modem::SoftCombiner combiner;
+  combiner.Add({+0.2, +0.4, +0.3, -0.9});  // bit 1 flipped: BER 0.25
+  {
+    modem::SoftCombiner alone;
+    alone.Add({+0.2, +0.4, +0.3, -0.9});
+    EXPECT_GT(ber(alone.HardBits()), 0.0);
+  }
+  combiner.Add({+0.5, -0.8, +0.1, -0.2});  // clean but weak
+  EXPECT_DOUBLE_EQ(ber(combiner.HardBits()), 0.0);
+}
+
+}  // namespace
+}  // namespace wearlock

@@ -10,10 +10,13 @@
 #      steady-state gate (docs/perf.md)
 #   4. parallel-determinism gate: fig7 stdout must be byte-identical
 #      between --threads 1 and --threads 8 (docs/parallelism.md)
-#   5. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#   5. fault-injection gate: the `fault` ctest label (fault matrix,
+#      golden faulted trace, chase-combining rescue) plus a CLI replay
+#      of the golden fully-faulted unlock (docs/robustness.md)
+#   6. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
 #      leg gets real cross-thread traffic from concurrency_stress_test,
-#      executor_test and fft_plan_test at WEARLOCK_THREADS=8, and a
-#      parallel bench sweep)
+#      executor_test, fft_plan_test and fault_matrix_test at
+#      WEARLOCK_THREADS=8, and a parallel bench sweep)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -67,6 +70,20 @@ build/bench/fig7_ber_distance --quick --threads 8 >build/fig7-t8.out
 diff -u build/fig7-t1.out build/fig7-t8.out
 echo "fig7 output byte-identical across thread counts"
 
+banner "fault-injection gate: ctest -L fault + CLI golden replay"
+# The robustness matrix (docs/robustness.md): every faulted cell must
+# terminate with a defined outcome, never falsely unlock, and replay
+# bit-identically - serially and at WEARLOCK_THREADS=8.
+ctest --test-dir build -L fault --output-on-failure
+# The committed golden trace must be reproducible from the command line
+# with one seed (the CI-failure repro path the CLI exists for).
+build/tools/wearlock_unlock_cli \
+    --faults drop=0.35,dup=0.3,spike=0.5x10,trunc=0.7 --seed 10 \
+    --fault-trace build/fault-trace.jsonl >/dev/null
+diff <(sed 's/"at_ms":[0-9.eE+-]*/"at_ms":0/' build/fault-trace.jsonl) \
+     tests/golden/faulted_unlock_trace.jsonl
+echo "CLI fault replay matches the committed golden trace"
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "skipping sanitizer builds (--skip-sanitizers): ${SANITIZERS[*]}"
   exit 0
@@ -89,6 +106,9 @@ for san in "${SANITIZERS[@]}"; do
     # PlanCache::Get under real contention (8 threads x shared plans).
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/tests/fft_plan_test"
+    # The fault matrix's cross-thread determinism leg on a wide pool.
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        "build-$san/tests/fault_matrix_test"
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/bench/fig7_ber_distance" --quick >/dev/null
   fi

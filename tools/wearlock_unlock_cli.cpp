@@ -8,13 +8,20 @@
 //                       [--different-room] [--no-link] [--config 1|2|3]
 //                       [--activity sitting|walking|running]
 //                       [--attempts N] [--seed S] [--retries R]
-//                       [--threads T]
-//                       [--trace out.json] [--metrics out.json] [--verbose]
+//                       [--threads T] [--faults SPEC]
+//                       [--trace out.json] [--metrics out.json]
+//                       [--fault-trace out.jsonl] [--verbose]
 //
 // --trace writes a Chrome trace_event JSON of every span the attempts
 // produced (virtual-time timestamps; open in chrome://tracing or
 // https://ui.perfetto.dev). --metrics dumps the session's metrics
 // registry as JSON. --verbose routes library diagnostics to stderr.
+//
+// --faults injects deterministic faults (sim::FaultPlan::Parse grammar,
+// e.g. "drop=0.3,flap@rts,trunc=0.5") and arms the resilience policy;
+// with a fixed --seed this replays a CI fault-matrix cell exactly.
+// --fault-trace writes the injected-fault event log as JSONL (the
+// committed-golden format; sequential mode only, like --trace).
 //
 // --threads T with T > 1 fans the attempts across a
 // sim::ParallelExecutor: each attempt becomes an independent
@@ -25,6 +32,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -80,6 +88,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::string trace_path;
   std::string metrics_path;
+  std::string fault_trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +124,15 @@ int main(int argc, char** argv) {
       if (threads == 0) threads = sim::ParallelExecutor::DefaultThreadCount();
     } else if (arg == "--seed") {
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--faults") {
+      try {
+        config.faults = sim::FaultPlan::Parse(next());
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--fault-trace") {
+      fault_trace_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--metrics") {
@@ -133,12 +151,14 @@ int main(int argc, char** argv) {
   if (threads > 1) {
     // Parallel mode: every attempt is an independent session, seeded
     // from (--seed, attempt index); output buffers print in order.
-    if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!trace_path.empty() || !metrics_path.empty() ||
+        !fault_trace_path.empty()) {
       std::fprintf(stderr,
-                   "--trace/--metrics need sequential mode; ignoring "
-                   "(drop --threads to keep them)\n");
+                   "--trace/--metrics/--fault-trace need sequential mode; "
+                   "ignoring (drop --threads to keep them)\n");
       trace_path.clear();
       metrics_path.clear();
+      fault_trace_path.clear();
     }
     sim::ParallelExecutor executor(threads);
     struct AttemptResult {
@@ -194,6 +214,20 @@ int main(int argc, char** argv) {
     }
     session.metrics().WriteJson(os);
     std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (!fault_trace_path.empty()) {
+    if (session.faults() == nullptr) {
+      std::fprintf(stderr, "--fault-trace needs --faults\n");
+      return 2;
+    }
+    std::ofstream os(fault_trace_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", fault_trace_path.c_str());
+      return 2;
+    }
+    os << sim::FaultTraceJsonl(session.faults()->events());
+    std::printf("wrote %zu fault events to %s\n",
+                session.faults()->events().size(), fault_trace_path.c_str());
   }
   std::printf("unlocked %d/%d\n", unlocked, attempts);
   return unlocked > 0 ? 0 : 1;
