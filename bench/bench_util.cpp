@@ -7,6 +7,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
+
+#include "obs/json.h"
 
 namespace wearlock::bench {
 
@@ -56,6 +59,16 @@ void Banner(const std::string& title) {
 }
 
 namespace {
+
+/// Commit the binary was configured from ("unknown" outside git — the
+/// define comes from bench/CMakeLists.txt at configure time).
+const char* WearlockGitSha() {
+#ifdef WEARLOCK_GIT_SHA
+  return WEARLOCK_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
 
 std::size_t ParseCount(const char* s) {
   std::size_t parsed = 0;
@@ -161,6 +174,22 @@ bool SweepRunner::WriteJsonReport(const std::string& bench_name,
   std::fprintf(out, "{\"bench\":\"%s\",\"threads\":%zu,\"seed\":%llu,",
                bench_name.c_str(), thread_count(),
                static_cast<unsigned long long>(options_.base_seed));
+  // Provenance: enough context to interpret (or distrust) a BENCH_*.json
+  // pulled out of CI weeks later - which commit, how parallel the host
+  // was, whether the thread count came from the environment, and whether
+  // the numbers are from a --quick smoke or a full sweep.
+  const char* threads_env = std::getenv("WEARLOCK_THREADS");
+  std::fprintf(out,
+               "\"provenance\":{\"git_sha\":\"%s\","
+               "\"hardware_concurrency\":%u,",
+               WearlockGitSha(), std::thread::hardware_concurrency());
+  if (threads_env != nullptr) {
+    std::fprintf(out, "\"wearlock_threads_env\":\"%s\",",
+                 obs::JsonEscape(threads_env).c_str());
+  } else {
+    std::fprintf(out, "\"wearlock_threads_env\":null,");
+  }
+  std::fprintf(out, "\"quick\":%s},", options_.quick ? "true" : "false");
   std::fprintf(out, "\"wall_ms\":%.3f,\"per_point_ms\":[", wall_ms);
   for (std::size_t i = 0; i < points.size(); ++i) {
     std::fprintf(out, "%s%.3f", i ? "," : "", points[i]);

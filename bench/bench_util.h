@@ -124,11 +124,14 @@ class SweepRunner {
   /// --json was given, also writes WriteJsonReport() to that path.
   void PrintTiming(const std::string& sweep_name) const;
 
-  /// Write `{"bench":name,"threads":T,"seed":S,"wall_ms":X,
-  /// "per_point_ms":[...]}` to `path`. Timing goes to a side file, never
-  /// stdout: table output must stay byte-identical across --threads.
-  /// Returns false (with a note on stderr) when the file cannot be
-  /// written.
+  /// Write `{"bench":name,"threads":T,"seed":S,"provenance":{...},
+  /// "wall_ms":X,"per_point_ms":[...]}` to `path`. The provenance object
+  /// stamps git_sha (configure-time), hardware_concurrency, the
+  /// WEARLOCK_THREADS env value (null when unset) and the --quick flag,
+  /// so archived BENCH_*.json stay interpretable. Timing goes to a side
+  /// file, never stdout: table output must stay byte-identical across
+  /// --threads. Returns false (with a note on stderr) when the file
+  /// cannot be written.
   bool WriteJsonReport(const std::string& bench_name,
                        const std::string& path) const;
 

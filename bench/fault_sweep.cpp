@@ -7,25 +7,23 @@
 // Grid: drop probability (rows) x independent trials (cols). Every cell
 // is one full unlock attempt with its own seeded session, so the sweep
 // fans out across bench::SweepRunner and stays byte-identical for any
-// --threads value.
+// --threads value. Cells report through the fleet-telemetry pipeline:
+// each session emits a SessionRecord, a TelemetrySink rolls the cells
+// up per drop level (each drop level is its own cohort - the fault
+// spec is a cohort-key axis), and the table prints the sink's Wilson
+// intervals and sketch percentiles instead of hand-counted rates.
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/rollup.h"
 #include "protocol/session.h"
 
 namespace {
 using namespace wearlock;
 
-struct CellResult {
-  protocol::UnlockOutcome outcome = protocol::UnlockOutcome::kNoWirelessLink;
-  bool unlocked = false;
-  std::size_t fault_events = 0;
-};
-
-CellResult RunCell(double drop_probability, std::uint64_t seed) {
+obs::SessionRecord RunCell(double drop_probability, std::uint64_t seed) {
   protocol::ScenarioConfig config = protocol::ScenarioConfig::Config1();
   config.scene.environment = audio::Environment::kQuietRoom;
   config.scene.distance_m = 0.3;
@@ -38,14 +36,11 @@ CellResult RunCell(double drop_probability, std::uint64_t seed) {
     config.arm_resilience = true;
   }
   protocol::UnlockSession session(config);
-  const protocol::UnlockReport report = session.Attempt();
-  CellResult result;
-  result.outcome = report.outcome;
-  result.unlocked = report.unlocked;
-  if (session.faults() != nullptr) {
-    result.fault_events = session.faults()->events().size();
-  }
-  return result;
+  obs::SessionRecord record;
+  session.SetRecordSink(
+      [&record](const obs::SessionRecord& r) { record = r; });
+  session.Attempt();
+  return record;
 }
 
 }  // namespace
@@ -62,7 +57,7 @@ int main(int argc, char** argv) {
   const std::size_t trials = static_cast<std::size_t>(options.Rounds(12));
 
   bench::SweepRunner runner(options);
-  const auto results = runner.RunGrid(
+  const auto records = runner.RunGrid(
       drops.size(), trials,
       [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng&) {
         // Seed from grid coordinates, not the task rng: the cell must
@@ -73,37 +68,47 @@ int main(int argc, char** argv) {
       });
   runner.PrintTiming("fault_sweep");
 
-  std::vector<std::string> header = {"drop", "unlock rate", "mean faults",
-                                     "outcomes"};
+  // Roll the cells up through the telemetry sink; each drop level lands
+  // in its own cohort because the fault spec is part of the cohort key.
+  obs::TelemetrySink sink;
+  for (const obs::SessionRecord& record : records) sink.Ingest(record);
+
+  std::vector<std::string> header = {"drop",        "unlock rate",
+                                     "95% CI",      "mean faults",
+                                     "total p50/p99 ms", "outcomes"};
   std::vector<std::vector<std::string>> rows;
   for (std::size_t row = 0; row < drops.size(); ++row) {
-    std::size_t unlocked = 0, faults = 0;
-    std::map<std::string, int> outcomes;
-    for (std::size_t col = 0; col < trials; ++col) {
-      const CellResult& cell = results[row * trials + col];
-      unlocked += cell.unlocked ? 1 : 0;
-      faults += cell.fault_events;
-      ++outcomes[protocol::ToString(cell.outcome)];
-    }
+    const std::string key = obs::DefaultCohortKey(records[row * trials]);
+    const auto it = sink.cohorts().find(key);
+    if (it == sink.cohorts().end()) continue;  // cannot happen: just ingested
+    const auto& cohort = it->second;
+    const obs::WilsonInterval unlock = cohort.UnlockRate();
     std::string dist;
-    for (const auto& [name, count] : outcomes) {
+    for (const auto& [name, count] : cohort.outcomes) {
       if (!dist.empty()) dist += ", ";
       dist += name + ":" + std::to_string(count);
     }
-    rows.push_back({bench::Fmt(drops[row], 2),
-                    bench::Fmt(static_cast<double>(unlocked) /
-                                   static_cast<double>(trials),
-                               3),
-                    bench::Fmt(static_cast<double>(faults) /
-                                   static_cast<double>(trials),
+    const auto total = cohort.stages.find("total");
+    const std::string p50p99 =
+        total == cohort.stages.end()
+            ? "n/a"
+            : bench::Fmt(total->second.Quantile(0.50), 0) + " / " +
+                  bench::Fmt(total->second.Quantile(0.99), 0);
+    rows.push_back({bench::Fmt(drops[row], 2), bench::Fmt(unlock.rate, 3),
+                    "[" + bench::Fmt(unlock.low, 3) + ", " +
+                        bench::Fmt(unlock.high, 3) + "]",
+                    bench::Fmt(static_cast<double>(cohort.fault_events) /
+                                   static_cast<double>(cohort.sessions),
                                1),
-                    dist});
+                    p50p99, dist});
   }
   bench::PrintTable(header, rows);
 
   std::printf(
       "\nReading: ARQ + chase combining hold the unlock rate high through\n"
       "moderate loss; past the retry budget (drop >~ 0.5) sessions fail\n"
-      "closed as retries-exhausted instead of unlocking on bad data.\n");
+      "closed as retries-exhausted instead of unlocking on bad data.\n"
+      "The CI column is the Wilson interval the telemetry rollup\n"
+      "recomputes from the same cohorts (docs/observability.md).\n");
   return 0;
 }

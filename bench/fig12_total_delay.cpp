@@ -7,10 +7,17 @@
 //
 // Paper result: WearLock beats 4-digit PIN entry by at least 17.7% even
 // in the slowest configuration, and by at least 58.6% in the fastest.
+//
+// The three configs also report through the fleet-telemetry pipeline:
+// every attempt emits a SessionRecord into a TelemetrySink, and a
+// second table prints each config-cohort's Wilson unlock interval and
+// sketch percentiles - the same numbers `wearlock_telemetry --cohorts`
+// would recover from a --session-log of this run.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "dsp/stats.h"
+#include "obs/rollup.h"
 #include "protocol/session.h"
 
 namespace {
@@ -18,10 +25,12 @@ using namespace wearlock;
 using namespace wearlock::protocol;
 
 dsp::Summary MeasureConfig(ScenarioConfig config, std::uint64_t seed,
-                           int rounds) {
+                           int rounds, obs::TelemetrySink* sink) {
   config.seed = seed;
   config.scene.distance_m = 0.3;
   UnlockSession session(config);
+  session.SetRecordSink(
+      [sink](const obs::SessionRecord& record) { sink->Ingest(record); });
   std::vector<double> totals;
   for (int i = 0; i < rounds; ++i) {
     session.keyguard().Relock();
@@ -43,9 +52,10 @@ int main(int argc, char** argv) {
   const int kRounds = options.Rounds(20);
   bench::Banner("Figure 12: total unlock delay vs manual PIN entry (20 rounds)");
 
-  const auto c1 = MeasureConfig(ScenarioConfig::Config1(), 121, kRounds);
-  const auto c2 = MeasureConfig(ScenarioConfig::Config2(), 122, kRounds);
-  const auto c3 = MeasureConfig(ScenarioConfig::Config3(), 123, kRounds);
+  obs::TelemetrySink sink;
+  const auto c1 = MeasureConfig(ScenarioConfig::Config1(), 121, kRounds, &sink);
+  const auto c2 = MeasureConfig(ScenarioConfig::Config2(), 122, kRounds, &sink);
+  const auto c3 = MeasureConfig(ScenarioConfig::Config3(), 123, kRounds, &sink);
 
   sim::Rng rng(124);
   PinEntryModel pin;
@@ -67,6 +77,26 @@ int main(int argc, char** argv) {
         bench::Fmt(c3.median, 0)},
        {"manual 4-digit PIN", bench::Fmt(p4.mean, 0), bench::Fmt(p4.median, 0)},
        {"manual 6-digit PIN", bench::Fmt(p6.mean, 0), bench::Fmt(p6.median, 0)}});
+
+  bench::Banner("Telemetry rollup view (per config cohort)");
+  std::vector<std::vector<std::string>> cohort_rows;
+  for (const auto& [key, cohort] : sink.cohorts()) {
+    const obs::WilsonInterval unlock = cohort.UnlockRate();
+    const auto total = cohort.stages.find("total");
+    std::string p50, p90, p99;
+    if (total != cohort.stages.end()) {
+      p50 = bench::Fmt(total->second.Quantile(0.50), 0);
+      p90 = bench::Fmt(total->second.Quantile(0.90), 0);
+      p99 = bench::Fmt(total->second.Quantile(0.99), 0);
+    }
+    cohort_rows.push_back({key, bench::Fmt(unlock.rate, 3),
+                           "[" + bench::Fmt(unlock.low, 3) + ", " +
+                               bench::Fmt(unlock.high, 3) + "]",
+                           p50, p90, p99});
+  }
+  bench::PrintTable({"cohort", "unlock", "95% CI", "p50(ms)", "p90(ms)",
+                     "p99(ms)"},
+                    cohort_rows);
 
   const double fastest_speedup = 1.0 - c1.mean / p4.mean;
   const double slowest = std::max({c1.mean, c2.mean, c3.mean});

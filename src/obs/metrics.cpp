@@ -37,6 +37,10 @@ T& GetOrCreate(std::map<std::string, std::unique_ptr<T>>& store,
 
 void Gauge::Add(double delta) { AtomicAddDouble(bits_, delta); }
 
+void Gauge::Merge(const Gauge& other) {
+  Set(std::max(value(), other.value()));
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) {
     throw std::invalid_argument("Histogram: need at least one bound");
@@ -98,6 +102,25 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   return ExponentialBounds(0.1, 1.75, 20);
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("Histogram::Merge: bounds differ");
+  }
+  MergeData(other.BucketCounts(), other.count(), other.sum());
+}
+
+void Histogram::MergeData(const std::vector<std::uint64_t>& buckets,
+                          std::uint64_t count, double sum) {
+  if (buckets.size() != bounds_.size() + 1) {
+    throw std::invalid_argument("Histogram::Merge: bucket layout mismatch");
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  AtomicAddDouble(sum_bits_, sum);
+}
+
 void Series::Observe(double v) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++count_;
@@ -123,6 +146,15 @@ void Series::Clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   values_.clear();
   count_ = 0;
+}
+
+void Series::Merge(const std::vector<double>& values, std::uint64_t count) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  count_ += count;
+  for (const double v : values) {
+    if (values_.size() >= cap_) break;
+    values_.push_back(v);
+  }
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -153,6 +185,23 @@ Series& MetricsRegistry::GetSeries(const std::string& name) {
   return GetOrCreate(series_, name);
 }
 
+Sketch& MetricsRegistry::GetSketch(const std::string& name,
+                                   double relative_accuracy) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(name, std::make_unique<Sketch>(relative_accuracy))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
 std::vector<double> MetricsRegistry::SeriesValues(
     const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -160,51 +209,180 @@ std::vector<double> MetricsRegistry::SeriesValues(
   return it != series_.end() ? it->second->Values() : std::vector<double>{};
 }
 
-void MetricsRegistry::WriteJson(std::ostream& os) const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = hist->bounds();
+    data.buckets = hist->BucketCounts();
+    // The count is derived from the one-pass bucket read, not the
+    // separate count_ atomic: an Observe racing the snapshot bumps
+    // bucket and count in two steps, and reading both would let
+    // count != sum(buckets) escape into serialized output.
+    for (const std::uint64_t b : data.buckets) data.count += b;
+    data.sum.Add(hist->sum());
+    snap.histograms.emplace(name, std::move(data));
+  }
+  for (const auto& [name, sketch] : sketches_) {
+    snap.sketches.emplace(name, *sketch);  // copy ctor locks the source
+  }
+  for (const auto& [name, s] : series_) {
+    MetricsSnapshot::SeriesData data;
+    data.values = s->Values();  // read values first so count >= size
+    data.count = s->count();
+    snap.series.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Merge(const MetricsSnapshot& snapshot) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot.counters) {
+    GetOrCreate(counters_, name).Add(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      // Fresh gauge: take the snapshot value as-is; max against the
+      // default-constructed 0.0 would clip negative readings.
+      GetOrCreate(gauges_, name).Set(value);
+    } else {
+      it->second->Set(std::max(it->second->value(), value));
+    }
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, std::make_unique<Histogram>(data.bounds))
+               .first;
+    } else if (it->second->bounds() != data.bounds) {
+      throw std::invalid_argument(
+          "MetricsRegistry::Merge: histogram bounds differ for " + name);
+    }
+    it->second->MergeData(data.buckets, data.count, data.sum.Value());
+  }
+  for (const auto& [name, sketch] : snapshot.sketches) {
+    auto it = sketches_.find(name);
+    if (it == sketches_.end()) {
+      it = sketches_
+               .emplace(name,
+                        std::make_unique<Sketch>(sketch.relative_accuracy()))
+               .first;
+    }
+    it->second->Merge(sketch);
+  }
+  for (const auto& [name, data] : snapshot.series) {
+    GetOrCreate(series_, name).Merge(data.values, data.count);
+  }
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) {
+    const auto [it, inserted] = gauges.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, data] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, data);
+      continue;
+    }
+    HistogramData& mine = it->second;
+    if (mine.bounds != data.bounds) {
+      throw std::invalid_argument(
+          "MetricsSnapshot::Merge: histogram bounds differ for " + name);
+    }
+    for (std::size_t i = 0; i < mine.buckets.size(); ++i) {
+      mine.buckets[i] += data.buckets[i];
+    }
+    mine.count += data.count;
+    mine.sum.Merge(data.sum);
+  }
+  for (const auto& [name, sketch] : other.sketches) {
+    auto it = sketches.find(name);
+    if (it == sketches.end()) {
+      sketches.emplace(name, sketch);
+    } else {
+      it->second.Merge(sketch);
+    }
+  }
+  for (const auto& [name, data] : other.series) {
+    SeriesData& mine = series[name];
+    mine.count += data.count;
+    mine.values.insert(mine.values.end(), data.values.begin(),
+                       data.values.end());
+  }
+}
+
+void MetricsSnapshot::WriteJson(std::ostream& os) const {
   auto key = [](const std::string& name) {
     return "\"" + JsonEscape(name) + "\":";
+  };
+  // IEEE-754 total order: a canonical sort that distinguishes -0.0
+  // from 0.0 and places NaNs deterministically, so merged series
+  // bytes never depend on concatenation order.
+  auto total_order_key = [](double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    return (bits & (1ULL << 63)) ? ~bits : bits | (1ULL << 63);
   };
 
   os << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : counters) {
     os << (first ? "" : ",") << key(name)
-       << JsonNumber(static_cast<double>(counter->value()));
+       << JsonNumber(static_cast<double>(value));
     first = false;
   }
   os << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, gauge] : gauges_) {
-    os << (first ? "" : ",") << key(name) << JsonNumber(gauge->value());
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ",") << key(name) << JsonNumber(value);
     first = false;
   }
   os << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, hist] : histograms_) {
+  for (const auto& [name, data] : histograms) {
     os << (first ? "" : ",") << key(name) << "{\"count\":"
-       << JsonNumber(static_cast<double>(hist->count()))
-       << ",\"sum\":" << JsonNumber(hist->sum()) << ",\"bounds\":[";
-    const auto& bounds = hist->bounds();
-    for (std::size_t i = 0; i < bounds.size(); ++i) {
-      os << (i ? "," : "") << JsonNumber(bounds[i]);
+       << JsonNumber(static_cast<double>(data.count))
+       << ",\"sum\":" << JsonNumber(data.sum.Value()) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < data.bounds.size(); ++i) {
+      os << (i ? "," : "") << JsonNumber(data.bounds[i]);
     }
     os << "],\"buckets\":[";
-    const auto counts = hist->BucketCounts();
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-      os << (i ? "," : "") << JsonNumber(static_cast<double>(counts[i]));
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      os << (i ? "," : "")
+         << JsonNumber(static_cast<double>(data.buckets[i]));
     }
     os << "]}";
     first = false;
   }
+  os << "},\"sketches\":{";
+  first = true;
+  for (const auto& [name, sketch] : sketches) {
+    os << (first ? "" : ",") << key(name);
+    sketch.WriteJson(os);
+    first = false;
+  }
   os << "},\"series\":{";
   first = true;
-  for (const auto& [name, s] : series_) {
+  for (const auto& [name, data] : series) {
+    std::vector<double> sorted = data.values;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](double a, double b) {
+                return total_order_key(a) < total_order_key(b);
+              });
     os << (first ? "" : ",") << key(name) << "{\"count\":"
-       << JsonNumber(static_cast<double>(s->count())) << ",\"values\":[";
-    const auto values = s->Values();
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      os << (i ? "," : "") << JsonNumber(values[i]);
+       << JsonNumber(static_cast<double>(data.count)) << ",\"values\":[";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      os << (i ? "," : "") << JsonNumber(sorted[i]);
     }
     os << "]}";
     first = false;
@@ -212,11 +390,19 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
   os << "}}";
 }
 
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  // Serialize from a detached snapshot: a single consistent read of
+  // every metric (histogram count == sum of buckets even while other
+  // threads observe), plus canonical series ordering.
+  Snapshot().WriteJson(os);
+}
+
 void MetricsRegistry::Clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  sketches_.clear();
   series_.clear();
 }
 

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch.h"
+
 namespace wearlock::obs {
 
 /// Monotonically increasing event count. Lock-free increments.
@@ -33,6 +35,9 @@ class Counter {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Fleet fold: counts add. Exact and order-insensitive.
+  void Merge(const Counter& other) { Add(other.value()); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -49,6 +54,12 @@ class Gauge {
   double value() const {
     return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
   }
+
+  /// Fleet fold: "last written" has no cross-shard order, so merged
+  /// gauges keep the maximum - exact and order-insensitive, and the
+  /// useful reading for the high-water gauges the pipeline exports
+  /// (workspace bytes, streaming capacity, thread counts).
+  void Merge(const Gauge& other);
 
  private:
   std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
@@ -83,7 +94,21 @@ class Histogram {
   /// Default latency bounds: 0.1 ms .. ~6.9 s, x1.75 steps.
   static std::vector<double> DefaultLatencyBounds();
 
+  /// Fleet fold: bucket-wise count addition plus sum accumulation.
+  /// Bucket/count merging is exact; the sum is a double accumulate
+  /// (see MetricsSnapshot for the exact cross-shard path).
+  /// @throws std::invalid_argument when bounds differ (buckets would
+  /// not align).
+  void Merge(const Histogram& other);
+
  private:
+  friend class MetricsRegistry;  // snapshot-merge fast path
+
+  /// Raw fold used by MetricsRegistry::Merge: adds per-bucket counts
+  /// (`buckets` must have bounds()+1 entries), `count` and `sum`.
+  void MergeData(const std::vector<std::uint64_t>& buckets,
+                 std::uint64_t count, double sum);
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 slots
   std::atomic<std::uint64_t> count_{0};
@@ -103,11 +128,58 @@ class Series {
   std::uint64_t dropped() const;  ///< observations past the cap
   void Clear();
 
+  /// Fleet fold: append another shard's stored values (capped like
+  /// Observe) while accounting its full observation count, so merged
+  /// series keep an honest dropped() even when values fall off.
+  void Merge(const std::vector<double>& values, std::uint64_t count);
+
  private:
   mutable std::mutex mu_;
   std::size_t cap_;
   std::vector<double> values_;
   std::uint64_t count_ = 0;
+};
+
+/// A detached, mergeable copy of a registry's state - the unit the
+/// fleet pipeline ships between shards. Merge() is designed to be
+/// order-insensitive: counters/buckets are integer adds, gauges fold
+/// by max, per-source histogram sums accumulate through an ExactSum,
+/// sketches merge exactly, and series concatenate as multisets
+/// (WriteJson emits them in a canonical sorted order). So any merge
+/// tree over the same set of per-shard snapshots - 1 shard or 8,
+/// forward or reverse order - serializes byte-identically, provided
+/// each shard's own contents are deterministic (per-task registries
+/// under sim::ParallelExecutor are; see docs/parallelism.md).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    /// bounds+1 entries; the authoritative count is their sum, read
+    /// in one pass so a snapshot taken mid-hammer stays internally
+    /// consistent (count == sum of buckets, always).
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    /// Exact fold over the (per-source rounded) double sums.
+    ExactSum sum;
+  };
+  struct SeriesData {
+    std::uint64_t count = 0;  ///< total observations incl. dropped
+    std::vector<double> values;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, Sketch> sketches;
+  std::map<std::string, SeriesData> series;
+
+  /// Fold another snapshot in (see class comment for the semantics).
+  /// @throws std::invalid_argument on histogram-bounds mismatch.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Same JSON shape as MetricsRegistry::WriteJson plus a "sketches"
+  /// section; series values are emitted sorted (canonical multiset
+  /// order) so merge order never leaks into the bytes.
+  void WriteJson(std::ostream& os) const;
 };
 
 /// Named metric store. Get* registers on first use and returns a
@@ -127,13 +199,35 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> bounds = {});
   Series& GetSeries(const std::string& name);
+  /// Mergeable quantile sketch (first caller's relative accuracy
+  /// wins, like histogram bounds).
+  Sketch& GetSketch(const std::string& name,
+                    double relative_accuracy = Sketch::kDefaultAccuracy);
 
   /// Series values by name; empty vector when the series was never
   /// registered (lookup without registering).
   std::vector<double> SeriesValues(const std::string& name) const;
 
+  /// Counter value by name without registering; 0 when absent. Lets
+  /// const consumers (record building, assertions) read counts.
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  /// Detached copy of every metric, safe to take while other threads
+  /// observe (each histogram's bucket array is read in one pass and
+  /// its count derived from it, so the invariant
+  /// count == sum(buckets) holds even mid-Observe).
+  MetricsSnapshot Snapshot() const;
+
+  /// Fold a snapshot into this registry's live metrics - the shard
+  /// merge hook sim::ParallelExecutor::MapWithMetrics builds on.
+  /// Counters add, gauges fold by max, histogram buckets add (bounds
+  /// must match; absent metrics are created), sketches merge,
+  /// series append.
+  void Merge(const MetricsSnapshot& snapshot);
+
   /// Snapshot every metric as one JSON object:
-  /// {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}}
+  /// {"counters":{...},"gauges":{...},"histograms":{...},
+  ///  "sketches":{...},"series":{...}}
   void WriteJson(std::ostream& os) const;
 
   /// Drop every registered metric. References handed out before a Clear
@@ -149,6 +243,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Sketch>> sketches_;
   std::map<std::string, std::unique_ptr<Series>> series_;
 };
 

@@ -1,0 +1,101 @@
+#include "obs/record.h"
+
+#include <sstream>
+
+namespace wearlock::obs {
+
+std::string SessionRecord::ToJsonl() const {
+  std::ostringstream os;
+  auto str = [](const std::string& s) { return "\"" + JsonEscape(s) + "\""; };
+  os << "{\"schema\":" << str(kSessionRecordSchema)
+     << ",\"seed\":" << seed
+     << ",\"config\":" << str(config)
+     << ",\"environment\":" << str(environment)
+     << ",\"distance_m\":" << JsonNumber(distance_m)
+     << ",\"fault_spec\":" << str(fault_spec)
+     << ",\"activity\":" << str(activity)
+     << ",\"same_body\":" << (same_body ? "true" : "false")
+     << ",\"outcome\":" << str(outcome)
+     << ",\"unlocked\":" << (unlocked ? "true" : "false")
+     << ",\"false_accept\":" << (false_accept ? "true" : "false")
+     << ",\"total_ms\":" << JsonNumber(total_ms)
+     << ",\"phase1_audio_ms\":" << JsonNumber(phase1_audio_ms)
+     << ",\"phase1_comm_ms\":" << JsonNumber(phase1_comm_ms)
+     << ",\"phase1_compute_ms\":" << JsonNumber(phase1_compute_ms)
+     << ",\"phase2_audio_ms\":" << JsonNumber(phase2_audio_ms)
+     << ",\"phase2_comm_ms\":" << JsonNumber(phase2_comm_ms)
+     << ",\"phase2_compute_ms\":" << JsonNumber(phase2_compute_ms)
+     << ",\"retries\":" << retries
+     << ",\"chase_decisions\":" << chase_decisions
+     << ",\"degrades\":" << degrades
+     << ",\"fault_events\":" << fault_events
+     << ",\"pilot_snr_db\":" << JsonNumber(pilot_snr_db)
+     << ",\"ebn0_db\":" << JsonNumber(ebn0_db)
+     << ",\"token_ber\":" << JsonNumber(token_ber)
+     << ",\"mode\":" << str(mode) << "}";
+  return os.str();
+}
+
+std::optional<SessionRecord> SessionRecord::FromJson(const JsonValue& v,
+                                                     std::string* error) {
+  if (!v.is_object()) {
+    if (error != nullptr) *error = "session record is not a JSON object";
+    return std::nullopt;
+  }
+  if (const JsonValue* schema = v.Find("schema");
+      schema != nullptr && schema->StringOr("") != kSessionRecordSchema) {
+    if (error != nullptr) {
+      *error = "unsupported session-record schema: " + schema->StringOr("");
+    }
+    return std::nullopt;
+  }
+  auto num = [&v](const char* key, double fallback) {
+    const JsonValue* f = v.Find(key);
+    return f != nullptr ? f->NumberOr(fallback) : fallback;
+  };
+  auto str = [&v](const char* key) {
+    const JsonValue* f = v.Find(key);
+    return f != nullptr ? f->StringOr("") : std::string();
+  };
+  auto flag = [&v](const char* key, bool fallback) {
+    const JsonValue* f = v.Find(key);
+    return f != nullptr ? f->BoolOr(fallback) : fallback;
+  };
+
+  SessionRecord r;
+  r.seed = static_cast<std::uint64_t>(num("seed", 0.0));
+  r.config = str("config");
+  r.environment = str("environment");
+  r.distance_m = num("distance_m", 0.0);
+  r.fault_spec = str("fault_spec");
+  r.activity = str("activity");
+  r.same_body = flag("same_body", true);
+  r.outcome = str("outcome");
+  r.unlocked = flag("unlocked", false);
+  r.false_accept = flag("false_accept", false);
+  r.total_ms = num("total_ms", 0.0);
+  r.phase1_audio_ms = num("phase1_audio_ms", 0.0);
+  r.phase1_comm_ms = num("phase1_comm_ms", 0.0);
+  r.phase1_compute_ms = num("phase1_compute_ms", 0.0);
+  r.phase2_audio_ms = num("phase2_audio_ms", 0.0);
+  r.phase2_comm_ms = num("phase2_comm_ms", 0.0);
+  r.phase2_compute_ms = num("phase2_compute_ms", 0.0);
+  r.retries = static_cast<std::int64_t>(num("retries", 0.0));
+  r.chase_decisions = static_cast<std::int64_t>(num("chase_decisions", 0.0));
+  r.degrades = static_cast<std::int64_t>(num("degrades", 0.0));
+  r.fault_events = static_cast<std::int64_t>(num("fault_events", 0.0));
+  r.pilot_snr_db = num("pilot_snr_db", 0.0);
+  r.ebn0_db = num("ebn0_db", 0.0);
+  r.token_ber = num("token_ber", 0.0);
+  r.mode = str("mode");
+  return r;
+}
+
+std::optional<SessionRecord> SessionRecord::FromJsonl(const std::string& line,
+                                                      std::string* error) {
+  const std::optional<JsonValue> parsed = JsonParse(line, error);
+  if (!parsed.has_value()) return std::nullopt;
+  return FromJson(*parsed, error);
+}
+
+}  // namespace wearlock::obs

@@ -1,0 +1,77 @@
+// SessionRecord: one unlock attempt flattened into a compact,
+// layer-agnostic row - the unit of fleet telemetry. The protocol layer
+// fills one at the end of every UnlockSession attempt; sinks append it
+// as a single JSONL line; the rollup pipeline (rollup.h) groups lines
+// into cohorts and aggregates them.
+//
+// Deliberately plain: strings, doubles and integers only, no protocol
+// or sim types, so obs stays the leaf of the layer DAG while still
+// being able to describe any layer's outcome (the filler translates
+// enums to their ToString form).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+
+namespace wearlock::obs {
+
+/// Schema tag written into every serialized record, bumped on any
+/// incompatible field change.
+inline constexpr char kSessionRecordSchema[] = "wearlock.session.v1";
+
+struct SessionRecord {
+  // --- identity / cohort axes -----------------------------------
+  std::uint64_t seed = 0;
+  std::string config;       ///< scenario label, e.g. "config1"
+  std::string environment;  ///< ambient class, e.g. "Quiet Room"
+  double distance_m = 0.0;  ///< phone -> watch distance
+  std::string fault_spec;   ///< CLI fault grammar, "" when fault-free
+  std::string activity;     ///< user activity during the attempt
+  bool same_body = true;    ///< devices on the same person?
+
+  // --- outcome ---------------------------------------------------
+  std::string outcome;  ///< UnlockOutcome name, e.g. "unlocked"
+  bool unlocked = false;
+  /// Unlocked although the devices were NOT on the same body - the
+  /// security-critical failure the rollup tracks with its own CI.
+  bool false_accept = false;
+
+  // --- modeled-time breakdown (virtual-clock ms) -----------------
+  double total_ms = 0.0;
+  double phase1_audio_ms = 0.0;
+  double phase1_comm_ms = 0.0;
+  double phase1_compute_ms = 0.0;
+  double phase2_audio_ms = 0.0;
+  double phase2_comm_ms = 0.0;
+  double phase2_compute_ms = 0.0;
+
+  // --- resilience counters (this attempt only) -------------------
+  std::int64_t retries = 0;          ///< press-and-retry rounds used
+  std::int64_t chase_decisions = 0;  ///< chase-combined final decisions
+  std::int64_t degrades = 0;         ///< offload -> watch-local falls
+  std::int64_t fault_events = 0;     ///< injected faults that fired
+
+  // --- channel diagnostics ---------------------------------------
+  double pilot_snr_db = 0.0;
+  double ebn0_db = 0.0;
+  double token_ber = 0.0;
+  std::string mode;  ///< chosen modulation, "" when none was picked
+
+  /// One JSONL line (single JSON object, no trailing newline).
+  /// Deterministic field order; doubles round-trip via JsonNumber.
+  std::string ToJsonl() const;
+
+  /// Rebuild from one ToJsonl() line. Rejects lines whose "schema"
+  /// field is present but different; absent numeric fields default.
+  static std::optional<SessionRecord> FromJsonl(const std::string& line,
+                                                std::string* error = nullptr);
+
+  /// Same, from an already-parsed object.
+  static std::optional<SessionRecord> FromJson(const JsonValue& v,
+                                               std::string* error = nullptr);
+};
+
+}  // namespace wearlock::obs

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "audio/noise.h"
+#include "modem/constellation.h"
 #include "obs/instrument.h"
 
 namespace wearlock::protocol {
@@ -16,6 +18,7 @@ sim::LinkModel LinkFor(sim::Radio radio) {
 
 ScenarioConfig ScenarioConfig::Config1() {
   ScenarioConfig c;
+  c.label = "config1";
   c.radio = sim::Radio::kWifi;
   c.processing = ProcessingSite::kOffloadToPhone;
   c.phone_profile = sim::DeviceProfile::Nexus6();
@@ -24,6 +27,7 @@ ScenarioConfig ScenarioConfig::Config1() {
 
 ScenarioConfig ScenarioConfig::Config2() {
   ScenarioConfig c;
+  c.label = "config2";
   c.radio = sim::Radio::kBluetooth;
   c.processing = ProcessingSite::kOffloadToPhone;
   c.phone_profile = sim::DeviceProfile::GalaxyNexus();
@@ -32,6 +36,7 @@ ScenarioConfig ScenarioConfig::Config2() {
 
 ScenarioConfig ScenarioConfig::Config3() {
   ScenarioConfig c;
+  c.label = "config3";
   c.radio = sim::Radio::kBluetooth;
   c.processing = ProcessingSite::kWatchLocal;
   c.phone_profile = sim::DeviceProfile::Nexus6();
@@ -75,7 +80,7 @@ sensors::MotionPair UnlockSession::SampleMotion() {
                                      config_.motion_samples);
 }
 
-UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
+UnlockReport UnlockSession::AttemptOnce(const AttackInjection& attack) {
   // Route instrumented library code to this session's telemetry for the
   // duration of the attempt (thread-local, so concurrent sessions on
   // different threads stay isolated).
@@ -86,9 +91,16 @@ UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
                                    offload_, clock_, attack, faults());
 }
 
+UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
+  UnlockReport report = AttemptOnce(attack);
+  EmitRecord(report, /*retries=*/0);
+  return report;
+}
+
 UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
                                                const AttackInjection& attack) {
-  UnlockReport report = Attempt(attack);
+  int retries_used = 0;
+  UnlockReport report = AttemptOnce(attack);
   for (int retry = 0; retry < max_retries && !report.unlocked; ++retry) {
     switch (report.outcome) {
       case UnlockOutcome::kTokenRejected:
@@ -99,9 +111,13 @@ UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
       case UnlockOutcome::kRetriesExhausted:
         break;  // transient: worth retrying
       default:
+        EmitRecord(report, retries_used);
         return report;  // structural refusal: stop
     }
-    if (!keyguard_.CanAttemptWearlock()) return report;
+    if (!keyguard_.CanAttemptWearlock()) {
+      EmitRecord(report, retries_used);
+      return report;
+    }
     // Inter-attempt pause with bounded exponential backoff, charged to
     // the session clock like any other wait (a flap outage scheduled
     // mid-failure can elapse during it, so the next attempt may find
@@ -115,9 +131,56 @@ UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
       WL_HIST("protocol.retry.backoff_ms", backoff);
       clock_.Advance(backoff);
     }
-    report = Attempt(attack);
+    ++retries_used;
+    report = AttemptOnce(attack);
   }
+  EmitRecord(report, retries_used);
   return report;
+}
+
+obs::SessionRecord UnlockSession::BuildRecord(const UnlockReport& report,
+                                              int retries) const {
+  obs::SessionRecord r;
+  r.seed = config_.seed;
+  r.config = config_.label;
+  r.environment = audio::ToString(config_.scene.environment);
+  r.distance_m = config_.scene.distance_m;
+  r.fault_spec = config_.faults.spec;
+  r.activity = sensors::ToString(config_.activity);
+  r.same_body = config_.same_body;
+  r.outcome = ToString(report.outcome);
+  r.unlocked = report.unlocked;
+  r.false_accept = report.unlocked && !config_.same_body;
+  r.total_ms = report.timings.total_ms();
+  r.phase1_audio_ms = report.timings.phase1_audio_ms;
+  r.phase1_comm_ms = report.timings.phase1_comm_ms;
+  r.phase1_compute_ms = report.timings.phase1_compute_ms;
+  r.phase2_audio_ms = report.timings.phase2_audio_ms;
+  r.phase2_comm_ms = report.timings.phase2_comm_ms;
+  r.phase2_compute_ms = report.timings.phase2_compute_ms;
+  r.retries = retries;
+  // Session counters are cumulative; subtracting the baseline advanced
+  // at each emission scopes them to this record's attempt(s).
+  r.chase_decisions = static_cast<std::int64_t>(
+      metrics_.CounterValue("protocol.chase.decisions") - chase_base_);
+  r.degrades = static_cast<std::int64_t>(
+      metrics_.CounterValue("protocol.degrade.count") - degrade_base_);
+  const std::uint64_t fault_events =
+      fault_injector_ ? fault_injector_->events().size() : 0;
+  r.fault_events = static_cast<std::int64_t>(fault_events - fault_base_);
+  r.pilot_snr_db = report.pilot_snr_db;
+  r.ebn0_db = report.ebn0_db;
+  r.token_ber = report.token_ber;
+  r.mode = report.mode.has_value() ? modem::ToString(*report.mode) : "";
+  return r;
+}
+
+void UnlockSession::EmitRecord(const UnlockReport& report, int retries) {
+  const obs::SessionRecord record = BuildRecord(report, retries);
+  chase_base_ = metrics_.CounterValue("protocol.chase.decisions");
+  degrade_base_ = metrics_.CounterValue("protocol.degrade.count");
+  fault_base_ = fault_injector_ ? fault_injector_->events().size() : 0;
+  if (record_sink_) record_sink_(record);
 }
 
 sim::Millis PinEntryModel::Sample4Digit(sim::Rng& rng) const {

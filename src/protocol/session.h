@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
 #include "audio/scene.h"
 #include "obs/metrics.h"
+#include "obs/record.h"
 #include "obs/trace.h"
 #include "protocol/phone_controller.h"
 #include "sensors/motion_sim.h"
@@ -19,6 +21,9 @@
 namespace wearlock::protocol {
 
 struct ScenarioConfig {
+  /// Cohort label carried into every SessionRecord ("config1".."config3"
+  /// for the paper's delay configurations; free-form otherwise).
+  std::string label = "custom";
   audio::SceneConfig scene{};
   PhoneConfig phone{};
   /// What the user is doing during the unlock.
@@ -57,7 +62,23 @@ struct ScenarioConfig {
 
 class UnlockSession {
  public:
+  /// Receives one flattened SessionRecord per user-facing attempt
+  /// (Attempt emits with retries=0; AttemptWithRetries emits once for
+  /// the whole press-and-retry round, carrying the retry count).
+  using RecordSink = std::function<void(const obs::SessionRecord&)>;
+
   explicit UnlockSession(ScenarioConfig config);
+
+  /// Install (or clear, with nullptr-like empty function) the sink the
+  /// session reports finished attempts to. Emission only reads session
+  /// state, so installing a sink never perturbs the deterministic
+  /// clock/metrics/trace streams.
+  void SetRecordSink(RecordSink sink) { record_sink_ = std::move(sink); }
+
+  /// Flatten a finished attempt into the telemetry row (public so
+  /// campaign drivers can build records without installing a sink).
+  obs::SessionRecord BuildRecord(const UnlockReport& report,
+                                 int retries) const;
 
   /// One power-button press.
   UnlockReport Attempt(const AttackInjection& attack = {});
@@ -97,6 +118,11 @@ class UnlockSession {
   obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
+  /// The protocol run without record emission (shared by Attempt and
+  /// the retry loop, which emits one record for the whole round).
+  UnlockReport AttemptOnce(const AttackInjection& attack);
+  void EmitRecord(const UnlockReport& report, int retries);
+
   ScenarioConfig config_;
   sim::Rng rng_;
   audio::TwoMicScene scene_;
@@ -111,6 +137,12 @@ class UnlockSession {
   std::optional<sim::FaultInjector> fault_injector_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  RecordSink record_sink_;
+  // Counter baselines advanced at each record emission, so cumulative
+  // session counters flatten into per-record ("this call only") diffs.
+  std::uint64_t chase_base_ = 0;
+  std::uint64_t degrade_base_ = 0;
+  std::uint64_t fault_base_ = 0;
 };
 
 /// Manual PIN-entry latency model for the Fig. 12 comparison, aligned to

@@ -48,8 +48,22 @@ struct DeviceProfile {
 };
 
 /// Wall-clock timing of a callable on the host, in milliseconds.
-/// Runs the workload once and returns the elapsed time.
+/// Runs the workload once and returns the elapsed time - unless fixed
+/// host timing is armed (below), in which case the workload still runs
+/// but the fixed value is returned instead of a measurement.
 Millis TimeHostMs(const std::function<void()>& work);
+
+/// Fixed host timing: campaigns that must be byte-identical across
+/// thread counts (the fleet-telemetry determinism gate) cannot let
+/// measured kernel wall time leak into modeled timelines - under load
+/// the same seed would report different compute_ms. Arming this makes
+/// every TimeHostMs call report `ms` (>= 0); a negative value restores
+/// real measurement. Also armed by the WEARLOCK_FIXED_HOST_MS
+/// environment variable, read once at first use. Set before spawning
+/// campaign workers; flipping it mid-Map is a determinism bug.
+void SetFixedHostTimingMs(double ms);
+/// The armed fixed value, or a negative sentinel when measuring.
+double FixedHostTimingMs();
 
 /// Median of `reps` timed runs (robust against scheduler noise).
 Millis TimeHostMedianMs(const std::function<void()>& work, int reps);

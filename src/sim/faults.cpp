@@ -57,6 +57,7 @@ bool FaultPlan::empty() const {
 
 FaultPlan FaultPlan::Parse(const std::string& spec) {
   FaultPlan plan;
+  plan.spec = spec;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
     const std::size_t comma = std::min(spec.find(',', pos), spec.size());

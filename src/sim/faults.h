@@ -57,6 +57,11 @@ struct FaultPlan {
   double recording_clip_level = 0.0;
   /// P(recording lost entirely) per capture.
   double recording_drop_p = 0.0;
+  /// The CLI-grammar spec this plan was parsed from ("" for plans
+  /// built field-by-field). Retained verbatim so telemetry records
+  /// can carry the fault axis of their cohort key without
+  /// re-serializing the plan.
+  std::string spec;
 
   bool empty() const;
 

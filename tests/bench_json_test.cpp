@@ -70,6 +70,12 @@ TEST(BenchJsonTest, WriteJsonReportIsWellFormedAndCarriesTheSchema) {
   EXPECT_NE(text.find("\"seed\":42"), std::string::npos);
   EXPECT_NE(text.find("\"wall_ms\":"), std::string::npos);
   EXPECT_NE(text.find("\"per_point_ms\":["), std::string::npos);
+  // Provenance stamp: git SHA (or "unknown"), host width, env, quick.
+  EXPECT_NE(text.find("\"provenance\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(text.find("\"hardware_concurrency\":"), std::string::npos);
+  EXPECT_NE(text.find("\"wearlock_threads_env\":"), std::string::npos);
+  EXPECT_NE(text.find("\"quick\":true"), std::string::npos);
 }
 
 TEST(BenchJsonTest, WriteJsonReportFailsOnUnwritablePath) {

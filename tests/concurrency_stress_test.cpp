@@ -125,6 +125,56 @@ TEST(ConcurrencyStressTest, DefaultRegistryHammeredFromAllThreads) {
             static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
+TEST(ConcurrencyStressTest, SnapshotsDuringHistogramHammerStayConsistent) {
+  // The torn-snapshot interleaving the telemetry PR fixed: a Snapshot()
+  // taken mid-Observe must never report count != sum(buckets) (the old
+  // serialization read `count_` and the buckets in separate passes).
+  // Sketch observation rides along so snapshotting covers every
+  // registry section under contention.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.GetHistogram("stress.snap.hist");
+  obs::Sketch& sketch = registry.GetSketch("stress.snap.sketch");
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&hist, &sketch, t] {
+      for (int i = 0; i < kIters; ++i) {
+        hist.Observe((t * 37 + i) % 200);
+        sketch.Observe(1.0 + (i % 100));
+      }
+    });
+  }
+
+  std::uint64_t snapshots_taken = 0;
+  std::thread snapshotter([&registry, &stop, &snapshots_taken] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = registry.Snapshot();
+      const auto it = snap.histograms.find("stress.snap.hist");
+      if (it != snap.histograms.end()) {
+        std::uint64_t bucket_sum = 0;
+        for (const std::uint64_t b : it->second.buckets) bucket_sum += b;
+        ASSERT_EQ(it->second.count, bucket_sum)
+            << "torn histogram snapshot: count diverged from buckets";
+      }
+      ++snapshots_taken;
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop = true;
+  snapshotter.join();
+  EXPECT_GT(snapshots_taken, 0u);
+
+  const obs::MetricsSnapshot final_snap = registry.Snapshot();
+  const auto& data = final_snap.histograms.at("stress.snap.hist");
+  EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(final_snap.sketches.at("stress.snap.sketch").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
 TEST(ConcurrencyStressTest, LogSinkSwapsRaceLiveEmission) {
   constexpr int kThreads = 4;
   constexpr int kIters = 2000;

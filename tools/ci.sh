@@ -13,7 +13,13 @@
 #   5. fault-injection gate: the `fault` ctest label (fault matrix,
 #      golden faulted trace, chase-combining rescue) plus a CLI replay
 #      of the golden fully-faulted unlock (docs/robustness.md)
-#   6. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#   6. telemetry gate: the `telemetry` ctest label (sketch determinism,
+#      record/rollup round trips, the >=10k-session campaign), then a
+#      seeded 200-session mini-campaign through the unlock CLI at
+#      --threads 1 and 8 whose session logs, rollups and
+#      wearlock_telemetry --diff against the committed golden rollup
+#      must all be byte-clean (docs/observability.md)
+#   7. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
 #      leg gets real cross-thread traffic from concurrency_stress_test,
 #      executor_test, fft_plan_test and fault_matrix_test at
 #      WEARLOCK_THREADS=8, and a parallel bench sweep)
@@ -83,6 +89,33 @@ build/tools/wearlock_unlock_cli \
 diff <(sed 's/"at_ms":[0-9.eE+-]*/"at_ms":0/' build/fault-trace.jsonl) \
      tests/golden/faulted_unlock_trace.jsonl
 echo "CLI fault replay matches the committed golden trace"
+
+banner "telemetry gate: ctest -L telemetry + mini-campaign rollup diff"
+# The fleet-telemetry determinism contract (docs/observability.md):
+# a seeded campaign's session records and per-cohort rollup must be
+# byte-identical across thread counts, and the rollup must match the
+# committed golden within the regression threshold. Fixed host timing
+# is armed so modeled compute times cannot absorb scheduler noise.
+ctest --test-dir build -L telemetry --output-on-failure
+run_campaign() {  # $1 = thread count, $2 = output jsonl
+  WEARLOCK_FIXED_HOST_MS=1.25 build/tools/wearlock_unlock_cli \
+      --attempts 200 --threads "$1" --seed 77 --env office \
+      --distance 0.4 --retries 1 --session-log "$2" >/dev/null
+}
+run_campaign 1 build/telemetry-t1.jsonl
+run_campaign 8 build/telemetry-t8.jsonl
+diff build/telemetry-t1.jsonl build/telemetry-t8.jsonl
+echo "session records byte-identical across thread counts"
+build/tools/wearlock_telemetry --records build/telemetry-t1.jsonl \
+    --out build/telemetry-rollup-t1.json 2>/dev/null
+build/tools/wearlock_telemetry --records build/telemetry-t8.jsonl \
+    --out build/telemetry-rollup-t8.json 2>/dev/null
+diff build/telemetry-rollup-t1.json build/telemetry-rollup-t8.json
+echo "rollups byte-identical across thread counts"
+diff build/telemetry-rollup-t1.json tests/golden/telemetry_rollup.json
+build/tools/wearlock_telemetry --diff tests/golden/telemetry_rollup.json \
+    build/telemetry-rollup-t8.json --threshold 0.02
+echo "mini-campaign rollup matches the committed golden"
 
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "skipping sanitizer builds (--skip-sanitizers): ${SANITIZERS[*]}"

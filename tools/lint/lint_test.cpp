@@ -365,6 +365,28 @@ TEST(LayerDagTest, ArchitectureEdgesPass) {
       "layer-dag"));
 }
 
+TEST(LayerDagTest, ObsStaysLeafLevel) {
+  // The telemetry pipeline (record/rollup/sketch) lives in src/obs and
+  // describes every layer's outcomes - the temptation is to include
+  // protocol or modem types directly. The DAG forbids it: obs is the
+  // leaf every layer may include, so it may include nothing above it.
+  for (const char* include :
+       {"protocol/session.h", "modem/constellation.h", "audio/noise.h",
+        "sensors/dtw.h", "sim/executor.h"}) {
+    const auto diags =
+        RunAllOn("src/obs/record.cpp",
+                 "#include \"" + std::string(include) + "\"\nvoid F();\n");
+    EXPECT_TRUE(HasRule(diags, "layer-dag")) << include;
+  }
+  // Intra-obs composition (the pipeline's own stack) stays legal.
+  EXPECT_FALSE(HasRule(RunAllOn("src/obs/rollup.cpp",
+                                "#include \"obs/rollup.h\"\n"
+                                "#include \"obs/record.h\"\n"
+                                "#include \"obs/sketch.h\"\n"
+                                "#include \"obs/json.h\"\n"),
+                       "layer-dag"));
+}
+
 TEST(LayerDagTest, NonRootedIncludeIsFlagged) {
   const auto diags = RunAllOn("src/protocol/watch.h",
                               "#pragma once\n#include \"messages.h\"\n");

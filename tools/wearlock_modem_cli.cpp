@@ -10,7 +10,10 @@
 // Telemetry flags (anywhere on the line): --trace <out.json> writes a
 // Chrome trace_event JSON of the modem spans (host-clock timestamps,
 // since this tool has no virtual time); --metrics <out.json> dumps the
-// metrics registry.
+// metrics registry; --session-log <out.jsonl> appends one telemetry
+// SessionRecord for the transaction (config "modem-<command>",
+// host-clock total_ms), so modem experiments land in the same
+// wearlock_telemetry pipeline as unlock campaigns.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +28,7 @@
 #include "modem/datagram.h"
 #include "modem/golden.h"
 #include "obs/metrics.h"
+#include "obs/record.h"
 #include "obs/trace.h"
 #include "sim/executor.h"
 
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   // positional.
   std::string trace_path;
   std::string metrics_path;
+  std::string session_log_path;
   std::size_t threads = 0;  // 0 = WEARLOCK_THREADS or hardware default
   bool regen_golden = false;
   std::vector<char*> pos;
@@ -100,6 +105,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--session-log") == 0 && i + 1 < argc) {
+      session_log_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--regen-golden") == 0) {
@@ -201,5 +208,27 @@ int main(int argc, char** argv) {
 
   const int rc = run();
   dump_telemetry();
+  if (!session_log_path.empty()) {
+    obs::SessionRecord record;
+    record.config = "modem-" + command;
+    record.environment = "host";
+    record.outcome = rc == 0 ? "ok" : "error";
+    record.unlocked = rc == 0;
+    record.total_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if ((command == "send" && argc >= 5) || (command == "recv" && argc >= 4)) {
+      record.mode = ToString(
+          ParseModulation(argv[command == "send" ? 4 : 3]));
+    }
+    std::ofstream os(session_log_path, std::ios::app);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", session_log_path.c_str());
+      return 2;
+    }
+    os << record.ToJsonl() << "\n";
+    std::fprintf(stderr, "appended session record to %s\n",
+                 session_log_path.c_str());
+  }
   return rc;
 }

@@ -10,7 +10,8 @@
 //                       [--attempts N] [--seed S] [--retries R]
 //                       [--threads T] [--faults SPEC]
 //                       [--trace out.json] [--metrics out.json]
-//                       [--fault-trace out.jsonl] [--verbose]
+//                       [--fault-trace out.jsonl]
+//                       [--session-log out.jsonl] [--verbose]
 //
 // --trace writes a Chrome trace_event JSON of every span the attempts
 // produced (virtual-time timestamps; open in chrome://tracing or
@@ -23,12 +24,20 @@
 // --fault-trace writes the injected-fault event log as JSONL (the
 // committed-golden format; sequential mode only, like --trace).
 //
-// --threads T with T > 1 fans the attempts across a
+// --session-log writes one telemetry SessionRecord per attempt as JSONL
+// (the wearlock_telemetry CLI's input format). Works in both modes; in
+// parallel mode records land in attempt order, and the record *set* is
+// identical at any thread count.
+//
+// Passing --threads T (any T, including 1) fans the attempts across a
 // sim::ParallelExecutor: each attempt becomes an independent
 // UnlockSession whose seed is forked from (--seed, attempt index), and
 // the per-attempt traces print in attempt order regardless of
-// scheduling. The default (T = 1) keeps the classic sequential behavior
-// of one session attempted repeatedly, which --trace/--metrics require.
+// scheduling. Explicit --threads 1 runs that same independent-sessions
+// plan on one thread - byte-identical output to --threads 8, which the
+// CI telemetry gate pins. Omitting --threads keeps the classic
+// sequential behavior of one session attempted repeatedly, which
+// --trace/--metrics/--fault-trace require.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -86,9 +95,11 @@ int main(int argc, char** argv) {
   int attempts = 1;
   int retries = 0;
   std::size_t threads = 1;
+  bool threads_set = false;
   std::string trace_path;
   std::string metrics_path;
   std::string fault_trace_path;
+  std::string session_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,8 +131,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--retries") {
       retries = std::atoi(next());
     } else if (arg == "--threads") {
+      threads_set = true;
       threads = static_cast<std::size_t>(std::atoi(next()));
       if (threads == 0) threads = sim::ParallelExecutor::DefaultThreadCount();
+    } else if (arg == "--session-log") {
+      session_log_path = next();
     } else if (arg == "--seed") {
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--faults") {
@@ -148,9 +162,12 @@ int main(int argc, char** argv) {
   }
 
   int unlocked = 0;
-  if (threads > 1) {
+  std::string session_log;
+  if (threads_set) {
     // Parallel mode: every attempt is an independent session, seeded
     // from (--seed, attempt index); output buffers print in order.
+    // Explicit --threads 1 runs the identical plan on one thread, so
+    // the telemetry gate can diff it byte-for-byte against --threads N.
     if (!trace_path.empty() || !metrics_path.empty() ||
         !fault_trace_path.empty()) {
       std::fprintf(stderr,
@@ -164,6 +181,7 @@ int main(int argc, char** argv) {
     struct AttemptResult {
       bool unlocked = false;
       std::string text;
+      std::string records;
     };
     const auto results = executor.Map(
         static_cast<std::size_t>(attempts), config.seed,
@@ -172,20 +190,39 @@ int main(int argc, char** argv) {
           attempt_config.seed =
               sim::ParallelExecutor::TaskSeed(config.seed, ctx.index);
           UnlockSession session(attempt_config);
+          AttemptResult result;
+          session.SetRecordSink([&result](const obs::SessionRecord& record) {
+            result.records += record.ToJsonl();
+            result.records += '\n';
+          });
           const UnlockReport report = session.AttemptWithRetries(retries);
-          return AttemptResult{report.unlocked,
-                               FormatReport(static_cast<int>(ctx.index),
-                                            report)};
+          result.unlocked = report.unlocked;
+          result.text =
+              FormatReport(static_cast<int>(ctx.index), report);
+          return result;
         });
     for (const AttemptResult& result : results) {
       if (result.unlocked) ++unlocked;
       std::fputs(result.text.c_str(), stdout);
+      session_log += result.records;
+    }
+    if (!session_log_path.empty()) {
+      std::ofstream os(session_log_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", session_log_path.c_str());
+        return 2;
+      }
+      os << session_log;
     }
     std::printf("unlocked %d/%d\n", unlocked, attempts);
     return unlocked > 0 ? 0 : 1;
   }
 
   UnlockSession session(config);
+  session.SetRecordSink([&session_log](const obs::SessionRecord& record) {
+    session_log += record.ToJsonl();
+    session_log += '\n';
+  });
   for (int a = 0; a < attempts; ++a) {
     session.keyguard().Relock();
     if (!session.keyguard().CanAttemptWearlock()) {
@@ -195,6 +232,14 @@ int main(int argc, char** argv) {
     const UnlockReport report = session.AttemptWithRetries(retries);
     if (report.unlocked) ++unlocked;
     std::fputs(FormatReport(a, report).c_str(), stdout);
+  }
+  if (!session_log_path.empty()) {
+    std::ofstream os(session_log_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", session_log_path.c_str());
+      return 2;
+    }
+    os << session_log;
   }
   if (!trace_path.empty()) {
     std::ofstream os(trace_path);
