@@ -66,12 +66,14 @@ struct SessionRecord {
 
   /// Rebuild from one ToJsonl() line. Rejects lines whose "schema"
   /// field is present but different; absent numeric fields default.
-  static std::optional<SessionRecord> FromJsonl(const std::string& line,
-                                                std::string* error = nullptr);
+  [[nodiscard]] static std::optional<SessionRecord> FromJsonl(
+      const std::string& line,
+      std::string* error = nullptr);
 
   /// Same, from an already-parsed object.
-  static std::optional<SessionRecord> FromJson(const JsonValue& v,
-                                               std::string* error = nullptr);
+  [[nodiscard]] static std::optional<SessionRecord> FromJson(
+      const JsonValue& v,
+      std::string* error = nullptr);
 };
 
 }  // namespace wearlock::obs

@@ -406,11 +406,11 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
     const sim::Millis probe_host_ms = sim::TimeHostMs(
         [&] { probe = modem.AnalyzeProbe(phase1.recording); });
     StepCost phase1_cost;
+    sim::Millis transfer_ms = 0.0;  // modeled upload delay (seed-derived)
     if (faults == nullptr) {
       phase1_cost = offload.Cost(
           probe_host_ms, RecordingBytes(phase1.recording.size()), link);
     } else {
-      sim::Millis transfer_ms = 0.0;
       if (effective.site == ProcessingSite::kOffloadToPhone) {
         if (auto fail = send_file("p1-upload",
                                   RecordingBytes(phase1.recording.size()),
@@ -443,7 +443,11 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
     if (faults == nullptr) {
       clock.Advance(phase1_cost.compute_ms + phase1_cost.transfer_ms);
     } else {
-      charge(phase1_cost.transfer_ms);
+      // Charge the modeled upload delay directly: phase1_cost mixes in
+      // the host-measured compute probe, and modeled time may only
+      // absorb seed-derived values (CostWithTransfer passes transfer_ms
+      // through unchanged, so this is the same quantity).
+      charge(transfer_ms);
       clock.Advance(phase1_cost.compute_ms);
     }
     WL_SPAN_ATTR(probe_span, "compute_ms", phase1_cost.compute_ms);
@@ -774,7 +778,9 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
       if (faults == nullptr) {
         clock.Advance(cost.compute_ms + cost.transfer_ms);
       } else {
-        charge(cost.transfer_ms);
+        // As in phase 1: charge the modeled transfer delay, not the
+        // cost struct that also carries host-measured compute.
+        charge(transfer_ms);
         clock.Advance(cost.compute_ms);
       }
     }

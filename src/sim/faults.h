@@ -71,7 +71,7 @@ struct FaultPlan {
   /// e.g. "drop=0.3,flap@rts,trunc=0.5".
   /// @throws std::invalid_argument on malformed entries or
   /// out-of-range values.
-  static FaultPlan Parse(const std::string& spec);
+  [[nodiscard]] static FaultPlan Parse(const std::string& spec);
 };
 
 /// One injected fault, stamped with the virtual time it happened; the

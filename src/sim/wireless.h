@@ -53,9 +53,9 @@ class WirelessLink {
   /// expected channel state, not a programming error). No jitter is
   /// consumed from the rng on a down link, so a flap-and-recover
   /// sequence draws exactly the same stream as an always-up link.
-  std::optional<Millis> TrySendMessageDelay();
-  std::optional<Millis> TrySendFileDelay(std::size_t bytes);
-  std::optional<Millis> TrySendRoundTrip();
+  [[nodiscard]] std::optional<Millis> TrySendMessageDelay();
+  [[nodiscard]] std::optional<Millis> TrySendFileDelay(std::size_t bytes);
+  [[nodiscard]] std::optional<Millis> TrySendRoundTrip();
 
   /// Sampled one-way latency (ms) for a short control message.
   /// Throwing shim over TrySendMessageDelay for legacy callers that

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Local CI: the checks a PR must pass.
-#   1. wearlock-lint (layer DAG, determinism, banned APIs, header
-#      hygiene, shared state) - the repo's self-hosted static analysis
+#   1. wearlock-lint over src/ tests/ bench/ tools/ with the committed
+#      baseline and slot manifest - the repo's self-hosted flow-aware
+#      static analysis. Emits build/lint.sarif, reports wall time
+#      (budget: 10s), and pins --threads 1 vs 8 byte-identity
 #   2. plain build (warnings-as-errors) + full ctest, which includes
 #      the lint_test suite, the wearlock_lint_src tree gate, the header
 #      self-containment TUs, and the bench_smoke quick-runs
@@ -38,10 +40,33 @@ SANITIZERS=(address undefined thread)
 
 banner() { printf '\n==== %s ====\n' "$1"; }
 
-banner "gate: wearlock-lint src/"
+banner "gate: wearlock-lint src/ tests/ bench/ tools/"
 cmake -B build -S . -DWEARLOCK_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS" --target wearlock-lint >/dev/null
-build/tools/lint/wearlock-lint src/
+LINT_ARGS=(--baseline tools/lint/baseline.txt
+           --slot-manifest tools/lint/slot_owners.txt
+           src tests bench tools)
+# Timed full-tree run, SARIF artifact for upload. The 10s budget keeps
+# the gate cheap enough to run on every push (docs/static-analysis.md).
+lint_start=$(date +%s.%N)
+build/tools/lint/wearlock-lint --threads "$JOBS" --sarif build/lint.sarif \
+    "${LINT_ARGS[@]}"
+lint_end=$(date +%s.%N)
+lint_ms=$(awk -v a="$lint_start" -v b="$lint_end" \
+    'BEGIN { printf "%.0f", (b - a) * 1000 }')
+echo "lint wall time: ${lint_ms} ms (budget 10000 ms); wrote build/lint.sarif"
+if (( lint_ms >= 10000 )); then
+  echo "lint gate exceeded its 10s budget" >&2
+  exit 1
+fi
+# Scheduling must never leak into diagnostics: serial and parallel runs
+# must emit byte-identical reports.
+build/tools/lint/wearlock-lint --threads 1 "${LINT_ARGS[@]}" \
+    >build/lint-t1.out || true
+build/tools/lint/wearlock-lint --threads 8 "${LINT_ARGS[@]}" \
+    >build/lint-t8.out || true
+diff build/lint-t1.out build/lint-t8.out
+echo "lint output byte-identical across thread counts"
 
 banner "plain build + full test suite"
 cmake --build build -j "$JOBS"

@@ -1,0 +1,348 @@
+#include "analysis.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wearlock::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Two-character operators the rules need to see whole. Longer ones
+/// ("<<=", "...") never matter to any rule, so two is enough.
+bool IsTwoCharOp(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '=';
+    case '+': return b == '=';
+    case '<': return b == '=';
+    case '>': return b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> LexTokens(const std::string& code) {
+  std::vector<Token> toks;
+  const std::string_view view(code);
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t end = i + 1;
+      while (end < code.size() && IsIdentChar(code[end])) ++end;
+      toks.push_back({Token::Kind::kIdent, view.substr(i, end - i), i});
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = i + 1;
+      // Good enough for a lint: digits, dots, exponent signs, suffixes.
+      while (end < code.size() &&
+             (IsIdentChar(code[end]) || code[end] == '.' ||
+              ((code[end] == '+' || code[end] == '-') &&
+               (code[end - 1] == 'e' || code[end - 1] == 'E')))) {
+        ++end;
+      }
+      toks.push_back({Token::Kind::kNumber, view.substr(i, end - i), i});
+      i = end;
+      continue;
+    }
+    if (i + 1 < code.size() && IsTwoCharOp(c, code[i + 1])) {
+      toks.push_back({Token::Kind::kPunct, view.substr(i, 2), i});
+      i += 2;
+      continue;
+    }
+    toks.push_back({Token::Kind::kPunct, view.substr(i, 1), i});
+    ++i;
+  }
+  return toks;
+}
+
+namespace {
+
+char OpenerFor(std::string_view t) {
+  if (t == ")") return '(';
+  if (t == "]") return '[';
+  if (t == "}") return '{';
+  return '\0';
+}
+char CloserFor(std::string_view t) {
+  if (t == "(") return ')';
+  if (t == "[") return ']';
+  if (t == "{") return '}';
+  return '\0';
+}
+
+}  // namespace
+
+std::size_t MatchForward(const std::vector<Token>& toks, std::size_t i) {
+  const char closer = CloserFor(toks[i].text);
+  if (closer == '\0') return toks.size();
+  const std::string_view open = toks[i].text;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].text == open) ++depth;
+    if (toks[j].text.size() == 1 && toks[j].text[0] == closer && --depth == 0) {
+      return j;
+    }
+  }
+  return toks.size();
+}
+
+std::size_t MatchBackward(const std::vector<Token>& toks, std::size_t i) {
+  const char opener = OpenerFor(toks[i].text);
+  if (opener == '\0') return toks.size();
+  const std::string_view close = toks[i].text;
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (toks[j].text == close) ++depth;
+    if (toks[j].text.size() == 1 && toks[j].text[0] == opener && --depth == 0) {
+      return j;
+    }
+  }
+  return toks.size();
+}
+
+// -- ScopeWalker ------------------------------------------------------
+
+ScopeWalker::ScopeWalker(const std::vector<Token>& toks) : toks_(toks) {}
+
+void ScopeWalker::Reset() { frames_.clear(); }
+
+std::string ScopeWalker::CurrentFunction() const {
+  for (std::size_t i = frames_.size(); i-- > 0;) {
+    if (frames_[i].is_function) return frames_[i].function;
+  }
+  return "";
+}
+
+std::set<std::string> ScopeWalker::CurrentMutexes() const {
+  std::set<std::string> held;
+  for (const Frame& f : frames_) {
+    held.insert(f.mutexes.begin(), f.mutexes.end());
+  }
+  return held;
+}
+
+namespace {
+
+bool IsControlKeyword(std::string_view t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch";
+}
+
+bool IsTypeIntroducer(std::string_view t) {
+  return t == "class" || t == "struct" || t == "union" || t == "enum" ||
+         t == "namespace";
+}
+
+}  // namespace
+
+bool ScopeWalker::BraceOpensFunction(std::size_t i, std::string* name) const {
+  // Scan back to the start of the "statement" introducing this brace.
+  // A top-level '=' marks an initializer; class/struct/namespace mark a
+  // type scope; a ')' immediately before the brace (modulo trailing
+  // const/noexcept/override/-> return types) marks a function body.
+  std::size_t begin = 0;
+  int depth = 0;
+  for (std::size_t j = i; j-- > 0;) {
+    const std::string_view t = toks_[j].text;
+    // A '}' at depth zero closes a previous sibling definition - the
+    // introducing statement starts after it (two function definitions
+    // in a row have no ';' between them).
+    if (t == "}" && depth == 0) {
+      begin = j + 1;
+      break;
+    }
+    if (t == ")" || t == "]" || t == "}") ++depth;
+    if (t == "(" || t == "[" || t == "{") {
+      if (depth == 0) {
+        begin = j + 1;
+        break;
+      }
+      --depth;
+    }
+    if (depth == 0 && t == ";") {
+      begin = j + 1;
+      break;
+    }
+  }
+
+  bool has_assign = false;
+  for (std::size_t j = begin; j < i; ++j) {
+    const std::string_view t = toks_[j].text;
+    if (t == "(" || t == "[" || t == "{") {
+      j = MatchForward(toks_, j);
+      if (j >= i) break;
+      continue;
+    }
+    if (t == "=") has_assign = true;
+    if (toks_[j].kind == Token::Kind::kIdent && IsTypeIntroducer(t)) {
+      return false;  // type / namespace scope
+    }
+  }
+  if (has_assign) return false;  // brace initializer
+
+  // Find the token just before the brace, skipping trailing qualifiers.
+  std::size_t j = i;
+  while (j > begin) {
+    --j;
+    const std::string_view t = toks_[j].text;
+    if (toks_[j].kind == Token::Kind::kIdent &&
+        (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+         t == "try" || t == "mutable")) {
+      continue;
+    }
+    if (t == ")") {
+      // Could be noexcept(...) / ->decltype(...) as well; walk to its
+      // '(' and look at what introduced it.
+      const std::size_t open = MatchBackward(toks_, j);
+      if (open == toks_.size() || open == 0 || open <= begin) return false;
+      const Token& before = toks_[open - 1];
+      if (before.kind == Token::Kind::kIdent) {
+        if (IsControlKeyword(before.text)) return false;
+        if (before.text == "noexcept" || before.text == "decltype") {
+          j = open;  // keep skipping backwards
+          continue;
+        }
+        if (name != nullptr) *name = std::string(before.text);
+        return true;
+      }
+      if (before.text == "]") {
+        // Lambda body: a function-like scope without its own name; the
+        // enclosing function's name is inherited by returning false...
+        // except a lambda at namespace scope would then look like a
+        // namespace. Treat as a function with an empty name only when
+        // no outer function exists; otherwise inherit by reporting a
+        // non-function block.
+        return false;
+      }
+      return false;
+    }
+    // `-> Type {`, `: init_list {}` etc: keep scanning a little.
+    if (t == ">" || t == "->") continue;
+    if (toks_[j].kind == Token::Kind::kIdent) continue;
+    if (t == ":" || t == "::" || t == ",") continue;
+    return false;
+  }
+  return false;
+}
+
+void ScopeWalker::Step(std::size_t i) {
+  const Token& tok = toks_[i];
+  if (tok.text == "{") {
+    Frame frame;
+    std::string name;
+    if (BraceOpensFunction(i, &name)) {
+      frame.is_function = true;
+      frame.function = name;
+    }
+    frames_.push_back(std::move(frame));
+    return;
+  }
+  if (tok.text == "}") {
+    if (!frames_.empty()) frames_.pop_back();
+    return;
+  }
+  if (tok.kind != Token::Kind::kIdent) return;
+  if (tok.text != "lock_guard" && tok.text != "scoped_lock" &&
+      tok.text != "unique_lock" && tok.text != "shared_lock") {
+    return;
+  }
+  // Optional template argument list.
+  std::size_t j = i + 1;
+  if (j < toks_.size() && toks_[j].text == "<") {
+    int angle = 0;
+    for (; j < toks_.size(); ++j) {
+      if (toks_[j].text == "<") ++angle;
+      if (toks_[j].text == ">" && --angle == 0) {
+        ++j;
+        break;
+      }
+    }
+  }
+  // Declarator name, then '(' or '{' argument list. A bare
+  // `lock_guard<mutex>(m)` temporary is a classic bug (destroyed at
+  // end of full expression) - deliberately NOT treated as held.
+  if (j >= toks_.size() || toks_[j].kind != Token::Kind::kIdent) return;
+  ++j;
+  if (j >= toks_.size() || (toks_[j].text != "(" && toks_[j].text != "{")) {
+    return;
+  }
+  const std::size_t close = MatchForward(toks_, j);
+  if (close == toks_.size()) return;
+  // Collect the last identifier of each top-level comma-separated term.
+  std::vector<std::string> mutexes;
+  std::string last_ident;
+  bool deferred = false;
+  int depth = 0;
+  for (std::size_t k = j + 1; k < close; ++k) {
+    const std::string_view t = toks_[k].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if (depth > 0) continue;
+    if (toks_[k].kind == Token::Kind::kIdent) {
+      if (t == "defer_lock") deferred = true;
+      last_ident = std::string(t);
+    } else if (t == ",") {
+      if (!last_ident.empty()) mutexes.push_back(last_ident);
+      last_ident.clear();
+    }
+  }
+  if (!last_ident.empty()) mutexes.push_back(last_ident);
+  if (deferred || frames_.empty()) return;
+  for (std::string& m : mutexes) {
+    if (m == "std" || m == "adopt_lock" || m == "try_to_lock") continue;
+    frames_.back().mutexes.push_back(std::move(m));
+  }
+}
+
+// -- statements -------------------------------------------------------
+
+std::vector<Statement> SplitStatements(const std::vector<Token>& toks) {
+  std::vector<Statement> stmts;
+  std::size_t begin = 0;
+  int paren = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string_view t = toks[i].text;
+    if (t == "(" || t == "[") ++paren;
+    if (t == ")" || t == "]") --paren;
+    if (paren > 0) continue;
+    if (t == ";" || t == "{" || t == "}") {
+      if (i > begin) stmts.push_back({begin, i});
+      begin = i + 1;
+    }
+  }
+  if (toks.size() > begin) stmts.push_back({begin, toks.size()});
+  return stmts;
+}
+
+std::size_t TopLevelAssignToken(const std::vector<Token>& toks,
+                                const Statement& stmt) {
+  int depth = 0;
+  for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+    const std::string_view t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if (depth > 0) continue;
+    if (t == "=" || t == "+=" || t == "-=") return i;
+  }
+  return stmt.end;
+}
+
+}  // namespace wearlock::lint

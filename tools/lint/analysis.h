@@ -1,0 +1,126 @@
+// Flow analysis substrate for the use-site rules (rules.h): a token
+// stream over SourceFile::code() plus a scope walker that tracks, for
+// every token, the enclosing function and the set of mutexes held via
+// RAII lock guards. This is still not a compiler - no types, no
+// overload resolution - but it is enough structure to enforce
+// doctrines a per-line scanner cannot see:
+//
+//   * guarded-by:        is this access to an annotated global inside a
+//                        scope that acquired the named mutex?
+//   * slot-ownership:    which function does this dsp::Workspace slot
+//                        reference sit in?
+//   * modeled-time:      which identifiers are (transitively) assigned
+//                        from host-timing calls, and do any of them
+//                        reach a modeled-time sink?
+//   * discarded-outcome: is this call's return value consumed?
+//
+// Everything operates on code() (comments and literal bodies blanked),
+// so tokens inside comments or strings can never confuse the automata.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "source.h"
+
+namespace wearlock::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string_view text;   ///< view into SourceFile::code()
+  std::size_t offset = 0;  ///< byte offset of text[0] in code()
+};
+
+/// Lex the blanked code view into identifiers, numbers and punctuation.
+/// Multi-character operators that the rules care about ("::", "->",
+/// "+=", "-=", "<=", ">=", "==", "!=", "&&", "||") come out as single
+/// tokens; everything else is one character per token.
+std::vector<Token> LexTokens(const std::string& code);
+
+/// Index of the token matching the opener/closer at `i` ("(" <-> ")",
+/// "[" <-> "]", "{" <-> "}"), or `toks.size()` when unbalanced.
+std::size_t MatchForward(const std::vector<Token>& toks, std::size_t i);
+std::size_t MatchBackward(const std::vector<Token>& toks, std::size_t i);
+
+/// Per-token scope context reported by ScopeWalker::Walk().
+struct ScopeContext {
+  /// Simple (unqualified) name of the innermost enclosing function or
+  /// lambda-owning function; "" at namespace/class scope.
+  std::string function;
+  /// Last identifier component of every mutex currently held by a
+  /// lock_guard / scoped_lock / unique_lock in an enclosing scope.
+  std::set<std::string> held_mutexes;
+};
+
+/// One forward pass over the token stream maintaining a scope stack
+/// (function bodies, control blocks, class/namespace bodies,
+/// initializer braces) and RAII lock-guard acquisitions. `cb` is
+/// invoked for every token with its index and the current context.
+///
+/// Guard recognition: `lock_guard` / `scoped_lock` / `unique_lock`,
+/// optional template arguments, a declarator name, then an argument
+/// list whose top-level comma-separated terms name the mutexes (the
+/// last identifier of each dotted chain). A guard constructed with
+/// std::defer_lock is ignored; std::adopt_lock still counts as held.
+class ScopeWalker {
+ public:
+  explicit ScopeWalker(const std::vector<Token>& toks);
+
+  template <typename Fn>
+  void Walk(Fn&& cb) {
+    Reset();
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      Step(i);
+      ScopeContext ctx;
+      ctx.function = CurrentFunction();
+      ctx.held_mutexes = CurrentMutexes();
+      cb(i, ctx);
+    }
+  }
+
+ private:
+  struct Frame {
+    bool is_function = false;
+    std::string function;  ///< set when is_function
+    std::vector<std::string> mutexes;
+  };
+
+  void Reset();
+  void Step(std::size_t i);
+  std::string CurrentFunction() const;
+  std::set<std::string> CurrentMutexes() const;
+
+  /// Classify the brace at token `i` and compute the function name for
+  /// function-body braces ("" otherwise).
+  bool BraceOpensFunction(std::size_t i, std::string* name) const;
+
+  const std::vector<Token>& toks_;
+  std::vector<Frame> frames_;
+};
+
+// -- statement-level taint helpers (modeled-time rule) ---------------
+
+/// A "statement" for taint purposes: a maximal token run terminated by
+/// ';', '{' or '}' at parenthesis depth zero. Brace bodies nested in
+/// argument lists stay inside their statement, so
+/// `auto t = TimeHostMs([&] { work(); });` is one statement - but a
+/// lambda assigned to a name (`auto f = [&](T x) { ... };`) is cut at
+/// its body brace; rules that care match `name = [` on the raw stream.
+struct Statement {
+  std::size_t begin = 0;  ///< first token index (inclusive)
+  std::size_t end = 0;    ///< one past the last token index
+};
+
+std::vector<Statement> SplitStatements(const std::vector<Token>& toks);
+
+/// Token index of the statement's top-level assignment operator ('=',
+/// '+=' or '-=' outside parens/brackets, not '==' etc.), or stmt.end.
+std::size_t TopLevelAssignToken(const std::vector<Token>& toks,
+                                const Statement& stmt);
+
+}  // namespace wearlock::lint

@@ -1,11 +1,14 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 namespace wearlock::lint {
@@ -69,24 +72,151 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Trim leading/trailing whitespace for config-file parsing.
+std::string TrimWs(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
 }  // namespace
 
-LintResult RunLint(const std::vector<SourceFile>& files) {
+std::string BaselineKey(const Diagnostic& diag) {
+  // Normalise to a repo-relative path: strip everything before the
+  // first src/ | tests/ | bench/ | tools/ component, so a baseline
+  // written from the repo root also matches absolute-path invocations
+  // (the ctest gate passes ${CMAKE_SOURCE_DIR}/... paths).
+  static constexpr const char* kRoots[] = {"src/", "tests/", "bench/",
+                                           "tools/"};
+  std::string file = diag.file;
+  std::size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    if (file.rfind(root, 0) == 0) {
+      best = 0;
+      break;
+    }
+    const std::size_t pos = file.find(std::string("/") + root);
+    if (pos != std::string::npos && (best == std::string::npos ||
+                                     pos + 1 < best)) {
+      best = pos + 1;
+    }
+  }
+  if (best != std::string::npos && best > 0) file = file.substr(best);
+  return file + ":" + std::to_string(diag.line) + ": " + diag.rule;
+}
+
+bool LoadBaseline(const std::string& path, std::set<std::string>* out,
+                  std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot read baseline file: " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    line = TrimWs(line);
+    if (line.empty() || line[0] == '#') continue;
+    out->insert(line);
+  }
+  return true;
+}
+
+bool LoadSlotManifest(const std::string& path, SlotManifest* out,
+                      std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot read slot manifest: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    line = TrimWs(line);
+    if (line.empty() || line[0] == '#') continue;
+    // "CSlot::kFftScratch: AnalyticSignal, OtherOwner" - split on the
+    // colon AFTER the slot's "::" qualifier.
+    const std::size_t qual = line.find("::");
+    const std::size_t colon =
+        line.find(':', qual == std::string::npos ? 0 : qual + 2);
+    if (colon == std::string::npos) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) +
+                 ": expected 'Slot::kName: Owner[, Owner...]'";
+      }
+      return false;
+    }
+    const std::string slot = TrimWs(line.substr(0, colon));
+    std::string owners = line.substr(colon + 1);
+    std::replace(owners.begin(), owners.end(), ',', ' ');
+    std::istringstream split(owners);
+    std::string owner;
+    std::set<std::string>& entry = (*out)[slot];
+    while (split >> owner) entry.insert(owner);
+    if (entry.empty()) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) + ": no owner for " +
+                 slot;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+LintResult RunLint(const std::vector<SourceFile>& files,
+                   const LintOptions& options) {
   LintResult result;
   result.files_scanned = files.size();
 
+  // Per-file rules fan out over a small thread pool; each file writes
+  // its own slot, so the merged order below is thread-count invariant
+  // (and the final sort makes even that irrelevant).
+  std::vector<std::vector<Diagnostic>> per_file(files.size());
+  auto analyze_one = [&](std::size_t idx) {
+    const SourceFile& f = files[idx];
+    std::vector<Diagnostic>* out = &per_file[idx];
+    CheckDeterminism(f, out);
+    CheckBannedApi(f, out);
+    CheckHeaderHygiene(f, out);
+    CheckSharedState(f, out);
+    CheckHotPathAlloc(f, out);
+    CheckGuardedBy(f, out);
+    CheckModeledTime(f, out);
+    if (!options.slot_manifest.empty()) {
+      CheckSlotOwnership(f, options.slot_manifest, out);
+    }
+    CheckDiscardedOutcome(f, out);
+  };
+  const std::size_t workers = std::min<std::size_t>(
+      files.size(), static_cast<std::size_t>(std::max(options.threads, 1)));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) analyze_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < files.size();
+             i = next.fetch_add(1)) {
+          analyze_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
   std::vector<Diagnostic> raw;
-  for (const SourceFile& f : files) {
-    CheckDeterminism(f, &raw);
-    CheckBannedApi(f, &raw);
-    CheckHeaderHygiene(f, &raw);
-    CheckSharedState(f, &raw);
-    CheckHotPathAlloc(f, &raw);
+  for (std::vector<Diagnostic>& batch : per_file) {
+    raw.insert(raw.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
   }
   CheckLayerDag(files, &raw);
 
   // Suppression needs the owning SourceFile back; index by path.
-  std::vector<const SourceFile*> by_path;
+  std::set<std::string> used_baseline;
   for (const Diagnostic& d : raw) {
     const SourceFile* owner = nullptr;
     for (const SourceFile& f : files) {
@@ -97,10 +227,22 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
     }
     if (owner != nullptr && IsSuppressed(*owner, d)) {
       ++result.suppressed;
-    } else {
-      result.diagnostics.push_back(d);
+      continue;
+    }
+    const std::string key = BaselineKey(d);
+    if (options.baseline.count(key) != 0) {
+      ++result.baselined;
+      used_baseline.insert(key);
+      continue;
+    }
+    result.diagnostics.push_back(d);
+  }
+  for (const std::string& entry : options.baseline) {
+    if (used_baseline.count(entry) == 0) {
+      result.stale_baseline.push_back(entry);
     }
   }
+  std::sort(result.stale_baseline.begin(), result.stale_baseline.end());
 
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
@@ -153,12 +295,17 @@ void WriteText(const LintResult& result, std::ostream& os) {
   os << "wearlock-lint: " << result.diagnostics.size() << " finding"
      << (result.diagnostics.size() == 1 ? "" : "s") << " in "
      << result.files_scanned << " files (" << result.suppressed
-     << " suppressed)\n";
+     << " suppressed, " << result.baselined << " baselined)\n";
+  for (const std::string& stale : result.stale_baseline) {
+    os << "wearlock-lint: stale baseline entry (fixed or moved): " << stale
+       << "\n";
+  }
 }
 
 void WriteJson(const LintResult& result, std::ostream& os) {
   os << "{\"files_scanned\":" << result.files_scanned
-     << ",\"suppressed\":" << result.suppressed << ",\"diagnostics\":[";
+     << ",\"suppressed\":" << result.suppressed
+     << ",\"baselined\":" << result.baselined << ",\"diagnostics\":[";
   for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
     const Diagnostic& d = result.diagnostics[i];
     os << (i ? "," : "") << "{\"file\":\"" << JsonEscape(d.file)
@@ -166,6 +313,46 @@ void WriteJson(const LintResult& result, std::ostream& os) {
        << "\",\"message\":\"" << JsonEscape(d.message) << "\"}";
   }
   os << "]}\n";
+}
+
+void WriteSarif(const LintResult& result, std::ostream& os) {
+  os << "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/"
+        "sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"wearlock-lint\",\"informationUri\":"
+        "\"docs/static-analysis.md\",\"rules\":[";
+  const std::vector<RuleInfo>& rules = AllRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i ? "," : "") << "{\"id\":\"" << JsonEscape(rules[i].id)
+       << "\",\"shortDescription\":{\"text\":\""
+       << JsonEscape(rules[i].summary) << "\"}}";
+  }
+  os << "]}},\"results\":[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    os << (i ? "," : "") << "{\"ruleId\":\"" << JsonEscape(d.rule)
+       << "\",\"level\":\"error\",\"message\":{\"text\":\""
+       << JsonEscape(d.message)
+       << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+          "{\"uri\":\""
+       << JsonEscape(d.file) << "\"},\"region\":{\"startLine\":" << d.line
+       << "}}}]}";
+  }
+  os << "]}]}\n";
+}
+
+void WriteBaseline(const LintResult& result, std::ostream& os) {
+  os << "# wearlock-lint baseline: pre-existing findings absorbed when the\n"
+        "# gate grew beyond src/. Format: <repo-relative-file>:<line>: "
+        "<rule>.\n"
+        "# Regenerate with --update-baseline; shrink it, never grow it.\n";
+  std::vector<std::string> keys;
+  keys.reserve(result.diagnostics.size());
+  for (const Diagnostic& d : result.diagnostics) {
+    keys.push_back(BaselineKey(d));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const std::string& k : keys) os << k << "\n";
 }
 
 std::string HeaderTuName(const std::string& rel_path) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,15 +20,49 @@
 
 namespace wearlock::lint {
 
+struct LintOptions {
+  /// Worker threads for per-file rules. Output is byte-identical for
+  /// any value: diagnostics are fully sorted before emission.
+  int threads = 1;
+  /// Slot ownership manifest (slot id -> owner functions). When empty
+  /// the slot-ownership rule has nothing to enforce and is skipped.
+  SlotManifest slot_manifest;
+  /// Baseline suppressions: "file:line: rule" keys (repo-relative
+  /// paths) absorbed from a committed baseline file. Findings matching
+  /// a key are counted, not reported, so the gate can extend to
+  /// pre-existing code without a flag-day.
+  std::set<std::string> baseline;
+};
+
 struct LintResult {
   std::vector<Diagnostic> diagnostics;  ///< surviving (unsuppressed)
   std::size_t files_scanned = 0;
-  std::size_t suppressed = 0;
+  std::size_t suppressed = 0;  ///< dropped by NOLINT markers
+  std::size_t baselined = 0;   ///< dropped by the baseline file
+  /// Baseline entries that matched nothing this run - candidates for
+  /// deletion (the finding was fixed or the line moved).
+  std::vector<std::string> stale_baseline;
 };
 
-/// Run every rule over `files`, drop NOLINT-suppressed diagnostics and
-/// sort the rest by (file, line, rule).
-LintResult RunLint(const std::vector<SourceFile>& files);
+/// Run every rule over `files`, drop NOLINT-suppressed and baselined
+/// diagnostics and sort the rest by (file, line, rule, message).
+LintResult RunLint(const std::vector<SourceFile>& files,
+                   const LintOptions& options = {});
+
+/// The baseline key for a diagnostic: "<repo-relative-file>:<line>: <rule>".
+/// Paths are normalised to start at src/, tests/, bench/ or tools/ so
+/// the same baseline file works for relative and absolute invocations.
+std::string BaselineKey(const Diagnostic& diag);
+
+/// Load "file:line: rule" lines ('#' comments and blanks ignored) into
+/// options->baseline. A missing file is an error.
+bool LoadBaseline(const std::string& path, std::set<std::string>* out,
+                  std::string* error);
+
+/// Load a slot ownership manifest: "CSlot::kName: Owner1, Owner2" lines
+/// ('#' comments and blanks ignored; owner "*" allows any context).
+bool LoadSlotManifest(const std::string& path, SlotManifest* out,
+                      std::string* error);
 
 /// Expand files/directories into a sorted list of *.cpp / *.h paths.
 /// Returns false and sets `error` when a path does not exist.
@@ -43,9 +78,17 @@ bool LoadFiles(const std::vector<std::string>& paths,
 void WriteText(const LintResult& result, std::ostream& os);
 
 /// One JSON object:
-/// {"files_scanned":N,"suppressed":K,
+/// {"files_scanned":N,"suppressed":K,"baselined":B,
 ///  "diagnostics":[{"file":..,"line":..,"rule":..,"message":..},..]}
 void WriteJson(const LintResult& result, std::ostream& os);
+
+/// SARIF 2.1.0 log with one run: tool.driver carries the full rule
+/// catalogue, results[] one entry per diagnostic (level "error").
+void WriteSarif(const LintResult& result, std::ostream& os);
+
+/// Baseline-file lines for every surviving diagnostic (the
+/// --update-baseline payload), sorted, with a generated header comment.
+void WriteBaseline(const LintResult& result, std::ostream& os);
 
 /// Emit one self-containment TU per header under `src_dir` into
 /// `out_dir` (see docs/static-analysis.md). Writes only files whose

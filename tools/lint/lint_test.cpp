@@ -475,15 +475,411 @@ TEST(OutputTest, JsonOutputIsWellFormed) {
   EXPECT_NE(os.str().find("\"files_scanned\":2"), std::string::npos);
 }
 
-TEST(OutputTest, RuleCatalogueCoversAllSixRules) {
+TEST(OutputTest, RuleCatalogueCoversAllTenRules) {
   std::vector<std::string> ids;
   for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
-  for (const char* expected : {"layer-dag", "determinism", "banned-api",
-                               "header-hygiene", "shared-state",
-                               "hot-path-alloc"}) {
+  for (const char* expected :
+       {"layer-dag", "determinism", "banned-api", "header-hygiene",
+        "shared-state", "hot-path-alloc", "guarded-by", "modeled-time",
+        "slot-ownership", "discarded-outcome"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }
+}
+
+TEST(OutputTest, SarifOutputIsWellFormedJson) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      SourceFile::FromString("src/dsp/x.cpp", "void f() { srand(1); }\n"));
+  const LintResult result = RunLint(files);
+  ASSERT_FALSE(result.diagnostics.empty());
+  std::ostringstream os;
+  WriteSarif(result, os);
+  testing::JsonChecker checker;
+  EXPECT_TRUE(checker.Check(os.str())) << checker.error();
+  EXPECT_NE(os.str().find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"ruleId\":\"determinism\""), std::string::npos);
+}
+
+// -- guarded-by (use-site) --------------------------------------------
+
+// The flow-aware core: byte-identical access statements classified by
+// the scope they sit in - a per-line scanner cannot tell these apart.
+constexpr const char* kGuardedFixture =
+    "#include <mutex>\n"
+    "std::mutex g_mu;\n"
+    "int g_value = 0;  // lint: guarded-by(g_mu)\n"
+    "void Good() {\n"
+    "  const std::lock_guard<std::mutex> lock(g_mu);\n"
+    "  g_value = 1;\n"
+    "}\n"
+    "void Bad() {\n"
+    "  g_value = 2;\n"
+    "}\n";
+
+TEST(GuardedByTest, AccessOutsideLockScopeIsFlagged) {
+  const auto diags = RunAllOn("src/obs/x.cpp", kGuardedFixture);
+  ASSERT_TRUE(HasRule(diags, "guarded-by"));
+  // Only the unguarded access (line 9) fires; the guarded one passes.
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "guarded-by") {
+      EXPECT_EQ(d.line, 9);
+    }
+  }
+}
+
+TEST(GuardedByTest, LockScopeEndsAtItsBrace) {
+  // Same statement twice; only the one after the guard's scope closes
+  // is a violation. Lexically the two lines are indistinguishable.
+  const auto diags = RunAllOn(
+      "src/obs/x.cpp",
+      "#include <mutex>\n"
+      "std::mutex g_mu;\n"
+      "int g_value = 0;  // lint: guarded-by(g_mu)\n"
+      "void F() {\n"
+      "  {\n"
+      "    const std::lock_guard<std::mutex> lock(g_mu);\n"
+      "    g_value = 1;\n"
+      "  }\n"
+      "  g_value = 1;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "guarded-by"));
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "guarded-by") {
+      EXPECT_EQ(d.line, 9);
+    }
+  }
+}
+
+TEST(GuardedByTest, ScopedAndUniqueLocksCountDeferDoesNot) {
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/obs/x.cpp",
+               "#include <mutex>\n"
+               "std::mutex g_mu;\n"
+               "int g_value = 0;  // lint: guarded-by(g_mu)\n"
+               "void F() {\n"
+               "  const std::scoped_lock guard(g_mu);\n"
+               "  g_value = 1;\n"
+               "}\n"),
+      "guarded-by"));
+  // defer_lock means the mutex is NOT held at construction.
+  EXPECT_TRUE(HasRule(
+      RunAllOn("src/obs/x.cpp",
+               "#include <mutex>\n"
+               "std::mutex g_mu;\n"
+               "int g_value = 0;  // lint: guarded-by(g_mu)\n"
+               "void F() {\n"
+               "  std::unique_lock<std::mutex> lk(g_mu, std::defer_lock);\n"
+               "  g_value = 1;\n"
+               "}\n"),
+      "guarded-by"));
+}
+
+TEST(GuardedByTest, MemberNamesAndOtherMutexesDoNotConfuse) {
+  // `other.g_value` is a different entity; a lock on the WRONG mutex
+  // does not license the access.
+  const auto diags = RunAllOn(
+      "src/obs/x.cpp",
+      "#include <mutex>\n"
+      "std::mutex g_mu;\n"
+      "std::mutex g_other_mu;\n"
+      "int g_value = 0;  // lint: guarded-by(g_mu)\n"
+      "void WrongLock() {\n"
+      "  const std::lock_guard<std::mutex> lock(g_other_mu);\n"
+      "  g_value = 1;\n"
+      "}\n"
+      "void Member(S& other) {\n"
+      "  other.g_value = 2;  // member of another object: fine\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "guarded-by"));
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "guarded-by") {
+      EXPECT_EQ(d.line, 7);
+    }
+  }
+}
+
+TEST(GuardedByTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/obs/x.cpp",
+               "#include <mutex>\n"
+               "std::mutex g_mu;\n"
+               "int g_value = 0;  // lint: guarded-by(g_mu)\n"
+               "void Init() {\n"
+               "  g_value = 1;  // NOLINT(guarded-by): pre-thread init\n"
+               "}\n"),
+      "guarded-by"));
+}
+
+// -- modeled-time (taint) ---------------------------------------------
+
+TEST(ModeledTimeTest, DirectHostTimeIntoAccumulatorIsFlagged) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F(sim::VirtualClock& clock) {\n"
+      "  double proto_ms = 0.0;\n"
+      "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+      "  proto_ms += host_ms;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "modeled-time"));
+}
+
+TEST(ModeledTimeTest, LaunderingThroughIntermediatesIsCaught) {
+  // The taint crosses two plain assignments before reaching the budget
+  // comparison - exactly what a lexical rule cannot follow.
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "bool F() {\n"
+      "  const double t0 = sim::TimeHostMs([&] { Work(); });\n"
+      "  const double scaled = t0 * 0.5;\n"
+      "  const double padded = scaled + 1.0;\n"
+      "  return padded >= stage_budget_ms;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "modeled-time"));
+  EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(ModeledTimeTest, SinkFunctionCallWithTaintedArgIsFlagged) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F() {\n"
+      "  double proto_ms = 0.0;\n"
+      "  auto charge = [&](double ms) { proto_ms += ms; };\n"
+      "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+      "  charge(host_ms);\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "modeled-time"));
+  EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(ModeledTimeTest, SessionRecordFieldWriteIsFlagged) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F() {\n"
+      "  obs::SessionRecord r;\n"
+      "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+      "  r.total_ms = host_ms;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "modeled-time"));
+}
+
+TEST(ModeledTimeTest, ModeledMetricTagIsFlagged) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F() {\n"
+      "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+      "  WL_HIST(\"unlock.modeled_ms\", host_ms);\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "modeled-time"));
+}
+
+TEST(ModeledTimeTest, AnnotatedAccumulatorIsEnforced) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F() {\n"
+      "  double stage_ms = 0.0;  // lint: modeled-time\n"
+      "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+      "  stage_ms += host_ms;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "modeled-time"));
+}
+
+TEST(ModeledTimeTest, SeedDerivedTimeAndLatencyReportsPass) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F(sim::WirelessLink& link) {\n"
+      "  double proto_ms = 0.0;\n"
+      "  proto_ms += link.SampleMessageDelay();   // seed-derived: fine\n"
+      "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+      "  report_latency_ms = host_ms;             // latency report\n"
+      "  WL_HIST(\"unlock.host_ms\", host_ms);    // untagged metric\n"
+      "  if (proto_ms >= stage_budget_ms) return; // modeled vs budget\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "modeled-time"));
+}
+
+TEST(ModeledTimeTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/protocol/x.cpp",
+               "void F() {\n"
+               "  double proto_ms = 0.0;\n"
+               "  const double host_ms = sim::TimeHostMs([&] { Work(); });\n"
+               "  proto_ms += host_ms;  // NOLINT(modeled-time): calibration\n"
+               "}\n"),
+      "modeled-time"));
+}
+
+// -- slot-ownership ---------------------------------------------------
+
+namespace {
+
+std::vector<Diagnostic> RunWithManifest(const std::string& path,
+                                        const std::string& content) {
+  LintOptions options;
+  options.slot_manifest["CSlot::kCorrX"] = {"CrossCorrelateFftInto"};
+  options.slot_manifest["RSlot::kCount"] = {"*"};
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(path, content));
+  return RunLint(files, options).diagnostics;
+}
+
+}  // namespace
+
+TEST(SlotOwnershipTest, NonOwnerReferenceIsFlagged) {
+  // Byte-identical statements; only the enclosing function differs.
+  const auto diags = RunWithManifest(
+      "src/dsp/x.cpp",
+      "void CrossCorrelateFftInto(Workspace& ws) {\n"
+      "  auto& fx = ws.ComplexZeroed(CSlot::kCorrX, 8);\n"
+      "}\n"
+      "void Rogue(Workspace& ws) {\n"
+      "  auto& fx = ws.ComplexZeroed(CSlot::kCorrX, 8);\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "slot-ownership"));
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "slot-ownership") {
+      EXPECT_EQ(d.line, 5);
+      EXPECT_NE(d.message.find("Rogue"), std::string::npos);
+    }
+  }
+}
+
+TEST(SlotOwnershipTest, WildcardUnknownSlotAndNoManifest) {
+  // "*" allows any context (the kCount sentinel in array bounds).
+  EXPECT_FALSE(HasRule(
+      RunWithManifest("src/dsp/x.cpp",
+                      "constexpr std::size_t kN =\n"
+                      "    static_cast<std::size_t>(RSlot::kCount);\n"),
+      "slot-ownership"));
+  // A slot missing from the manifest is itself a finding.
+  EXPECT_TRUE(HasRule(
+      RunWithManifest("src/dsp/x.cpp",
+                      "void F(Workspace& ws) {\n"
+                      "  auto& b = ws.ComplexBuf(CSlot::kMystery, 4);\n"
+                      "}\n"),
+      "slot-ownership"));
+  // Without a manifest the rule has nothing to enforce.
+  EXPECT_FALSE(HasRule(RunAllOn("src/dsp/x.cpp",
+                                "void F(Workspace& ws) {\n"
+                                "  auto& b = ws.ComplexBuf(CSlot::kCorrX, 4);\n"
+                                "}\n"),
+                       "slot-ownership"));
+}
+
+TEST(SlotOwnershipTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(
+      RunWithManifest(
+          "src/dsp/x.cpp",
+          "void Rogue(Workspace& ws) {\n"
+          "  auto& fx = ws.ComplexZeroed(\n"
+          "      CSlot::kCorrX, 8);  // NOLINT(slot-ownership): migration\n"
+          "}\n"),
+      "slot-ownership"));
+}
+
+// -- discarded-outcome ------------------------------------------------
+
+TEST(DiscardedOutcomeTest, BareExpressionStatementIsFlagged) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F(sim::WirelessLink& link) {\n"
+      "  link.TrySendMessageDelay();\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "discarded-outcome"));
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(DiscardedOutcomeTest, ConsumedOrExplicitlyDiscardedPasses) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "void F(sim::WirelessLink& link) {\n"
+      "  auto d = link.TrySendMessageDelay();\n"
+      "  if (link.TrySendRoundTrip()) { Use(); }\n"
+      "  (void)link.TrySendFileDelay(64);\n"
+      "  return link.TrySendMessageDelay();\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "discarded-outcome"));
+}
+
+TEST(DiscardedOutcomeTest, QualifiedParseIsCoveredUnqualifiedIsNot) {
+  EXPECT_TRUE(HasRule(RunAllOn("src/sim/x.cpp",
+                               "void F(const std::string& spec) {\n"
+                               "  sim::FaultPlan::Parse(spec);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  // Some other type's Parse is not an outcome API.
+  EXPECT_FALSE(HasRule(RunAllOn("src/sim/x.cpp",
+                                "void F(Config& c, const std::string& s) {\n"
+                                "  c.Parse(s);\n"
+                                "}\n"),
+                       "discarded-outcome"));
+}
+
+TEST(DiscardedOutcomeTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/protocol/x.cpp",
+               "void F(sim::WirelessLink& link) {\n"
+               "  link.TrySendMessageDelay();  // NOLINT(discarded-outcome)\n"
+               "}\n"),
+      "discarded-outcome"));
+}
+
+// -- baseline + parallel driver ---------------------------------------
+
+TEST(BaselineTest, BaselinedFindingsAreAbsorbedAndCounted) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(
+      "/abs/checkout/src/dsp/x.cpp", "void f() { srand(1); }\n"));
+  LintOptions options;
+  // Keys are repo-relative, so they match the absolute-path invocation.
+  options.baseline = {"src/dsp/x.cpp:1: determinism",
+                      "src/dsp/gone.cpp:9: banned-api"};
+  const LintResult result = RunLint(files, options);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.baselined, 1u);
+  // The unmatched entry is reported stale so the file shrinks over time.
+  ASSERT_EQ(result.stale_baseline.size(), 1u);
+  EXPECT_EQ(result.stale_baseline[0], "src/dsp/gone.cpp:9: banned-api");
+}
+
+TEST(BaselineTest, KeyNormalisesPathAndRoundTripsThroughWriter) {
+  EXPECT_EQ(BaselineKey({"/r/checkout/src/dsp/x.cpp", 3, "determinism", "m"}),
+            "src/dsp/x.cpp:3: determinism");
+  EXPECT_EQ(BaselineKey({"tools/lint/main.cpp", 7, "banned-api", "m"}),
+            "tools/lint/main.cpp:7: banned-api");
+  std::vector<SourceFile> files;
+  files.push_back(
+      SourceFile::FromString("src/dsp/x.cpp", "void f() { srand(1); }\n"));
+  const LintResult result = RunLint(files);
+  std::ostringstream os;
+  WriteBaseline(result, os);
+  EXPECT_NE(os.str().find("src/dsp/x.cpp:1: determinism\n"),
+            std::string::npos);
+}
+
+TEST(ParallelTest, DiagnosticsAreByteIdenticalAcrossThreadCounts) {
+  // Many files, several findings each, analysed at 1/2/8 threads: the
+  // sorted output must not depend on scheduling.
+  std::vector<SourceFile> files;
+  for (int i = 0; i < 24; ++i) {
+    files.push_back(SourceFile::FromString(
+        "src/dsp/f" + std::to_string(i) + ".cpp",
+        "void f() { srand(1); int* p = new int(3); }\n"));
+  }
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    LintOptions options;
+    options.threads = threads;
+    const LintResult result = RunLint(files, options);
+    std::ostringstream os;
+    WriteText(result, os);
+    if (reference.empty()) {
+      reference = os.str();
+    } else {
+      EXPECT_EQ(reference, os.str()) << "threads=" << threads;
+    }
+  }
+  EXPECT_NE(reference.find("src/dsp/f23.cpp"), std::string::npos);
 }
 
 // -- the real tree ----------------------------------------------------

@@ -1,11 +1,22 @@
 // wearlock-lint CLI.
 //
-//   wearlock-lint [--json] <path>...      lint files/dirs, exit 1 on findings
+//   wearlock-lint [options] <path>...     lint files/dirs, exit 1 on findings
 //   wearlock-lint --list-rules            print the rule catalogue
 //   wearlock-lint --gen-header-tus OUT SRC  emit self-containment TUs
 //
+// Options:
+//   --json                 JSON report on stdout instead of text
+//   --sarif FILE           also write a SARIF 2.1.0 log to FILE
+//   --threads N            per-file analysis worker threads (default 1;
+//                          output is byte-identical for any N)
+//   --baseline FILE        absorb findings listed in FILE
+//   --update-baseline FILE write surviving findings to FILE and exit 0
+//   --slot-manifest FILE   slot ownership manifest for slot-ownership
+//
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <charconv>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,10 +27,13 @@
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: wearlock-lint [--json] <path>...\n"
-               "       wearlock-lint --list-rules\n"
-               "       wearlock-lint --gen-header-tus <out-dir> <src-dir>\n");
+  std::fprintf(
+      stderr,
+      "usage: wearlock-lint [--json] [--sarif FILE] [--threads N]\n"
+      "                     [--baseline FILE] [--update-baseline FILE]\n"
+      "                     [--slot-manifest FILE] <path>...\n"
+      "       wearlock-lint --list-rules\n"
+      "       wearlock-lint --gen-header-tus <out-dir> <src-dir>\n");
   return 2;
 }
 
@@ -29,11 +43,46 @@ int main(int argc, char** argv) {
   using namespace wearlock::lint;
 
   bool json = false;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string update_baseline_path;
+  std::string manifest_path;
+  LintOptions options;
   std::vector<std::string> inputs;
+  auto next_arg = [&](int* i) -> const char* {
+    return *i + 1 < argc ? argv[++*i] : nullptr;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      const char* v = next_arg(&i);
+      if (v == nullptr) return Usage();
+      sarif_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next_arg(&i);
+      if (v == nullptr) return Usage();
+      const std::string spec(v);
+      const auto [end, ec] = std::from_chars(
+          spec.data(), spec.data() + spec.size(), options.threads);
+      if (ec != std::errc() || end != spec.data() + spec.size() ||
+          options.threads < 1) {
+        std::fprintf(stderr, "wearlock-lint: --threads wants a positive int\n");
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      const char* v = next_arg(&i);
+      if (v == nullptr) return Usage();
+      baseline_path = v;
+    } else if (arg == "--update-baseline") {
+      const char* v = next_arg(&i);
+      if (v == nullptr) return Usage();
+      update_baseline_path = v;
+    } else if (arg == "--slot-manifest") {
+      const char* v = next_arg(&i);
+      if (v == nullptr) return Usage();
+      manifest_path = v;
     } else if (arg == "--list-rules") {
       for (const RuleInfo& rule : AllRules()) {
         std::printf("%-15s %s\n", rule.id, rule.summary);
@@ -68,8 +117,44 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wearlock-lint: %s\n", error.c_str());
     return 2;
   }
+  if (!baseline_path.empty() &&
+      !LoadBaseline(baseline_path, &options.baseline, &error)) {
+    std::fprintf(stderr, "wearlock-lint: %s\n", error.c_str());
+    return 2;
+  }
+  if (!manifest_path.empty() &&
+      !LoadSlotManifest(manifest_path, &options.slot_manifest, &error)) {
+    std::fprintf(stderr, "wearlock-lint: %s\n", error.c_str());
+    return 2;
+  }
 
-  const LintResult result = RunLint(files);
+  if (!update_baseline_path.empty()) {
+    // Regeneration runs without the old baseline so every surviving
+    // finding lands in the new file.
+    options.baseline.clear();
+    const LintResult result = RunLint(files, options);
+    std::ofstream os(update_baseline_path);
+    if (!os) {
+      std::fprintf(stderr, "wearlock-lint: cannot write %s\n",
+                   update_baseline_path.c_str());
+      return 2;
+    }
+    WriteBaseline(result, os);
+    std::fprintf(stderr, "wearlock-lint: wrote %zu baseline entries to %s\n",
+                 result.diagnostics.size(), update_baseline_path.c_str());
+    return 0;
+  }
+
+  const LintResult result = RunLint(files, options);
+  if (!sarif_path.empty()) {
+    std::ofstream os(sarif_path);
+    if (!os) {
+      std::fprintf(stderr, "wearlock-lint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    WriteSarif(result, os);
+  }
   if (json) {
     WriteJson(result, std::cout);
   } else {

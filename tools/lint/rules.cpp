@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "analysis.h"
+
 namespace wearlock::lint {
 namespace {
 
@@ -85,6 +87,22 @@ const std::vector<RuleInfo>& AllRules() {
        "std::vector construction, push_back, resize or new in the body "
        "(use dsp::Workspace scratch; NOLINT(hot-path-alloc) for cold "
        "branches)"},
+      {"guarded-by",
+       "every access to a // lint: guarded-by(<mutex>) global must sit in "
+       "a scope holding <mutex> via lock_guard/scoped_lock/unique_lock"},
+      {"modeled-time",
+       "host-timing values (TimeHostMs/HostTimer) must not flow into "
+       "modeled-time surfaces: proto_ms accumulators, budget/deadline "
+       "comparisons, SessionRecord fields, metrics tagged 'modeled' "
+       "(file-local assignment-chain taint)"},
+      {"slot-ownership",
+       "dsp::Workspace slot ids (CSlot::k*/RSlot::k*) may be referenced "
+       "only from the owner function recorded in the slot manifest "
+       "(tools/lint/slot_owners.txt)"},
+      {"discarded-outcome",
+       "outcome-returning APIs (TrySend*, FaultPlan::Parse, ...) must "
+       "have their return value consumed; use (void) for an explicit, "
+       "visible discard"},
   };
   return kRules;
 }
@@ -124,9 +142,23 @@ void CheckDeterminism(const SourceFile& file, std::vector<Diagnostic>* out) {
 
 // -- banned-api -------------------------------------------------------
 
+namespace {
+
+/// True when the file lives under a src/ component (library code, as
+/// opposed to tests/, bench/ and tools/ whose CLIs print by contract).
+bool IsLibraryFile(const SourceFile& file) {
+  const std::string& p = file.path();
+  return p.rfind("src/", 0) == 0 || p.find("/src/") != std::string::npos;
+}
+
+}  // namespace
+
 void CheckBannedApi(const SourceFile& file, std::vector<Diagnostic>* out) {
   const std::string& code = file.code();
   const bool is_log_sink = file.SrcRelativePath() == "obs/log.cpp";
+  // Outside library code, stdout IS the interface (benches emit JSON,
+  // CLIs print reports); only the stdio patterns are relaxed there.
+  const bool stdio_exempt = is_log_sink || !IsLibraryFile(file);
 
   struct Pattern {
     const char* token;
@@ -151,7 +183,7 @@ void CheckBannedApi(const SourceFile& file, std::vector<Diagnostic>* out) {
       {"atof", true, false, "silent on error; use std::from_chars"},
   };
   for (const Pattern& p : kPatterns) {
-    if (p.stdio && is_log_sink) continue;
+    if (p.stdio && stdio_exempt) continue;
     for (std::size_t pos : FindWord(code, p.token)) {
       if (p.call_only &&
           NextSignificant(code, pos + std::string(p.token).size()) != '(') {
@@ -400,7 +432,7 @@ class SharedStateScanner {
                            std::size_t end) {
     // Exempt categories. thread_local state is thread-confined; atomics
     // and sync primitives are safe (or are themselves the guard).
-    static const char* kSkipWords[] = {
+    static constexpr const char* kSkipWords[] = {
         "thread_local", "constexpr",     "constinit", "using",
         "typedef",      "static_assert", "friend",    "extern",
         "template",     "operator",      "namespace", "return",
@@ -411,7 +443,7 @@ class SharedStateScanner {
     for (const char* w : kSkipWords) {
       if (ContainsWord(stmt, w)) return;
     }
-    static const char* kSafeTypes[] = {
+    static constexpr const char* kSafeTypes[] = {
         "atomic", "mutex",  "shared_mutex", "recursive_mutex",
         "once_flag", "condition_variable",
     };
@@ -562,7 +594,7 @@ void CheckHotPathAlloc(const SourceFile& file, std::vector<Diagnostic>* out) {
     }
     const std::string body = code.substr(open, close - open);
 
-    static const char* kGrowers[] = {"push_back", "resize"};
+    static constexpr const char* kGrowers[] = {"push_back", "resize"};
     for (const char* token : kGrowers) {
       for (std::size_t pos : FindWord(body, token)) {
         Emit(file, open + pos, "hot-path-alloc",
@@ -615,6 +647,501 @@ void CheckHotPathAlloc(const SourceFile& file, std::vector<Diagnostic>* out) {
   }
 }
 
+// -- guarded-by (use-site) --------------------------------------------
+
+namespace {
+
+/// One parsed guarded-by annotation with the global it guards. (This
+/// comment deliberately avoids spelling the annotation - the linter
+/// lints itself, and the literal marker here would register as one.)
+struct GuardedGlobal {
+  std::string name;   ///< the annotated variable
+  std::string mutex;  ///< last identifier inside the marker's parens
+  int decl_line = 0;  ///< accesses on this line are the declaration
+};
+
+std::string Trimmed(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+/// The variable declared on `line` (falling back to `line + 1` when the
+/// annotation sits on its own comment line): the identifier directly
+/// before the declaration's '=', '{', '[' or ';'.
+std::string DeclaredNameOn(const SourceFile& file, int line, int* decl_line) {
+  for (int candidate = line; candidate <= line + 1; ++candidate) {
+    // LexTokens returns views into its argument - keep it alive.
+    const std::string line_code(file.CodeLine(candidate));
+    const std::vector<Token> toks = LexTokens(line_code);
+    std::string last_ident;
+    for (const Token& t : toks) {
+      if (t.kind == Token::Kind::kIdent) {
+        last_ident = std::string(t.text);
+        continue;
+      }
+      if ((t.text == "=" || t.text == "{" || t.text == "[" ||
+           t.text == ";") &&
+          !last_ident.empty()) {
+        *decl_line = candidate;
+        return last_ident;
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<GuardedGlobal> FindGuardedGlobals(const SourceFile& file) {
+  std::vector<GuardedGlobal> globals;
+  for (int line = 1; line <= file.line_count(); ++line) {
+    const std::string& comment = file.CommentOn(line);
+    const std::size_t tag = comment.find("guarded-by(");
+    if (tag == std::string::npos) continue;
+    if (comment.rfind("lint:", tag) == std::string::npos) continue;
+    const std::size_t name_begin = tag + std::string("guarded-by(").size();
+    const std::size_t name_end = comment.find(')', name_begin);
+    if (name_end == std::string::npos) continue;
+    const std::string mutex =
+        Trimmed(comment.substr(name_begin, name_end - name_begin));
+    if (mutex.empty()) continue;
+    GuardedGlobal g;
+    g.mutex = mutex;
+    g.name = DeclaredNameOn(file, line, &g.decl_line);
+    if (!g.name.empty()) globals.push_back(std::move(g));
+  }
+  return globals;
+}
+
+}  // namespace
+
+void CheckGuardedBy(const SourceFile& file, std::vector<Diagnostic>* out) {
+  const std::vector<GuardedGlobal> globals = FindGuardedGlobals(file);
+  if (globals.empty()) return;
+
+  const std::vector<Token> toks = LexTokens(file.code());
+  ScopeWalker walker(toks);
+  walker.Walk([&](std::size_t i, const ScopeContext& ctx) {
+    if (toks[i].kind != Token::Kind::kIdent) return;
+    for (const GuardedGlobal& g : globals) {
+      if (toks[i].text != g.name) continue;
+      const int line = file.LineAt(toks[i].offset);
+      if (line == g.decl_line) continue;  // the declaration itself
+      // `x.name` / `x->name` / `X::name` is some other entity's member.
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                    toks[i - 1].text == "::")) {
+        continue;
+      }
+      if (ctx.held_mutexes.count(g.mutex) != 0) continue;
+      Emit(file, toks[i].offset, "guarded-by",
+           "access to '" + g.name + "' outside a scope holding '" + g.mutex +
+               "' (declared guarded-by(" + g.mutex +
+               ")); take a lock_guard first",
+           out);
+    }
+  });
+}
+
+// -- modeled-time (taint) ---------------------------------------------
+
+namespace {
+
+/// Host-timing call names: assignment from any of these taints the LHS.
+bool IsHostTimeSource(std::string_view name) {
+  return name == "TimeHostMs" || name == "TimeHostMedianMs" ||
+         name == "ElapsedMs" || name == "ElapsedHostMs";
+}
+
+bool IsComparisonOp(std::string_view t) {
+  return t == "<" || t == ">" || t == "<=" || t == ">=";
+}
+
+bool ContainsBudgetName(std::string_view ident) {
+  return ident.find("budget") != std::string_view::npos ||
+         ident.find("deadline") != std::string_view::npos;
+}
+
+/// Base identifier of the assignment target: for `a.b.c +=` that is
+/// `a`; for a plain `x =` it is `x`. Returns "" when the LHS is not an
+/// identifier chain (e.g. `arr[i] =`).
+std::string LhsBaseIdent(const std::vector<Token>& toks, const Statement& s,
+                         std::size_t assign) {
+  std::size_t i = assign;
+  std::string base;
+  while (i > s.begin) {
+    --i;
+    if (toks[i].kind == Token::Kind::kIdent) {
+      base = std::string(toks[i].text);
+      if (i == s.begin) break;
+      const std::string_view prev = toks[i - 1].text;
+      if (prev == "." || prev == "->" || prev == "::") {
+        --i;  // continue through the chain
+        continue;
+      }
+      break;
+    }
+    if (toks[i].text == ")" || toks[i].text == "]") {
+      const std::size_t open = MatchBackward(toks, i);
+      if (open == toks.size() || open <= s.begin) return "";
+      i = open;
+      continue;
+    }
+    return "";
+  }
+  return base;
+}
+
+/// Immediate identifier before the assignment op (the declared/assigned
+/// variable itself, not the chain base).
+std::string LhsDirectIdent(const std::vector<Token>& toks, const Statement& s,
+                           std::size_t assign) {
+  if (assign == s.begin) return "";
+  const Token& t = toks[assign - 1];
+  return t.kind == Token::Kind::kIdent ? std::string(t.text) : "";
+}
+
+}  // namespace
+
+void CheckModeledTime(const SourceFile& file, std::vector<Diagnostic>* out) {
+  const std::string& code = file.code();
+  // Cheap pre-filter: files with no host-timing call need no analysis.
+  if (code.find("TimeHostM") == std::string::npos &&
+      code.find("ElapsedMs") == std::string::npos &&
+      code.find("ElapsedHostMs") == std::string::npos) {
+    return;
+  }
+  const std::vector<Token> toks = LexTokens(code);
+  const std::vector<Statement> stmts = SplitStatements(toks);
+
+  // Accumulator sinks: every `proto_ms`, plus variables declared on a
+  // line annotated "// lint: modeled-time".
+  std::set<std::string> accumulators = {"proto_ms"};
+  for (int line = 1; line <= file.line_count(); ++line) {
+    const std::string& comment = file.CommentOn(line);
+    const std::size_t tag = comment.find("modeled-time");
+    if (tag == std::string::npos) continue;
+    if (comment.rfind("lint:", tag) == std::string::npos) continue;
+    int decl_line = 0;
+    const std::string name = DeclaredNameOn(file, line, &decl_line);
+    if (!name.empty()) accumulators.insert(name);
+  }
+
+  // Sink functions: lambdas bound to a name whose body writes an
+  // accumulator (`auto charge = [&](Millis ms) { proto_ms += ms; };`).
+  // Passing a tainted value to one launders host time into modeled
+  // time. Statement splitting cuts at the lambda's top-level '{', so
+  // this scan matches `name = [` on the raw token stream and walks the
+  // brace-matched body instead.
+  std::set<std::string> sink_fns;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i + 1].text != "=" ||
+        toks[i + 2].text != "[") {
+      continue;
+    }
+    std::size_t j = MatchForward(toks, i + 2);  // end of capture list
+    if (j == toks.size()) continue;
+    ++j;
+    if (j < toks.size() && toks[j].text == "(") {
+      j = MatchForward(toks, j);
+      if (j == toks.size()) continue;
+      ++j;
+    }
+    // Skip a trailing-return-type spelling until the body brace.
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    const std::size_t close = MatchForward(toks, j);
+    if (close == toks.size()) continue;
+    for (std::size_t k = j + 1; k + 1 < close; ++k) {
+      if (toks[k].kind == Token::Kind::kIdent &&
+          accumulators.count(std::string(toks[k].text)) != 0 &&
+          (toks[k + 1].text == "+=" || toks[k + 1].text == "=" ||
+           toks[k + 1].text == "-=")) {
+        sink_fns.insert(std::string(toks[i].text));
+        break;
+      }
+    }
+  }
+
+  // Taint fixpoint over assignment chains: LHS becomes tainted when the
+  // RHS mentions a host-time source call or an already-tainted name.
+  std::set<std::string> tainted;
+  auto range_tainted = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      if (i > begin && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+        continue;  // member names don't carry taint, their base does
+      }
+      if (IsHostTimeSource(toks[i].text) && i + 1 < end &&
+          toks[i + 1].text == "(") {
+        return true;
+      }
+      if (tainted.count(std::string(toks[i].text)) != 0) return true;
+    }
+    return false;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const Statement& s : stmts) {
+      const std::size_t assign = TopLevelAssignToken(toks, s);
+      if (assign == s.end) continue;
+      const std::string lhs = LhsDirectIdent(toks, s, assign);
+      if (lhs.empty() || tainted.count(lhs) != 0) continue;
+      if (range_tainted(assign + 1, s.end)) {
+        tainted.insert(lhs);
+        changed = true;
+      }
+    }
+  }
+
+  // SessionRecord-typed locals: writes to their fields are sinks.
+  std::set<std::string> record_vars;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent &&
+        toks[i].text == "SessionRecord" &&
+        toks[i + 1].kind == Token::Kind::kIdent) {
+      record_vars.insert(std::string(toks[i + 1].text));
+    }
+  }
+
+  auto diagnose = [&](std::size_t offset, const std::string& what) {
+    Emit(file, offset, "modeled-time",
+         what + "; modeled time must stay a pure function of the seed "
+                "(docs/robustness.md), keep host measurements in metrics "
+                "and latency reports only",
+         out);
+  };
+
+  for (const Statement& s : stmts) {
+    const std::size_t assign = TopLevelAssignToken(toks, s);
+    if (assign != s.end) {
+      const std::string direct = LhsDirectIdent(toks, s, assign);
+      const std::string base = LhsBaseIdent(toks, s, assign);
+      const bool rhs_tainted = range_tainted(assign + 1, s.end);
+      if (rhs_tainted && accumulators.count(direct) != 0) {
+        diagnose(toks[assign].offset,
+                 "host-timed value flows into modeled-time accumulator '" +
+                     direct + "'");
+        continue;
+      }
+      if (rhs_tainted && record_vars.count(base) != 0 && base != direct) {
+        diagnose(toks[assign].offset,
+                 "host-timed value flows into SessionRecord field of '" +
+                     base + "'");
+        continue;
+      }
+    }
+
+    // Calls to accumulator-writing functions with a tainted argument.
+    for (std::size_t i = s.begin; i + 1 < s.end; ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      if (sink_fns.count(std::string(toks[i].text)) == 0) continue;
+      if (toks[i + 1].text != "(") continue;
+      const std::size_t close = MatchForward(toks, i + 1);
+      if (close == toks.size()) continue;
+      if (range_tainted(i + 2, close)) {
+        diagnose(toks[i].offset,
+                 "host-timed value passed to '" + std::string(toks[i].text) +
+                     "', which writes a modeled-time accumulator");
+      }
+    }
+
+    // Budget comparisons: tainted operand on one side of </>/<=/>= and
+    // a *budget*/*deadline* identifier on the other.
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      if (!IsComparisonOp(toks[i].text)) continue;
+      auto side_has_budget = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          if (toks[j].kind == Token::Kind::kIdent &&
+              ContainsBudgetName(toks[j].text)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      const bool left_taint = range_tainted(s.begin, i);
+      const bool right_taint = range_tainted(i + 1, s.end);
+      if ((left_taint && side_has_budget(i + 1, s.end)) ||
+          (right_taint && side_has_budget(s.begin, i))) {
+        diagnose(toks[i].offset,
+                 "host-timed value compared against a stage budget/deadline");
+        break;
+      }
+    }
+
+    // WL_* metric tagged "modeled" observing a tainted value.
+    for (std::size_t i = s.begin; i + 1 < s.end; ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      const std::string_view name = toks[i].text;
+      if (name != "WL_HIST" && name != "WL_SERIES" &&
+          name != "WL_GAUGE_SET" && name != "WL_COUNT_N") {
+        continue;
+      }
+      if (toks[i + 1].text != "(") continue;
+      const std::size_t close = MatchForward(toks, i + 1);
+      if (close == toks.size()) continue;
+      // First argument is a string literal; its body is blanked in
+      // code(), so read it back from content() between the quotes.
+      std::size_t q1 = std::string::npos, q2 = std::string::npos;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (toks[j].text == "\"") {
+          if (q1 == std::string::npos) {
+            q1 = toks[j].offset;
+          } else {
+            q2 = toks[j].offset;
+            break;
+          }
+        }
+      }
+      if (q1 == std::string::npos || q2 == std::string::npos) continue;
+      const std::string metric =
+          file.content().substr(q1 + 1, q2 - q1 - 1);
+      if (metric.find("modeled") == std::string::npos) continue;
+      if (range_tainted(i + 2, close)) {
+        diagnose(toks[i].offset, "host-timed value observed into metric '" +
+                                     metric + "' tagged as modeled");
+      }
+    }
+  }
+}
+
+// -- slot-ownership ---------------------------------------------------
+
+void CheckSlotOwnership(const SourceFile& file, const SlotManifest& manifest,
+                        std::vector<Diagnostic>* out) {
+  const std::string& code = file.code();
+  if (code.find("Slot::") == std::string::npos) return;
+
+  const std::vector<Token> toks = LexTokens(code);
+  ScopeWalker walker(toks);
+  walker.Walk([&](std::size_t i, const ScopeContext& ctx) {
+    if (toks[i].kind != Token::Kind::kIdent) return;
+    if (toks[i].text != "CSlot" && toks[i].text != "RSlot") return;
+    if (i + 2 >= toks.size() || toks[i + 1].text != "::" ||
+        toks[i + 2].kind != Token::Kind::kIdent) {
+      return;
+    }
+    const std::string slot =
+        std::string(toks[i].text) + "::" + std::string(toks[i + 2].text);
+    const auto it = manifest.find(slot);
+    if (it == manifest.end()) {
+      Emit(file, toks[i].offset, "slot-ownership",
+           "'" + slot + "' is not in the slot ownership manifest "
+           "(tools/lint/slot_owners.txt); every slot needs one documented "
+           "owner",
+           out);
+      return;
+    }
+    if (it->second.count("*") != 0) return;
+    const std::string where =
+        ctx.function.empty() ? "(file scope)" : ctx.function;
+    if (it->second.count(ctx.function) != 0) return;
+    std::string owners;
+    for (const std::string& o : it->second) {
+      if (!owners.empty()) owners += ", ";
+      owners += o;
+    }
+    Emit(file, toks[i].offset, "slot-ownership",
+         "'" + slot + "' referenced from '" + where +
+             "' but owned by: " + owners +
+             " (one owner per slot keeps scratch from aliasing; see "
+             "docs/perf.md)",
+         out);
+  });
+}
+
+// -- discarded-outcome ------------------------------------------------
+
+namespace {
+
+/// APIs whose return value carries the outcome. `qualifier` (when
+/// non-empty) must appear as `qualifier::name` at the call site, so
+/// generic names like Parse only match their intended owner.
+struct OutcomeApi {
+  const char* qualifier;
+  const char* name;
+};
+constexpr OutcomeApi kOutcomeApis[] = {
+    {"", "TrySendMessageDelay"},
+    {"", "TrySendFileDelay"},
+    {"", "TrySendRoundTrip"},
+    {"FaultPlan", "Parse"},
+};
+
+}  // namespace
+
+void CheckDiscardedOutcome(const SourceFile& file,
+                           std::vector<Diagnostic>* out) {
+  const std::vector<Token> toks = LexTokens(file.code());
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const OutcomeApi* api = nullptr;
+    for (const OutcomeApi& candidate : kOutcomeApis) {
+      if (toks[i].text != candidate.name) continue;
+      if (candidate.qualifier[0] != '\0') {
+        if (i < 2 || toks[i - 1].text != "::" ||
+            toks[i - 2].text != candidate.qualifier) {
+          continue;
+        }
+      }
+      api = &candidate;
+      break;
+    }
+    if (api == nullptr) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+
+    // The full expression must be a statement, and the call its tail:
+    // walk back across the receiver chain (obj.x->y::z), then require a
+    // statement boundary before it and a ';' right after the call.
+    std::size_t start = i;
+    while (start > 0) {
+      const std::string_view prev = toks[start - 1].text;
+      if (prev == "." || prev == "->" || prev == "::") {
+        if (start < 2) break;
+        const Token& recv = toks[start - 2];
+        if (recv.kind == Token::Kind::kIdent) {
+          start -= 2;
+          continue;
+        }
+        if (recv.text == ")" || recv.text == "]") {
+          const std::size_t open = MatchBackward(toks, start - 2);
+          if (open == toks.size() || open == 0 ||
+              toks[open - 1].kind != Token::Kind::kIdent) {
+            break;
+          }
+          start = open - 1;
+          continue;
+        }
+      }
+      break;
+    }
+    const std::size_t close = MatchForward(toks, i + 1);
+    if (close == toks.size() || close + 1 >= toks.size() ||
+        toks[close + 1].text != ";") {
+      continue;  // value is consumed (or at least inspected)
+    }
+    bool statement_start = start == 0;
+    if (start > 0) {
+      const std::string_view pre = toks[start - 1].text;
+      statement_start = pre == ";" || pre == "{" || pre == "}" ||
+                        pre == ")" || pre == "else" || pre == "do";
+      // `(void)expr;` is an explicit discard - visible and greppable.
+      if (pre == ")" && start >= 3 && toks[start - 2].text == "void" &&
+          toks[start - 3].text == "(") {
+        statement_start = false;
+      }
+    }
+    if (!statement_start) continue;
+    Emit(file, toks[i].offset, "discarded-outcome",
+         "outcome of '" + std::string(toks[i].text) +
+             "' is discarded; consume the result (or cast to (void) for "
+             "an explicit discard)",
+         out);
+  }
+}
+
 // -- layer-dag --------------------------------------------------------
 
 namespace {
@@ -660,11 +1187,16 @@ void CheckLayerDag(const std::vector<SourceFile>& files,
       if (inc.angled) continue;  // system headers are out of scope
       const std::size_t slash = inc.path.find('/');
       if (slash == std::string::npos) {
-        out->push_back(
-            {f.path(), inc.line, "layer-dag",
-             "include \"" + inc.path + "\" is not rooted at src/ (write \"" +
-                 (layer.empty() ? std::string("<layer>") : layer) + "/" +
-                 inc.path + "\")"});
+        // Only library code must root its includes at src/; tests,
+        // benches and tools legitimately include siblings by filename
+        // ("bench_util.h", "lint.h").
+        if (IsLibraryFile(f)) {
+          out->push_back(
+              {f.path(), inc.line, "layer-dag",
+               "include \"" + inc.path + "\" is not rooted at src/ (write \"" +
+                   (layer.empty() ? std::string("<layer>") : layer) + "/" +
+                   inc.path + "\")"});
+        }
         continue;
       }
       const std::string target = inc.path.substr(0, slash);

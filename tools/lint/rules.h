@@ -8,6 +8,8 @@
 // dispatch in RunLint().
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,45 @@ void CheckSharedState(const SourceFile& file, std::vector<Diagnostic>* out);
 /// dsp::Workspace slots and cached dsp::FftPlan tables instead).
 /// Suppress an intentional cold branch with NOLINT(hot-path-alloc).
 void CheckHotPathAlloc(const SourceFile& file, std::vector<Diagnostic>* out);
+
+// -- Flow-aware (use-site) rules --------------------------------------
+// These run on the token stream + scope walker in analysis.h rather
+// than on raw line matches: they know which function a token is in and
+// which mutexes the enclosing scopes hold.
+
+/// guarded-by: every use of a global annotated
+/// "// lint: guarded-by(<mutex>)" must occur inside a scope that holds
+/// <mutex> via a lock_guard/scoped_lock/unique_lock/shared_lock. The
+/// shared-state rule demands the annotation exist; this rule makes it
+/// mean something at every access site.
+void CheckGuardedBy(const SourceFile& file, std::vector<Diagnostic>* out);
+
+/// modeled-time: file-local assignment-chain taint from host-timing
+/// sources (TimeHostMs/TimeHostMedianMs/HostTimer::ElapsedMs/
+/// ElapsedHostMs). Tainted values may not reach the modeled-time
+/// surfaces that must stay bit-identical across thread counts:
+/// `proto_ms`-style accumulators (any variable named proto_ms or
+/// annotated "// lint: modeled-time"), functions that write such an
+/// accumulator (e.g. the `charge` lambda), comparisons against
+/// *budget*/*deadline* identifiers, obs::SessionRecord field writes,
+/// and WL_* metrics whose name contains "modeled".
+void CheckModeledTime(const SourceFile& file, std::vector<Diagnostic>* out);
+
+/// slot-ownership: "CSlot::kX" / "RSlot::kY" may be referenced only
+/// from the slot's documented owner function(s), per the checked-in
+/// manifest (tools/lint/slot_owners.txt). An owner of "*" allows any
+/// context; a slot missing from the manifest is itself a finding.
+using SlotManifest = std::map<std::string, std::set<std::string>>;
+void CheckSlotOwnership(const SourceFile& file, const SlotManifest& manifest,
+                        std::vector<Diagnostic>* out);
+
+/// discarded-outcome: calling an outcome-returning API (WirelessLink
+/// TrySend*, FaultPlan::Parse, ...) as a bare expression statement
+/// throws the outcome away - the exact bug [[nodiscard]] catches at
+/// compile time, enforced here for un-compiled contexts too. A
+/// `(void)` cast is an explicit, visible discard and passes.
+void CheckDiscardedOutcome(const SourceFile& file,
+                           std::vector<Diagnostic>* out);
 
 // -- Project-level rule -----------------------------------------------
 
