@@ -54,6 +54,15 @@ std::string Fmt(double value, int precision) {
   return oss.str();
 }
 
+std::string Cat(std::initializer_list<std::string_view> parts) {
+  std::string out;
+  std::size_t total = 0;
+  for (std::string_view part : parts) total += part.size();
+  out.reserve(total);
+  for (std::string_view part : parts) out.append(part);
+  return out;
+}
+
 void Banner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dsp/stats.h"
@@ -32,6 +34,12 @@ dsp::Summary SeriesSummary(const obs::MetricsRegistry& registry,
 
 /// Format a double with the given precision.
 std::string Fmt(double value, int precision = 3);
+
+/// Concatenate parts piecewise. Cell text that starts with a string
+/// literal (`"[" + Fmt(...) + ...`) goes through operator+'s insert
+/// path, which trips GCC 12's -Wrestrict false positive at -O3; this
+/// reserves once and appends instead.
+std::string Cat(std::initializer_list<std::string_view> parts);
 
 /// Section banner for bench output.
 void Banner(const std::string& title);

@@ -95,8 +95,8 @@ int main(int argc, char** argv) {
             : bench::Fmt(total->second.Quantile(0.50), 0) + " / " +
                   bench::Fmt(total->second.Quantile(0.99), 0);
     rows.push_back({bench::Fmt(drops[row], 2), bench::Fmt(unlock.rate, 3),
-                    "[" + bench::Fmt(unlock.low, 3) + ", " +
-                        bench::Fmt(unlock.high, 3) + "]",
+                    bench::Cat({"[", bench::Fmt(unlock.low, 3), ", ",
+                                bench::Fmt(unlock.high, 3), "]"}),
                     bench::Fmt(static_cast<double>(cohort.fault_events) /
                                    static_cast<double>(cohort.sessions),
                                1),

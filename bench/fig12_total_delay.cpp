@@ -90,8 +90,8 @@ int main(int argc, char** argv) {
       p99 = bench::Fmt(total->second.Quantile(0.99), 0);
     }
     cohort_rows.push_back({key, bench::Fmt(unlock.rate, 3),
-                           "[" + bench::Fmt(unlock.low, 3) + ", " +
-                               bench::Fmt(unlock.high, 3) + "]",
+                           bench::Cat({"[", bench::Fmt(unlock.low, 3), ", ",
+                                       bench::Fmt(unlock.high, 3), "]"}),
                            p50, p90, p99});
   }
   bench::PrintTable({"cohort", "unlock", "95% CI", "p50(ms)", "p90(ms)",

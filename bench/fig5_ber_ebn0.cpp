@@ -155,7 +155,9 @@ int main(int argc, char** argv) {
     }
   }
   std::vector<std::string> full_header = {"Modulation"};
-  for (double n : noise_spls) full_header.push_back("n" + bench::Fmt(n, 0));
+  for (double n : noise_spls) {
+    full_header.push_back(bench::Cat({"n", bench::Fmt(n, 0)}));
+  }
   bench::PrintTable(full_header, rows);
 
   std::printf(

@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> header = {"distance(m)"};
   for (double c : constraints) {
-    header.push_back("MaxBER=" + bench::Fmt(c, 2));
+    header.push_back(bench::Cat({"MaxBER=", bench::Fmt(c, 2)}));
   }
 
   bench::SweepRunner runner(options);

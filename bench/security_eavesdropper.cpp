@@ -1,22 +1,36 @@
-// Security margin: legitimate receiver vs. eavesdropper BER.
+// Security margin: what an eavesdropper actually recovers, by distance
+// and microphone quality.
 //
 // The paper's §VI adaptive-modulation argument: choosing the highest
 // mode the *legitimate* receiver supports "guarantees that an
 // eavesdropper located nearby will have a larger BER since a higher
 // order modulation is more vulnerable to noise and interference". This
-// bench puts a full-band eavesdropper at increasing distances while the
-// watch unlocks at 30 cm, and compares what each side can decode of the
-// same Phase-2 emission.
+// bench drives the real EavesdropAgent (attack_agents.h) - tap the
+// Phase-2 emission at range, run it through the full demod chain, judge
+// the decoded bits against a token oracle - instead of a raw
+// BER-at-distance shortcut, and routes every attacked session through
+// SessionRecord -> TelemetrySink so the recovery rates come back out of
+// the same cohort aggregates a fleet campaign reads.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "audio/scene.h"
 #include "bench_util.h"
-#include "modem/modem.h"
-#include "modem/snr.h"
-#include "sim/rng.h"
+#include "obs/rollup.h"
+#include "protocol/attack_agents.h"
+#include "protocol/session.h"
+#include "sim/adversary.h"
 
 namespace {
 using namespace wearlock;
+
+struct CellResult {
+  std::string cohort_key;
+  std::vector<obs::SessionRecord> records;
+  double ber_sum = 0.0;
+  int victim_unlocks = 0;
+  int trials = 0;
+};
 
 }  // namespace
 
@@ -24,68 +38,74 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options =
       bench::ParseBenchArgs(argc, argv, /*base_seed=*/2718);
   const int kRounds = options.Rounds(10);
-  bench::Banner("Security: legitimate vs eavesdropper BER on the same "
-                "emission (office)");
+  bench::Banner(
+      "Security: eavesdropper token recovery vs. distance and mic gain");
 
-  sim::Rng rng(2718);
-  modem::AcousticModem modem;
+  const std::vector<double> distances =
+      options.Trim(std::vector<double>{0.5, 1.0, 1.5, 2.0, 3.0, 4.0});
+  // Bare smartphone mic vs. a 20 dB directional rig.
+  const std::vector<double> gains{0.0, 20.0};
 
-  audio::SceneConfig sc;
-  sc.distance_m = 0.3;
-  sc.environment = audio::Environment::kOffice;
-  audio::TwoMicScene scene(sc, rng.Fork());
+  bench::SweepRunner runner(options);
+  const auto cells = runner.RunGrid(
+      distances.size(), gains.size(),
+      [&](const sim::ParallelExecutor::GridPoint& point, sim::Rng&) {
+        const std::string spec_str = bench::Cat(
+            {"eavesdrop@", bench::Fmt(distances[point.row], 1), ":gain=",
+             bench::Fmt(gains[point.col], 0)});
+        const sim::AttackSpec spec = sim::AttackSpec::Parse(spec_str);
+        CellResult cell;
+        for (int r = 0; r < kRounds; ++r) {
+          protocol::ScenarioConfig c = protocol::ScenarioConfig::Config1();
+          c.seed = options.base_seed + point.index * 1000 + r;
+          const protocol::AttackReport rep =
+              protocol::RunAttackScenario(c, spec);
+          cell.records.insert(cell.records.end(), rep.records.begin(),
+                              rep.records.end());
+          cell.ber_sum += rep.attacker_token_ber;
+          cell.victim_unlocks += rep.victim_unlocked ? 1 : 0;
+          ++cell.trials;
+        }
+        cell.cohort_key = obs::DefaultCohortKey(cell.records.front());
+        return cell;
+      });
 
-  // Volume per the probing rule (secure range 1 m).
-  const double volume = sc.phone_speaker.VolumeForSpl(
-      modem::ProbeTxSpl(45.0, 18.0, 1.0, 0.1) + 15.0);
-
-  // Adaptive mode from a real probe.
-  const auto probe_rx = scene.TransmitFromPhone(modem.MakeProbeFrame().samples,
-                                                volume);
-  const auto probe = modem.AnalyzeProbe(probe_rx.watch_recording);
-  if (!probe) {
-    std::printf("probe lost\n");
-    return 1;
+  // Recovery rates come from the telemetry rollup, not a side tally:
+  // eavesdrop records score token recovery as the attacker's win.
+  obs::TelemetrySink sink;
+  for (const CellResult& cell : cells) {
+    for (const obs::SessionRecord& rec : cell.records) sink.Ingest(rec);
   }
-  const auto mode = modem::SelectModeFromSnr(modem.spec(), probe->pilot_snr_db);
-  if (!mode) {
-    std::printf("no mode fits\n");
-    return 1;
-  }
-  std::printf("adaptive mode for the 0.3 m watch: %s (pilot SNR %.1f dB)\n\n",
-              ToString(*mode).c_str(), probe->pilot_snr_db);
 
   std::vector<std::vector<std::string>> rows;
-  const std::vector<double> eaves_distances =
-      options.Trim(std::vector<double>{0.5, 1.0, 1.5, 2.0, 3.0});
-  for (double eaves_d : eaves_distances) {
-    std::size_t legit_err = 0, eaves_err = 0, total = 0;
-    for (int r = 0; r < kRounds; ++r) {
-      std::vector<std::uint8_t> bits(96);
-      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
-      const auto tx = modem.Modulate(*mode, bits);
-      const auto rx = scene.TransmitFromPhone(tx.samples, volume);
-      const audio::Samples ear = scene.RecordAtDistance(
-          tx.samples, volume, eaves_d, audio::PropagationSpec::IndoorLos());
-
-      const auto legit = modem.Demodulate(rx.watch_recording, *mode, bits.size());
-      const auto eaves = modem.Demodulate(ear, *mode, bits.size());
-      legit_err += legit ? modem::CountBitErrors(legit->bits, bits)
-                         : bits.size() / 2;
-      eaves_err += eaves ? modem::CountBitErrors(eaves->bits, bits)
-                         : bits.size() / 2;
-      total += bits.size();
+  int victim_unlocks = 0, victim_trials = 0;
+  for (std::size_t d = 0; d < distances.size(); ++d) {
+    std::vector<std::string> row{bench::Fmt(distances[d], 1)};
+    for (std::size_t g = 0; g < gains.size(); ++g) {
+      const CellResult& cell = cells[d * gains.size() + g];
+      const auto& cohort = sink.cohorts().at(cell.cohort_key);
+      const obs::WilsonInterval ci = cohort.FalseAcceptRate();
+      row.push_back(bench::Fmt(ci.rate, 2) + " [" + bench::Fmt(ci.low, 2) +
+                    "," + bench::Fmt(ci.high, 2) + "]");
+      row.push_back(bench::Fmt(cell.ber_sum / cell.trials, 3));
+      victim_unlocks += cell.victim_unlocks;
+      victim_trials += cell.trials;
     }
-    rows.push_back({bench::Fmt(eaves_d, 1),
-                    bench::Fmt(static_cast<double>(legit_err) / total, 4),
-                    bench::Fmt(static_cast<double>(eaves_err) / total, 4)});
+    rows.push_back(std::move(row));
   }
-  bench::PrintTable({"eavesdropper distance(m)", "legit BER (0.3 m)",
-                     "eavesdropper BER"},
+  bench::PrintTable({"distance(m)", "bare mic recovery [CI]", "bare BER",
+                     "+20dB rig recovery [CI]", "+20dB BER"},
                     rows);
+
   std::printf(
-      "\nPaper shape: the legitimate receiver decodes cleanly while the\n"
-      "eavesdropper's BER climbs with distance; past the secure range the\n"
-      "captured token is too corrupted to replay within any BER bound.\n");
+      "\nvictim unlocked normally in %d/%d attacked sessions (the listener\n"
+      "never perturbs the legitimate channel)\n",
+      victim_unlocks, victim_trials);
+  std::printf(
+      "\nPaper shape: a bare mic's recovery decays with distance as the\n"
+      "adaptive mode outruns its SNR; a directional rig keeps decoding\n"
+      "further out. Neither matters to the unlock decision - the recovered\n"
+      "token is already burned (HOTP freshness), which is why the matrix\n"
+      "pins zero false unlocks even where recovery succeeds.\n");
   return 0;
 }

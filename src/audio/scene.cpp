@@ -97,11 +97,13 @@ std::pair<Samples, Samples> TwoMicScene::RecordAmbientPair(std::size_t n) {
 
 Samples TwoMicScene::RecordAtDistance(const Samples& signal, double volume,
                                       double eavesdropper_distance_m,
-                                      const PropagationSpec& path) {
+                                      const PropagationSpec& path,
+                                      double gain_db) {
   const Samples emitted = config_.phone_speaker.Emit(signal, volume);
   PropagationModel prop(path);
   Samples at_ear =
       ApplyPhaseJitter(prop.Propagate(emitted, eavesdropper_distance_m));
+  if (gain_db != 0.0) Scale(at_ear, std::pow(10.0, gain_db / 20.0));
   const std::size_t total =
       config_.lead_in_samples + at_ear.size() + config_.lead_out_samples;
   Samples pressure = IndependentAmbient(total);

@@ -62,10 +62,13 @@ class TwoMicScene {
 
   /// What a third microphone at `distance_m` (with its own propagation
   /// spec) would capture of the same transmission - the eavesdropper /
-  /// co-located-attacker view. Independent ambient mix-in.
+  /// co-located-attacker view. Independent ambient mix-in. `gain_db`
+  /// models directional (parabolic/shotgun) gear: on-axis signal is
+  /// boosted relative to the diffuse ambient and the mic's self-noise,
+  /// the attacker-generous worst case.
   Samples RecordAtDistance(const Samples& signal, double volume,
                            double eavesdropper_distance_m,
-                           const PropagationSpec& path);
+                           const PropagationSpec& path, double gain_db = 0.0);
 
   void set_distance(double distance_m) { config_.distance_m = distance_m; }
   void set_propagation(const PropagationSpec& spec);

@@ -324,7 +324,12 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
 
 void MetricsSnapshot::WriteJson(std::ostream& os) const {
   auto key = [](const std::string& name) {
-    return "\"" + JsonEscape(name) + "\":";
+    // Built piecewise: a `"x" + str + "y"` concatenation chain trips
+    // GCC 12's -Wrestrict false positive at -O2 under -Werror.
+    std::string k(1, '"');
+    k += JsonEscape(name);
+    k += "\":";
+    return k;
   };
   // IEEE-754 total order: a canonical sort that distinguishes -0.0
   // from 0.0 and places NaNs deterministically, so merged series

@@ -6,13 +6,21 @@ namespace wearlock::obs {
 
 std::string SessionRecord::ToJsonl() const {
   std::ostringstream os;
-  auto str = [](const std::string& s) { return "\"" + JsonEscape(s) + "\""; };
+  // Built piecewise: the `"\"" + JsonEscape(s) + "\""` chain trips
+  // GCC 12's -Wrestrict false positive at -O2.
+  auto str = [](const std::string& s) {
+    std::string quoted(1, '"');
+    quoted += JsonEscape(s);
+    quoted += '"';
+    return quoted;
+  };
   os << "{\"schema\":" << str(kSessionRecordSchema)
      << ",\"seed\":" << seed
      << ",\"config\":" << str(config)
      << ",\"environment\":" << str(environment)
      << ",\"distance_m\":" << JsonNumber(distance_m)
      << ",\"fault_spec\":" << str(fault_spec)
+     << ",\"attack_spec\":" << str(attack_spec)
      << ",\"activity\":" << str(activity)
      << ",\"same_body\":" << (same_body ? "true" : "false")
      << ",\"outcome\":" << str(outcome)
@@ -68,6 +76,7 @@ std::optional<SessionRecord> SessionRecord::FromJson(const JsonValue& v,
   r.environment = str("environment");
   r.distance_m = num("distance_m", 0.0);
   r.fault_spec = str("fault_spec");
+  r.attack_spec = str("attack_spec");
   r.activity = str("activity");
   r.same_body = flag("same_body", true);
   r.outcome = str("outcome");

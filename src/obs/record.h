@@ -29,6 +29,7 @@ struct SessionRecord {
   std::string environment;  ///< ambient class, e.g. "Quiet Room"
   double distance_m = 0.0;  ///< phone -> watch distance
   std::string fault_spec;   ///< CLI fault grammar, "" when fault-free
+  std::string attack_spec;  ///< CLI attack grammar, "" when unattacked
   std::string activity;     ///< user activity during the attempt
   bool same_body = true;    ///< devices on the same person?
 

@@ -30,8 +30,13 @@ std::string DefaultCohortKey(const SessionRecord& record) {
       std::floor(std::max(0.0, record.distance_m) / kBin) * kBin;
   char dist[40];
   std::snprintf(dist, sizeof(dist), "%.2f-%.2f", lo, lo + kBin);
-  return "config=" + record.config + ";dist=" + dist +
-         ";env=" + record.environment + ";faults=" + record.fault_spec;
+  std::string key = "config=" + record.config + ";dist=" + dist +
+                    ";env=" + record.environment +
+                    ";faults=" + record.fault_spec;
+  // The attack axis only appears when armed, so unattacked cohorts keep
+  // their historical keys (the committed golden rollup pins them).
+  if (!record.attack_spec.empty()) key += ";attack=" + record.attack_spec;
+  return key;
 }
 
 void TelemetrySink::Cohort::Merge(const Cohort& other) {
@@ -128,7 +133,14 @@ void TelemetrySink::Merge(const TelemetrySink& other) {
 }
 
 void TelemetrySink::WriteJson(std::ostream& os) const {
-  auto str = [](const std::string& s) { return "\"" + JsonEscape(s) + "\""; };
+  // Built piecewise: the `"\"" + JsonEscape(s) + "\""` chain trips
+  // GCC 12's -Wrestrict false positive at -O2.
+  auto str = [](const std::string& s) {
+    std::string quoted(1, '"');
+    quoted += JsonEscape(s);
+    quoted += '"';
+    return quoted;
+  };
   auto interval = [&os](const char* name, const WilsonInterval& w) {
     os << "\"" << name << "\":{\"rate\":" << JsonNumber(w.rate)
        << ",\"low\":" << JsonNumber(w.low)

@@ -42,6 +42,8 @@ WilsonInterval WilsonScore(std::uint64_t successes, std::uint64_t trials,
 
 /// Default cohort key, the grammar docs/observability.md documents:
 ///   config=<label>;dist=<lo>-<hi>;env=<environment>;faults=<spec>
+/// with ";attack=<spec>" appended only for attacked sessions, so
+/// unattacked cohorts keep their historical keys.
 /// Distances bin at 0.25 m ("0.25-0.50" covers [0.25, 0.50)); the
 /// fault spec rides verbatim (it may contain commas, hence the
 /// semicolon separators). Axes the key omits (activity, same_body)

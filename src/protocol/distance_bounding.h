@@ -12,11 +12,25 @@
 // NTP-style exchange over the link), modeled as Gaussian skew.
 #pragma once
 
+#include <functional>
+
 #include "audio/scene.h"
 #include "modem/frame.h"
 #include "sim/rng.h"
 
 namespace wearlock::protocol {
+
+/// A live splice on the phone->watch acoustic path: given the emitted
+/// waveform and the transmit volume, returns what the watch's mic
+/// captures instead of the scene's direct rendering - the relay
+/// attacker's hook (attack_agents.h). The splice owns alignment: the
+/// scene convention that emission time zero sits at
+/// `scene.config().lead_in_samples` is preserved, so any path or
+/// handling latency the attacker adds lands as a *later* signal offset
+/// in the returned capture - exactly what the ranging below measures.
+using AcousticSplice =
+    std::function<audio::Samples(const audio::Samples& emission,
+                                 double volume)>;
 
 struct RangingConfig {
   /// Stddev of the phone-watch clock synchronization error (ms). 0.3 ms
@@ -37,11 +51,15 @@ struct RangingResult {
 
 /// One ranging round against a scene. `relay_delay_ms` injects the extra
 /// latency a live relay adds (capture, transport, re-emission); 0 for
-/// the legitimate case.
+/// the legitimate case. When `splice` is non-null (and non-empty), the
+/// chirp reaches the watch through it instead of the scene - any delay
+/// the splice embeds shows up in the arrival offset on top of
+/// relay_delay_ms.
 RangingResult AcousticRange(audio::TwoMicScene& scene,
                             const modem::FrameSpec& frame_spec, double volume,
                             sim::Rng& rng, const RangingConfig& config = {},
-                            double relay_delay_ms = 0.0);
+                            double relay_delay_ms = 0.0,
+                            const AcousticSplice* splice = nullptr);
 
 /// Multi-round ranging: median of `rounds` estimates (robust to single
 /// outliers), with the same bound check.
@@ -49,6 +67,7 @@ RangingResult AcousticRangeMedian(audio::TwoMicScene& scene,
                                   const modem::FrameSpec& frame_spec,
                                   double volume, sim::Rng& rng, int rounds,
                                   const RangingConfig& config = {},
-                                  double relay_delay_ms = 0.0);
+                                  double relay_delay_ms = 0.0,
+                                  const AcousticSplice* splice = nullptr);
 
 }  // namespace wearlock::protocol

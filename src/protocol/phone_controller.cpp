@@ -63,6 +63,8 @@ std::string ToString(UnlockOutcome outcome) {
     case UnlockOutcome::kStageTimeout: return "stage-timeout";
     case UnlockOutcome::kLinkFlapped: return "link-flapped";
     case UnlockOutcome::kRetriesExhausted: return "retries-exhausted";
+    case UnlockOutcome::kDistanceBoundViolation:
+      return "distance-bound-violation";
   }
   return "?";
 }
@@ -387,13 +389,19 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
     WL_SPAN_V(probe_tx_span, "phase1.probe_tx");
     const audio::SceneReception probe_rx =
         scene.TransmitFromPhone(probe_tx.samples, report.probe_volume);
-    report.timings.phase1_audio_ms += AudioMs(probe_rx.watch_recording.size());
-    charge(AudioMs(probe_rx.watch_recording.size()));
+    // A spliced channel (relay attack) substitutes what the watch hears;
+    // the phone still emitted, so scene draws and the phone-side state
+    // advance identically either way.
+    audio::Samples watch_probe =
+        attack.channel_splice
+            ? attack.channel_splice(probe_tx.samples, report.probe_volume)
+            : probe_rx.watch_recording;
+    report.timings.phase1_audio_ms += AudioMs(watch_probe.size());
+    charge(AudioMs(watch_probe.size()));
     WL_SPAN_ATTR(probe_tx_span, "samples",
                  static_cast<double>(probe_tx.samples.size()));
     WL_SPAN_END(probe_tx_span);
 
-    audio::Samples watch_probe = probe_rx.watch_recording;
     if (faults != nullptr) faults->MutateRecording("rts", &watch_probe);
 
     // The watch ships its Phase-1 data (recording + sensors).
@@ -559,6 +567,49 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
     trace("range-gate", "pilot SNR clears gate " + fmt(gate, 1) + " dB");
   }
 
+  // Relay defense: acoustic distance bounding (docs/security.md). Sound
+  // is slow - 1 m of air costs ~2.9 ms - so a relay's capture-transport-
+  // re-emit latency inflates the round-trip estimate past the bound no
+  // matter how much it amplifies. Runs before the motion fast path so a
+  // wormhole cannot ride the skip-phase-2 shortcut; fails closed.
+  if (config_.distance_bounding.enable) {
+    WL_SPAN_V(bound_span, "phase1.distance_bounding");
+    const DistanceBoundingPolicy& db = config_.distance_bounding;
+    // Ranging noise draws come from a session-salted stream of their
+    // own: deterministic per seed, invisible to the scene stream.
+    sim::Rng ranging_rng(db.seed ^ (session_id * 0x9E3779B97F4A7C15ULL));
+    const RangingResult ranging = AcousticRangeMedian(
+        scene, config_.frame, report.probe_volume, ranging_rng, db.rounds,
+        db.ranging, attack.ranging_extra_delay_ms,
+        attack.channel_splice ? &attack.channel_splice : nullptr);
+    report.ranging_distance_m = ranging.estimated_distance_m;
+    // Each round's chirp exchange is real audio time (lead-in + chirp +
+    // lead-out at both ends of the synchronized clock).
+    const std::size_t chirp_n = scene.config().lead_in_samples +
+                                modem::MakePreamble(config_.frame).size() +
+                                scene.config().lead_out_samples;
+    const sim::Millis ranging_audio_ms = db.rounds * AudioMs(chirp_n);
+    report.timings.phase1_audio_ms += ranging_audio_ms;
+    charge(ranging_audio_ms);
+    WL_SPAN_ATTR(bound_span, "estimate_m", ranging.estimated_distance_m);
+    WL_SPAN_ATTR(bound_span, "detected", ranging.chirp_detected ? 1.0 : 0.0);
+    if (!ranging.chirp_detected || !ranging.within_bound) {
+      keyguard_->ReportFailure();
+      report.outcome = UnlockOutcome::kDistanceBoundViolation;
+      trace("distance-bounding",
+            ranging.chirp_detected
+                ? "estimate " + fmt(ranging.estimated_distance_m) +
+                      " m beyond bound " + fmt(db.ranging.max_distance_m) +
+                      " m: relay suspected"
+                : "ranging chirp not heard: relay suspected");
+      return report;
+    }
+    trace("distance-bounding", "estimate " +
+                                   fmt(ranging.estimated_distance_m) +
+                                   " m within bound " +
+                                   fmt(db.ranging.max_distance_m) + " m");
+  }
+
   if (skip_phase2) {
     // Algorithm 1 fast path: motion similarity alone vouches for
     // co-location; skip the acoustic token round.
@@ -658,26 +709,37 @@ UnlockReport PhoneController::AttemptInner(audio::TwoMicScene& scene,
     WL_SPAN_V(data_tx_span, "phase2.data_tx");
     const audio::SceneReception data_rx =
         scene.TransmitFromPhone(data_tx.samples, report.probe_volume);
-    const sim::Millis round_audio_ms = AudioMs(data_rx.watch_recording.size());
-    report.timings.phase2_audio_ms += round_audio_ms;
-    charge(round_audio_ms);
-    WL_SPAN_ATTR(data_tx_span, "samples",
-                 static_cast<double>(data_tx.samples.size()));
-    WL_SPAN_END(data_tx_span);
 
     // Optional eavesdropper tap on the first emission.
     if (p2_round == 0 && attack.eavesdrop_distance_m) {
       report.eavesdropped_recording = scene.RecordAtDistance(
           data_tx.samples, report.probe_volume, *attack.eavesdrop_distance_m,
-          audio::PropagationSpec::IndoorLos());
+          audio::PropagationSpec::IndoorLos(), attack.eavesdrop_gain_db);
     }
 
-    // Replay attacker substitution / added path latency. The attacker
-    // controls the acoustic path, so the substitution applies to every
-    // ARQ round - a retransmission must not rescue a replayed session.
-    audio::Samples phase2_recording =
-        attack.replayed_phase2_recording ? *attack.replayed_phase2_recording
-                                         : data_rx.watch_recording;
+    // Acoustic-path manipulation, in attacker-capability order: a live
+    // splice owns the whole path (relay), a replayed capture substitutes
+    // it wholesale, and co-channel interference adds on top of whatever
+    // the watch hears. Substitutions apply to every ARQ round - a
+    // retransmission must not rescue an attacked session.
+    audio::Samples phase2_recording;
+    if (attack.channel_splice) {
+      phase2_recording =
+          attack.channel_splice(data_tx.samples, report.probe_volume);
+    } else if (attack.replayed_phase2_recording) {
+      phase2_recording = *attack.replayed_phase2_recording;
+    } else {
+      phase2_recording = data_rx.watch_recording;
+    }
+    if (attack.phase2_interference) {
+      audio::MixInto(phase2_recording, *attack.phase2_interference);
+    }
+    const sim::Millis round_audio_ms = AudioMs(phase2_recording.size());
+    report.timings.phase2_audio_ms += round_audio_ms;
+    charge(round_audio_ms);
+    WL_SPAN_ATTR(data_tx_span, "samples",
+                 static_cast<double>(data_tx.samples.size()));
+    WL_SPAN_END(data_tx_span);
     report.timings.phase2_audio_ms += attack.extra_acoustic_delay_ms;
     charge(attack.extra_acoustic_delay_ms);
 

@@ -11,6 +11,7 @@
 #include "audio/scene.h"
 #include "modem/modem.h"
 #include "protocol/ambient.h"
+#include "protocol/distance_bounding.h"
 #include "protocol/keyguard.h"
 #include "protocol/messages.h"
 #include "protocol/offload.h"
@@ -37,6 +38,9 @@ enum class UnlockOutcome {
   kStageTimeout,      ///< a stage budget or the attempt deadline expired
   kLinkFlapped,       ///< link dropped mid-protocol and stayed down
   kRetriesExhausted,  ///< control message lost beyond the retry budget
+  /// Acoustic ranging put the watch beyond the secure bound (or heard
+  /// no chirp at all): relay/wormhole suspected. Fails closed.
+  kDistanceBoundViolation,
 };
 
 std::string ToString(UnlockOutcome outcome);
@@ -80,6 +84,24 @@ struct ResilienceConfig {
 enum class SensorSkipPolicy { kSkipSecondPhase, kRelaxMaxBer };
 
 enum class NlosPolicy { kAbort, kRelaxMaxBer };
+
+/// The relay defense (docs/security.md): Brands-Chaum-style acoustic
+/// round-trip ranging run after the range gate and before any Phase-2
+/// shortcut. Off by default - enabling it consumes scene draws, so the
+/// fault/modem goldens pin the defense-off acoustics; security configs
+/// turn it on explicitly.
+struct DistanceBoundingPolicy {
+  bool enable = false;
+  /// Ranging rounds per attempt; the median estimate is judged.
+  int rounds = 3;
+  RangingConfig ranging{};
+  /// Seed for the ranging-noise Rng (mixed with the session id, so
+  /// retries draw fresh noise), kept off the scene stream so enabling
+  /// the defense never perturbs the scene draws of a given scenario
+  /// seed. Estimates are a pure function of (this seed, session id);
+  /// campaigns wanting cross-scenario ranging diversity salt it.
+  std::uint64_t seed = 0xD157B0D5ULL;
+};
 
 struct PhoneConfig {
   modem::FrameSpec frame{};
@@ -128,6 +150,9 @@ struct PhoneConfig {
   /// Replay defense: tolerated slack between expected and observed
   /// acoustic-phase latency (software stack + wireless RTT variance).
   sim::Millis timing_slack_ms = 350.0;
+  /// Relay defense: acoustic distance bounding (default off; see
+  /// DistanceBoundingPolicy).
+  DistanceBoundingPolicy distance_bounding{};
   /// Ambient window the phone self-records before probing (seconds).
   double ambient_window_s = 0.10;
   ResilienceConfig resilience{};
@@ -175,6 +200,8 @@ struct UnlockReport {
   double token_ber = 1.0;
   /// Present when the attack injection asked for an eavesdropper tap.
   std::optional<audio::Samples> eavesdropped_recording;
+  /// Median distance-bounding estimate, when the defense ran.
+  std::optional<double> ranging_distance_m;
   // Costs.
   PhaseTimings timings;
   double watch_energy_mj = 0.0;
@@ -183,17 +210,35 @@ struct UnlockReport {
   std::vector<TraceEvent> trace;
 };
 
-/// Hook for injecting acoustic-path manipulation (the record-and-replay
-/// attacker adds latency; see attacks.h).
+/// Hook for injecting acoustic-path manipulation. The attack agents
+/// (attack_agents.h) assemble these from a sim::AttackSpec; attacks.h
+/// keeps the older standalone attack functions on the same hooks.
 struct AttackInjection {
   sim::Millis extra_acoustic_delay_ms = 0.0;
   /// When set, this recording replaces what the watch heard in Phase 2
   /// (a replayed capture of an earlier session).
   std::optional<audio::Samples> replayed_phase2_recording;
-  /// When set, an eavesdropper with full-band gear records Phase 2 from
-  /// this distance; the capture lands in UnlockReport (material for a
-  /// later replay).
+  /// When set, an eavesdropper records Phase 2 from this distance; the
+  /// capture lands in UnlockReport (material for a later replay).
   std::optional<double> eavesdrop_distance_m;
+  /// Directional-mic gain (dB) on the eavesdropper's capture chain.
+  double eavesdrop_gain_db = 0.0;
+  /// Live splice on the phone->watch acoustic path: when set, every
+  /// phone emission the watch should hear (RTS probe, ranging chirps,
+  /// Phase-2 data) arrives through this transform instead of the
+  /// scene's direct rendering - the relay attacker's hook. The splice
+  /// keeps the scene's alignment convention (emission time zero at
+  /// lead_in_samples), so attacker-added latency lands as a later
+  /// signal offset - which is what the timing defenses measure.
+  AcousticSplice channel_splice;
+  /// Additive co-channel pressure mixed into the watch's Phase-2
+  /// capture, sample 0 aligned with the capture's sample 0 (SonarSnoop
+  /// probe energy, AIC-style overshadowing frame).
+  std::optional<audio::Samples> phase2_interference;
+  /// Extra arrival latency the attacker's path imposes on the
+  /// distance-bounding chirps when no full splice is wired (e.g. the
+  /// replayed session's handling delay).
+  sim::Millis ranging_extra_delay_ms = 0.0;
 };
 
 class PhoneController {

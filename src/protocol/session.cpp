@@ -146,6 +146,7 @@ obs::SessionRecord UnlockSession::BuildRecord(const UnlockReport& report,
   r.environment = audio::ToString(config_.scene.environment);
   r.distance_m = config_.scene.distance_m;
   r.fault_spec = config_.faults.spec;
+  r.attack_spec = config_.attack.spec;
   r.activity = sensors::ToString(config_.activity);
   r.same_body = config_.same_body;
   r.outcome = ToString(report.outcome);

@@ -15,6 +15,7 @@
 #include "obs/trace.h"
 #include "protocol/phone_controller.h"
 #include "sensors/motion_sim.h"
+#include "sim/adversary.h"
 #include "sim/faults.h"
 #include "sim/wireless.h"
 
@@ -53,6 +54,10 @@ struct ScenarioConfig {
   /// deployments benefit from ARQ + chase combining without any
   /// injected faults.
   bool arm_resilience = false;
+  /// The attack this scenario is subjected to (default: none). The
+  /// attack agents (attack_agents.h) execute it; the session itself
+  /// only carries it as a cohort axis into every SessionRecord.
+  sim::AttackSpec attack{};
 
   /// The paper's three delay configurations (Fig. 12).
   static ScenarioConfig Config1();  ///< WiFi offload to Nexus 6 (fastest)

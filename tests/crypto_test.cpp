@@ -61,11 +61,46 @@ TEST(Hmac, Rfc2202Vector2) {
             "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
 }
 
+TEST(Hmac, Rfc2202Vector3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha1(key, data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(Hmac, Rfc2202Vector4) {
+  // 25-byte key: exercises the key < block-size padding path with a
+  // length that is neither the digest size nor the block size.
+  std::vector<std::uint8_t> key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const std::vector<std::uint8_t> data(50, 0xcd);
+  EXPECT_EQ(ToHex(HmacSha1(key, data)),
+            "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+}
+
+TEST(Hmac, Rfc2202Vector5) {
+  const std::vector<std::uint8_t> key(20, 0x0c);
+  EXPECT_EQ(ToHex(HmacSha1(key, Bytes("Test With Truncation"))),
+            "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04");
+}
+
 TEST(Hmac, Rfc2202LongKey) {
   const std::vector<std::uint8_t> key(80, 0xaa);
   EXPECT_EQ(ToHex(HmacSha1(
                 key, Bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(Hmac, Rfc2202Vector7) {
+  // Larger-than-block-size key AND larger-than-block-size data: the
+  // hash-key-first path combined with multi-block message processing.
+  const std::vector<std::uint8_t> key(80, 0xaa);
+  EXPECT_EQ(ToHex(HmacSha1(key,
+                           Bytes("Test Using Larger Than Block-Size Key and "
+                                 "Larger Than One Block-Size Data"))),
+            "e8e99d0f45237d786d6bbaa7965c7808bbff1a91");
 }
 
 TEST(Hmac, ConstantTimeEqual) {
@@ -102,6 +137,49 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(7ull, 0x4e5b397u, "162583"),
         std::make_tuple(8ull, 0x2823443fu, "399871"),
         std::make_tuple(9ull, 0x2679dc69u, "520489")));
+
+// RFC 4226 Appendix D also publishes the full intermediate HMAC-SHA-1
+// digests, not just the truncated values - pinning them localizes a
+// failure to the HMAC stage vs. the dynamic-truncation stage.
+class HotpIntermediateDigests
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::string>> {
+};
+
+TEST_P(HotpIntermediateDigests, HmacStageMatchesAppendixD) {
+  const auto [counter, hmac_hex] = GetParam();
+  const auto key = Bytes("12345678901234567890");
+  // The HOTP message: the counter as an 8-byte big-endian block.
+  std::vector<std::uint8_t> msg(8);
+  for (int i = 0; i < 8; ++i) {
+    msg[7 - i] = static_cast<std::uint8_t>((counter >> (8 * i)) & 0xff);
+  }
+  const auto digest = HmacSha1(key, msg);
+  EXPECT_EQ(ToHex(digest), hmac_hex);
+
+  // Dynamic truncation (RFC 4226 §5.3) of that digest reproduces
+  // HotpValue: the two stages compose into the published codes.
+  const std::size_t offset = digest[19] & 0x0f;
+  const std::uint32_t truncated =
+      (static_cast<std::uint32_t>(digest[offset] & 0x7f) << 24) |
+      (static_cast<std::uint32_t>(digest[offset + 1]) << 16) |
+      (static_cast<std::uint32_t>(digest[offset + 2]) << 8) |
+      static_cast<std::uint32_t>(digest[offset + 3]);
+  EXPECT_EQ(truncated, HotpValue(key, counter));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4226AppendixD, HotpIntermediateDigests,
+    ::testing::Values(
+        std::make_tuple(0ull, "cc93cf18508d94934c64b65d8ba7667fb7cde4b0"),
+        std::make_tuple(1ull, "75a48a19d4cbe100644e8ac1397eea747a2d33ab"),
+        std::make_tuple(2ull, "0bacb7fa082fef30782211938bc1c5e70416ff44"),
+        std::make_tuple(3ull, "66c28227d03a2d5529262ff016a1e6ef76557ece"),
+        std::make_tuple(4ull, "a904c900a64b35909874b33e61c5938a8e15ed1c"),
+        std::make_tuple(5ull, "a37e783d7b7233c083d4f62926c7a25f238d0316"),
+        std::make_tuple(6ull, "bc9cd28561042c83f219324d3c607256c03272ae"),
+        std::make_tuple(7ull, "a4fb960c0bc06e1eabb804e5b397cdc4b45596fa"),
+        std::make_tuple(8ull, "1b3c89f65e6c9e883012052823443f048b4332db"),
+        std::make_tuple(9ull, "1637409809a679dc698207310c8c7fc07290d9e5")));
 
 TEST(Hotp, CodeDigitsValidation) {
   const auto key = Bytes("12345678901234567890");

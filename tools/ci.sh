@@ -15,16 +15,22 @@
 #   5. fault-injection gate: the `fault` ctest label (fault matrix,
 #      golden faulted trace, chase-combining rescue) plus a CLI replay
 #      of the golden fully-faulted unlock (docs/robustness.md)
-#   6. telemetry gate: the `telemetry` ctest label (sketch determinism,
+#   6. security gate: the `security` ctest label (attack x config
+#      conformance matrix, golden attack traces, distance-bounding
+#      properties), a CLI --attack replay of the golden relay trace,
+#      and an attacker-success-vs-distance sweep that must be
+#      byte-identical across thread counts (docs/security.md)
+#   7. telemetry gate: the `telemetry` ctest label (sketch determinism,
 #      record/rollup round trips, the >=10k-session campaign), then a
 #      seeded 200-session mini-campaign through the unlock CLI at
 #      --threads 1 and 8 whose session logs, rollups and
 #      wearlock_telemetry --diff against the committed golden rollup
 #      must all be byte-clean (docs/observability.md)
-#   7. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#   8. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
 #      leg gets real cross-thread traffic from concurrency_stress_test,
-#      executor_test, fft_plan_test and fault_matrix_test at
-#      WEARLOCK_THREADS=8, and a parallel bench sweep)
+#      executor_test, fft_plan_test, fault_matrix_test and
+#      security_matrix_test at WEARLOCK_THREADS=8, and a parallel
+#      bench sweep)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -115,6 +121,32 @@ diff <(sed 's/"at_ms":[0-9.eE+-]*/"at_ms":0/' build/fault-trace.jsonl) \
      tests/golden/faulted_unlock_trace.jsonl
 echo "CLI fault replay matches the committed golden trace"
 
+banner "security gate: ctest -L security + CLI attack replay"
+# The adversarial conformance matrix (docs/security.md): every attack x
+# config cell must terminate with its pinned outcome, never hand the
+# attacker an unlock, and replay bit-identically across thread counts.
+ctest --test-dir build -L security --output-on-failure
+# The committed golden relay trace must be reproducible from the command
+# line with one seed (the repro path for a red matrix cell), and the
+# defense must hold (exit 0).
+build/tools/wearlock_unlock_cli \
+    --attack relay@3.0:delay=3:gain=40 --seed 4242 \
+    --attack-trace build/attack-trace.jsonl >/dev/null
+diff <(sed 's/"at_ms":[0-9.eE+-]*/"at_ms":0/' build/attack-trace.jsonl) \
+     tests/golden/relay_attack_trace.jsonl
+echo "CLI attack replay matches the committed golden trace"
+# Malformed specs must fail closed with a usage error, not run unattacked.
+if build/tools/wearlock_unlock_cli --attack bogus 2>/dev/null; then
+  echo "malformed --attack spec was accepted" >&2
+  exit 1
+fi
+echo "malformed --attack spec rejected"
+# The attacker-success decay figure is a pure function of the seed.
+build/bench/attack_distance --quick --threads 1 >build/attack-t1.out
+build/bench/attack_distance --quick --threads 8 >build/attack-t8.out
+diff build/attack-t1.out build/attack-t8.out
+echo "attack_distance output byte-identical across thread counts"
+
 banner "telemetry gate: ctest -L telemetry + mini-campaign rollup diff"
 # The fleet-telemetry determinism contract (docs/observability.md):
 # a seeded campaign's session records and per-cohort rollup must be
@@ -167,6 +199,9 @@ for san in "${SANITIZERS[@]}"; do
     # The fault matrix's cross-thread determinism leg on a wide pool.
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/tests/fault_matrix_test"
+    # The security matrix's attack agents on the same wide pool.
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        "build-$san/tests/security_matrix_test"
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/bench/fig7_ber_distance" --quick >/dev/null
   fi

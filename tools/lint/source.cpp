@@ -116,7 +116,11 @@ void SourceFile::Lex() {
                          in[i - 2] != '_'))) {
             std::size_t paren = in.find('(', i + 1);
             if (paren != std::string::npos) {
-              raw_delim = ")" + in.substr(i + 1, paren - i - 1) + "\"";
+              // Built piecewise: the `")" + substr + "\""` concatenation
+              // chain trips GCC 12's -Wrestrict false positive at -O2.
+              raw_delim.assign(1, ')');
+              raw_delim.append(in, i + 1, paren - i - 1);
+              raw_delim.push_back('"');
               state = State::kRawString;
               for (std::size_t j = i + 1; j <= paren && j < in.size(); ++j) {
                 if (in[j] != '\n') code_[j] = ' ';

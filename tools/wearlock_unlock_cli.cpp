@@ -8,9 +8,10 @@
 //                       [--different-room] [--no-link] [--config 1|2|3]
 //                       [--activity sitting|walking|running]
 //                       [--attempts N] [--seed S] [--retries R]
-//                       [--threads T] [--faults SPEC]
+//                       [--threads T] [--faults SPEC] [--attack SPEC]
 //                       [--trace out.json] [--metrics out.json]
 //                       [--fault-trace out.jsonl]
+//                       [--attack-trace out.jsonl]
 //                       [--session-log out.jsonl] [--verbose]
 //
 // --trace writes a Chrome trace_event JSON of every span the attempts
@@ -23,6 +24,17 @@
 // with a fixed --seed this replays a CI fault-matrix cell exactly.
 // --fault-trace writes the injected-fault event log as JSONL (the
 // committed-golden format; sequential mode only, like --trace).
+//
+// --attack subjects the session to a channel-level attacker
+// (sim::AttackSpec grammar: KIND[@DISTANCE][:key=value]..., KIND in
+// eavesdrop|replay|relay|probe|overshadow, e.g.
+// "relay@3.0:delay=3:gain=40") and arms the full defense suite
+// including acoustic distance bounding. Each attempt runs one complete
+// attack scenario (seeded --seed + attempt index); the exit code flips:
+// 0 means the defense held every attempt (no false unlock), 1 means the
+// attacker won one. --attack-trace writes the adversary's event log as
+// JSONL (the committed-golden format in tests/golden/; tools/ci.sh
+// replays it). See docs/security.md for the threat model.
 //
 // --session-log writes one telemetry SessionRecord per attempt as JSONL
 // (the wearlock_telemetry CLI's input format). Works in both modes; in
@@ -46,7 +58,9 @@
 #include <vector>
 
 #include "obs/log.h"
+#include "protocol/attack_agents.h"
 #include "protocol/session.h"
+#include "sim/adversary.h"
 #include "sim/executor.h"
 
 namespace {
@@ -99,7 +113,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string fault_trace_path;
+  std::string attack_trace_path;
   std::string session_log_path;
+  std::string attack_spec_str;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +161,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --faults spec: %s\n", error.what());
         return 2;
       }
+    } else if (arg == "--attack") {
+      attack_spec_str = next();
+      try {
+        // Validate now for fast-fail flag feedback; the spec is applied
+        // after the loop so a later --config reset cannot drop it.
+        (void)sim::AttackSpec::Parse(attack_spec_str);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "bad --attack spec: %s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--attack-trace") {
+      attack_trace_path = next();
     } else if (arg == "--fault-trace") {
       fault_trace_path = next();
     } else if (arg == "--trace") {
@@ -161,8 +189,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (attack_trace_path.empty() == false && attack_spec_str.empty()) {
+    std::fprintf(stderr, "--attack-trace needs --attack\n");
+    return 2;
+  }
+
   int unlocked = 0;
   std::string session_log;
+  if (!attack_spec_str.empty()) {
+    // Attack mode: each attempt is one complete attack scenario run by
+    // the agent for the spec (which orchestrates its own victim
+    // sessions), with the full defense suite armed. The exit code
+    // reports the DEFENSE's outcome, not the victim's.
+    config.attack = sim::AttackSpec::Parse(attack_spec_str);
+    config.phone.distance_bounding.enable = true;
+    if (threads_set || !trace_path.empty() || !metrics_path.empty() ||
+        !fault_trace_path.empty()) {
+      std::fprintf(stderr,
+                   "--threads/--trace/--metrics/--fault-trace are ignored in "
+                   "attack mode\n");
+    }
+    int breaches = 0;
+    std::string attack_trace;
+    for (int a = 0; a < attempts; ++a) {
+      ScenarioConfig attempt_config = config;
+      attempt_config.seed = config.seed + static_cast<std::uint64_t>(a);
+      const AttackReport report =
+          RunAttackScenario(attempt_config, attempt_config.attack);
+      for (const obs::SessionRecord& record : report.records) {
+        session_log += record.ToJsonl();
+        session_log += '\n';
+      }
+      attack_trace += sim::AttackTraceJsonl(report.events);
+      if (report.false_unlock) ++breaches;
+      char ranging[32] = "-";
+      if (report.ranging_distance_m) {
+        std::snprintf(ranging, sizeof(ranging), "%.2fm",
+                      *report.ranging_distance_m);
+      }
+      std::printf(
+          "attempt %d: victim %s | attacker false_unlock=%d "
+          "token_recovered=%d token_ber=%.3f ranging=%s\n",
+          a + 1, ToString(report.victim_outcome).c_str(),
+          report.false_unlock ? 1 : 0, report.token_recovered ? 1 : 0,
+          report.attacker_token_ber, ranging);
+    }
+    if (!session_log_path.empty()) {
+      std::ofstream os(session_log_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", session_log_path.c_str());
+        return 2;
+      }
+      os << session_log;
+    }
+    if (!attack_trace_path.empty()) {
+      std::ofstream os(attack_trace_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", attack_trace_path.c_str());
+        return 2;
+      }
+      os << attack_trace;
+    }
+    std::printf("defense held %d/%d against %s\n", attempts - breaches,
+                attempts, config.attack.spec.c_str());
+    return breaches == 0 ? 0 : 1;
+  }
   if (threads_set) {
     // Parallel mode: every attempt is an independent session, seeded
     // from (--seed, attempt index); output buffers print in order.
