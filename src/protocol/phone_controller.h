@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "audio/scene.h"
@@ -21,6 +22,10 @@
 #include "sim/clock.h"
 #include "sim/faults.h"
 #include "sim/wireless.h"
+
+namespace wearlock::sim {
+class EventQueue;
+}  // namespace wearlock::sim
 
 namespace wearlock::protocol {
 
@@ -241,6 +246,9 @@ struct AttackInjection {
   sim::Millis ranging_extra_delay_ms = 0.0;
 };
 
+class AttemptMachine;
+struct AttemptHooks;
+
 class PhoneController {
  public:
   PhoneController(PhoneConfig config, OtpService* otp, Keyguard* keyguard);
@@ -250,7 +258,8 @@ class PhoneController {
   /// every modeled latency. When `faults` is non-null, every control
   /// message and capture routes through it and the resilience policy
   /// (timeouts, ARQ, degrade ladder) earns its keep; when null, the
-  /// path is byte-identical to the fault-free protocol.
+  /// path is byte-identical to the fault-free protocol. Synchronous
+  /// shim over StartAttempt: drives one machine on a private queue.
   UnlockReport Attempt(audio::TwoMicScene& scene, WatchController& watch,
                        sim::WirelessLink& link,
                        const sensors::MotionPair& motion,
@@ -258,19 +267,21 @@ class PhoneController {
                        const AttackInjection& attack = {},
                        sim::FaultInjector* faults = nullptr);
 
+  /// Event-driven form of Attempt(): assigns the session id, builds
+  /// the attempt's state machine and schedules its first slice on
+  /// `queue`. The caller owns the machine and must keep it (and every
+  /// reference argument) alive until machine->done(); the queue
+  /// multiplexes any number of such machines (protocol/attempt_machine.h).
+  std::unique_ptr<AttemptMachine> StartAttempt(
+      sim::EventQueue& queue, audio::TwoMicScene& scene,
+      WatchController& watch, sim::WirelessLink& link,
+      const sensors::MotionPair& motion, const OffloadPlanner& offload,
+      sim::VirtualClock& clock, const AttackInjection& attack,
+      sim::FaultInjector* faults, AttemptHooks hooks);
+
   const PhoneConfig& config() const { return config_; }
 
  private:
-  /// The protocol body; Attempt wraps it with the root telemetry span
-  /// and end-of-attempt metrics.
-  UnlockReport AttemptInner(audio::TwoMicScene& scene, WatchController& watch,
-                            sim::WirelessLink& link,
-                            const sensors::MotionPair& motion,
-                            const OffloadPlanner& offload,
-                            sim::VirtualClock& clock,
-                            const AttackInjection& attack,
-                            sim::FaultInjector* faults);
-
   PhoneConfig config_;
   OtpService* otp_;
   Keyguard* keyguard_;

@@ -1,10 +1,13 @@
 #include "protocol/session.h"
 
 #include <cmath>
+#include <utility>
 
 #include "audio/noise.h"
 #include "modem/constellation.h"
 #include "obs/instrument.h"
+#include "protocol/attempt_machine.h"
+#include "sim/event_queue.h"
 
 namespace wearlock::protocol {
 namespace {
@@ -80,28 +83,76 @@ sensors::MotionPair UnlockSession::SampleMotion() {
                                      config_.motion_samples);
 }
 
-UnlockReport UnlockSession::AttemptOnce(const AttackInjection& attack) {
-  // Route instrumented library code to this session's telemetry for the
-  // duration of the attempt (thread-local, so concurrent sessions on
-  // different threads stay isolated).
-  obs::ScopedTracer install_tracer(&tracer_);
-  obs::ScopedMetricsRegistry install_metrics(&metrics_);
-  const sensors::MotionPair motion = SampleMotion();
-  return phone_controller_.Attempt(scene_, watch_controller_, link_, motion,
-                                   offload_, clock_, attack, faults());
-}
+/// One StartAsync round in flight. The round owns the current attempt's
+/// machine; the machine is only ever replaced (or destroyed) from a
+/// backoff event or the round's destructor - never from inside its own
+/// final slice (HandleAttemptDone runs there).
+struct UnlockSession::AsyncRound {
+  sim::EventQueue* queue = nullptr;
+  int max_retries = 0;
+  AttackInjection attack;
+  std::function<void(const UnlockReport&)> on_done;
+  int retries_used = 0;
+  bool finished = false;
+  std::unique_ptr<AttemptMachine> machine;
+};
+
+UnlockSession::~UnlockSession() = default;
 
 UnlockReport UnlockSession::Attempt(const AttackInjection& attack) {
-  UnlockReport report = AttemptOnce(attack);
-  EmitRecord(report, /*retries=*/0);
-  return report;
+  // A single press is a zero-retry round; the retry ladder never
+  // engages and the record carries retries=0, as before the refactor.
+  return AttemptWithRetries(/*max_retries=*/0, attack);
 }
 
 UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
                                                const AttackInjection& attack) {
-  int retries_used = 0;
-  UnlockReport report = AttemptOnce(attack);
-  for (int retry = 0; retry < max_retries && !report.unlocked; ++retry) {
+  // Blocking shim over the event-driven round: a private queue drains
+  // this one session to completion, replaying the old synchronous
+  // retry loop byte-for-byte.
+  sim::EventQueue queue;
+  UnlockReport result;
+  StartAsync(queue, max_retries, attack,
+             [&result](const UnlockReport& report) { result = report; });
+  queue.RunUntilIdle();
+  async_round_.reset();
+  return result;
+}
+
+void UnlockSession::StartAsync(
+    sim::EventQueue& queue, int max_retries, const AttackInjection& attack,
+    std::function<void(const UnlockReport&)> on_done) {
+  async_round_ = std::make_unique<AsyncRound>();
+  async_round_->queue = &queue;
+  async_round_->max_retries = max_retries;
+  async_round_->attack = attack;
+  async_round_->on_done = std::move(on_done);
+  BeginAttempt();
+}
+
+bool UnlockSession::async_done() const {
+  return async_round_ == nullptr || async_round_->finished;
+}
+
+void UnlockSession::BeginAttempt() {
+  AsyncRound& round = *async_round_;
+  // Fresh motion per attempt, drawn at attempt start exactly where the
+  // blocking path drew it, so the motion stream is position-identical.
+  const sensors::MotionPair motion = SampleMotion();
+  AttemptHooks hooks;
+  hooks.tracer = &tracer_;
+  hooks.metrics = &metrics_;
+  hooks.on_done = [this] { HandleAttemptDone(); };
+  round.machine = phone_controller_.StartAttempt(
+      *round.queue, scene_, watch_controller_, link_, motion, offload_, clock_,
+      round.attack, faults(), std::move(hooks));
+}
+
+void UnlockSession::HandleAttemptDone() {
+  AsyncRound& round = *async_round_;
+  const UnlockReport report = round.machine->TakeReport();
+  bool transient = false;
+  if (!report.unlocked && round.retries_used < round.max_retries) {
     switch (report.outcome) {
       case UnlockOutcome::kTokenRejected:
       case UnlockOutcome::kNoPreamble:
@@ -109,33 +160,46 @@ UnlockReport UnlockSession::AttemptWithRetries(int max_retries,
       case UnlockOutcome::kStageTimeout:
       case UnlockOutcome::kLinkFlapped:
       case UnlockOutcome::kRetriesExhausted:
-        break;  // transient: worth retrying
+        transient = true;  // worth retrying
+        break;
       default:
-        EmitRecord(report, retries_used);
-        return report;  // structural refusal: stop
+        break;  // structural refusal: stop
     }
-    if (!keyguard_.CanAttemptWearlock()) {
-      EmitRecord(report, retries_used);
-      return report;
-    }
-    // Inter-attempt pause with bounded exponential backoff, charged to
-    // the session clock like any other wait (a flap outage scheduled
-    // mid-failure can elapse during it, so the next attempt may find
-    // the link recovered).
-    {
-      obs::ScopedTracer install_tracer(&tracer_);
-      obs::ScopedMetricsRegistry install_metrics(&metrics_);
-      const sim::Millis backoff =
-          phone_controller_.config().resilience.BackoffMs(retry);
-      WL_COUNT("protocol.retry.count");
-      WL_HIST("protocol.retry.backoff_ms", backoff);
-      clock_.Advance(backoff);
-    }
-    ++retries_used;
-    report = AttemptOnce(attack);
   }
-  EmitRecord(report, retries_used);
-  return report;
+  if (!transient || !keyguard_.CanAttemptWearlock()) {
+    FinishAsync(report);
+    return;
+  }
+  // Inter-attempt pause with bounded exponential backoff, charged to
+  // the session clock like any other wait (a flap outage scheduled
+  // mid-failure can elapse during it, so the next attempt may find the
+  // link recovered). Retry metrics land now - after the attempt's own
+  // samples, before the next attempt's - and the clock advances when
+  // the event fires, preserving the blocking path's ordering.
+  obs::ScopedTracer install_tracer(&tracer_);
+  obs::ScopedMetricsRegistry install_metrics(&metrics_);
+  const sim::Millis backoff =
+      phone_controller_.config().resilience.BackoffMs(round.retries_used);
+  WL_COUNT("protocol.retry.count");
+  WL_HIST("protocol.retry.backoff_ms", backoff);
+  const sim::EventQueue::EventId backoff_event =
+      round.queue->ScheduleAfter(backoff, [this, backoff] {
+        clock_.Advance(backoff);
+        ++async_round_->retries_used;
+        BeginAttempt();  // replaces the finished machine, outside its frame
+      });
+  (void)backoff_event;  // unconditional: nothing ever cancels a retry
+}
+
+void UnlockSession::FinishAsync(const UnlockReport& report) {
+  AsyncRound& round = *async_round_;
+  EmitRecord(report, round.retries_used);
+  round.finished = true;
+  if (round.on_done) {
+    const std::function<void(const UnlockReport&)> notify =
+        std::move(round.on_done);
+    notify(report);
+  }
 }
 
 obs::SessionRecord UnlockSession::BuildRecord(const UnlockReport& report,

@@ -73,6 +73,7 @@ class UnlockSession {
   using RecordSink = std::function<void(const obs::SessionRecord&)>;
 
   explicit UnlockSession(ScenarioConfig config);
+  ~UnlockSession();
 
   /// Install (or clear, with nullptr-like empty function) the sink the
   /// session reports finished attempts to. Emission only reads session
@@ -96,6 +97,23 @@ class UnlockSession {
   /// the session clock.
   UnlockReport AttemptWithRetries(int max_retries,
                                   const AttackInjection& attack = {});
+
+  /// Event-driven press-and-retry: schedules the same protocol + retry
+  /// ladder as AttemptWithRetries on `queue` and returns immediately;
+  /// the queue then multiplexes this session with any number of others
+  /// (docs/architecture.md). The session's tracer/metrics are installed
+  /// around every slice, so interleaved sessions never mix telemetry,
+  /// and the emitted SessionRecord is byte-identical to the blocking
+  /// path's. `on_done` runs after the record is emitted; it must not
+  /// destroy this session or start a new round on it (a machine frame
+  /// is live on the stack). One round at a time per session.
+  void StartAsync(sim::EventQueue& queue, int max_retries,
+                  const AttackInjection& attack = {},
+                  std::function<void(const UnlockReport&)> on_done = {});
+
+  /// Whether the StartAsync round has emitted its record (true when no
+  /// round was ever started).
+  bool async_done() const;
 
   /// Fresh co-located (or not, per config) motion traces for an attempt.
   sensors::MotionPair SampleMotion();
@@ -123,9 +141,19 @@ class UnlockSession {
   obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
-  /// The protocol run without record emission (shared by Attempt and
-  /// the retry loop, which emits one record for the whole round).
-  UnlockReport AttemptOnce(const AttackInjection& attack);
+  /// In-flight state of one StartAsync round (defined in session.cpp;
+  /// owns the current attempt's machine).
+  struct AsyncRound;
+
+  /// Start the round's next attempt: sample fresh motion and schedule
+  /// a machine's first slice on the round's queue.
+  void BeginAttempt();
+  /// Attempt finished: retry (transient outcome, budget left, keyguard
+  /// willing) or finish the round. Runs inside the machine's final
+  /// slice, so it never destroys the machine - a replacement is only
+  /// built inside the subsequent backoff event.
+  void HandleAttemptDone();
+  void FinishAsync(const UnlockReport& report);
   void EmitRecord(const UnlockReport& report, int retries);
 
   ScenarioConfig config_;
@@ -143,6 +171,7 @@ class UnlockSession {
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
   RecordSink record_sink_;
+  std::unique_ptr<AsyncRound> async_round_;
   // Counter baselines advanced at each record emission, so cumulative
   // session counters flatten into per-record ("this call only") diffs.
   std::uint64_t chase_base_ = 0;

@@ -1,0 +1,88 @@
+// Deterministic virtual-clock event queue: the multiplexer that lets
+// one thread drive thousands of in-flight unlock sessions.
+//
+// Events are ordered by (virtual due time, schedule sequence): two
+// events due at the same instant run in the order they were scheduled,
+// so a drain is a pure function of the schedule calls - never of heap
+// internals or host timing. The queue's clock is *global* to the queue
+// (it only decides cross-session interleaving); each session keeps its
+// own sim::VirtualClock and advances it by its own waits when its event
+// fires, so a session's state evolution is byte-identical whether it
+// runs alone or multiplexed among thousands (docs/architecture.md).
+//
+// Scheduling is fallible by contract: negative delays, due times in the
+// past, non-finite times and empty callbacks are programming errors and
+// throw std::invalid_argument instead of silently reordering the
+// timeline. The scheduling APIs are [[nodiscard]] - an ignored EventId
+// usually means the caller meant to track or cancel the event (the
+// discarded-outcome lint rule enforces use sites).
+//
+// Single-threaded by design: one queue per shard, shards fanned across
+// sim::ParallelExecutor workers with no shared mutable state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace wearlock::sim {
+
+class EventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Virtual time of the queue: the due time of the last event run
+  /// (0 before any). Monotonic across a drain.
+  Millis now() const { return now_ms_; }
+
+  /// Schedule `fn` at absolute queue time `at_ms`. Throws
+  /// std::invalid_argument when `at_ms` precedes now(), is not finite,
+  /// or `fn` is empty.
+  [[nodiscard]] EventId ScheduleAt(Millis at_ms, Callback fn);
+
+  /// Schedule `fn` `delay_ms` after now(). Throws std::invalid_argument
+  /// when `delay_ms` is negative or not finite, or `fn` is empty.
+  [[nodiscard]] EventId ScheduleAfter(Millis delay_ms, Callback fn);
+
+  /// Drop a scheduled event. Returns whether `id` was still pending
+  /// (false for ids already run, cancelled, or never issued).
+  [[nodiscard]] bool Cancel(EventId id);
+
+  /// Run the earliest pending event, advancing now() to its due time.
+  /// Returns false when the queue is idle.
+  bool RunOne();
+
+  /// Drain until no event is pending (events may schedule more events);
+  /// returns how many ran.
+  std::size_t RunUntilIdle();
+
+  /// Events scheduled but not yet run or cancelled.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Event {
+    Millis at_ms;
+    EventId id;
+    Callback fn;
+  };
+
+  /// Min-heap order on (at_ms, id): strict-weak via "later runs lower".
+  static bool Later(const Event& a, const Event& b);
+
+  Millis now_ms_ = 0.0;
+  EventId next_id_ = 1;
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace wearlock::sim

@@ -1,5 +1,6 @@
 #include "sim/executor.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +48,23 @@ std::uint64_t ParallelExecutor::TaskSeed(std::uint64_t base_seed,
   return z ^ (z >> 31);
 }
 
+std::size_t ParallelExecutor::ChunkSize(std::size_t n_tasks,
+                                        std::size_t workers,
+                                        std::size_t hardware) {
+  if (n_tasks <= 1 || workers <= 1) return std::max<std::size_t>(1, n_tasks);
+  if (hardware == 0) hardware = 1;
+  if (workers > hardware) {
+    // Oversubscribed: the cores time-slice the workers, so fine-grained
+    // claiming just multiplies lock handoffs and context switches
+    // (BENCH_dsp_core.json's fig5 ran *slower* at 8 threads than 1 on a
+    // 1-core box). Hand each worker one contiguous share up front.
+    return (n_tasks + workers - 1) / workers;
+  }
+  // At or under the core count: ~4 chunks per worker balances uneven
+  // task costs while amortizing the claim lock.
+  return std::max<std::size_t>(1, n_tasks / (4 * workers));
+}
+
 void ParallelExecutor::RunTasks(
     std::size_t n_tasks, const std::function<void(std::size_t)>& task) {
   if (n_tasks == 0) return;
@@ -54,9 +72,19 @@ void ParallelExecutor::RunTasks(
   task_ = &task;
   n_tasks_ = n_tasks;
   next_index_ = 0;
+  chunk_size_ = ChunkSize(n_tasks, workers_.size(),
+                          std::thread::hardware_concurrency());
   pending_ = n_tasks;
   ++batch_id_;
-  work_ready_.notify_all();
+  // Counted wakeups: a batch of c chunks can occupy at most c workers;
+  // waking the rest just stampedes them through the lock to find no
+  // work (the 1-core fig5 regression's other half).
+  const std::size_t chunks = (n_tasks + chunk_size_ - 1) / chunk_size_;
+  if (chunks >= workers_.size()) {
+    work_ready_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < chunks; ++i) work_ready_.notify_one();
+  }
   batch_done_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;
 }
@@ -70,18 +98,22 @@ void ParallelExecutor::WorkerLoop() {
     });
     if (stopping_) return;
     last_batch = batch_id_;
-    // Claim indices under the lock, run the task body outside it. A
-    // worker that re-enters this loop while a *newer* batch is already
-    // posted simply joins it: indices are claimed exactly once either
-    // way, which is all the determinism contract needs (results are
-    // keyed by index, never by worker or completion order).
+    // Claim a chunk of indices under the lock, run the task bodies
+    // outside it. A worker that re-enters this loop while a *newer*
+    // batch is already posted simply joins it: indices are claimed
+    // exactly once either way, which is all the determinism contract
+    // needs (results are keyed by index, never by worker or
+    // completion order).
     while (task_ != nullptr && next_index_ < n_tasks_) {
-      const std::size_t index = next_index_++;
+      const std::size_t begin = next_index_;
+      const std::size_t end = std::min(n_tasks_, begin + chunk_size_);
+      next_index_ = end;
       const std::function<void(std::size_t)>* task = task_;
       lock.unlock();
-      (*task)(index);
+      for (std::size_t index = begin; index < end; ++index) (*task)(index);
       lock.lock();
-      if (--pending_ == 0) batch_done_.notify_all();
+      pending_ -= end - begin;
+      if (pending_ == 0) batch_done_.notify_all();
     }
   }
 }

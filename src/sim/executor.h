@@ -72,6 +72,19 @@ class ParallelExecutor {
   /// mt19937_64 seeds even for consecutive inputs.
   static std::uint64_t TaskSeed(std::uint64_t base_seed, std::uint64_t index);
 
+  /// How many consecutive indices a worker claims per lock acquisition.
+  /// Purely a dispatch-granularity decision - tasks still run in index
+  /// order within a chunk and land in index-keyed slots, so results are
+  /// byte-identical for any chunk size. Oversubscribed pools (more
+  /// workers than `hardware` cores, e.g. a TSan leg forcing
+  /// WEARLOCK_THREADS=8 on a small box) get a near-static partition of
+  /// ceil(n_tasks / workers), so each time slice runs a contiguous run
+  /// of tasks instead of bouncing the batch lock every point; pools at
+  /// or under the core count keep ~4 chunks per worker for load
+  /// balance across uneven task costs.
+  static std::size_t ChunkSize(std::size_t n_tasks, std::size_t workers,
+                               std::size_t hardware);
+
   /// Run fn(TaskContext&) for indices [0, n_tasks) across the pool and
   /// return the results in index order. If any task throws, the
   /// lowest-index exception is rethrown after the whole batch drains
@@ -155,14 +168,15 @@ class ParallelExecutor {
 
   void WorkerLoop();
 
-  // Batch state, all guarded by mu_: workers claim the next index under
-  // the lock and run the task body outside it.
+  // Batch state, all guarded by mu_: workers claim the next chunk of
+  // indices under the lock and run the task bodies outside it.
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
   const std::function<void(std::size_t)>* task_ = nullptr;
   std::size_t n_tasks_ = 0;
   std::size_t next_index_ = 0;
+  std::size_t chunk_size_ = 1;
   std::size_t pending_ = 0;
   std::uint64_t batch_id_ = 0;
   bool stopping_ = false;

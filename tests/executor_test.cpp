@@ -153,6 +153,40 @@ TEST(ParallelExecutor, LowestIndexExceptionWins) {
   EXPECT_EQ(ok.size(), 4u);
 }
 
+TEST(ParallelExecutor, ChunkSizePartitionsOversubscribedPools) {
+  using E = sim::ParallelExecutor;
+  // Oversubscribed (workers > cores): near-static partition, so an
+  // 8-worker pool on 1 core claims the whole batch in <= 8 chunks.
+  EXPECT_EQ(E::ChunkSize(12, 8, 1), 2u);
+  EXPECT_EQ(E::ChunkSize(100, 8, 4), 13u);
+  EXPECT_EQ(E::ChunkSize(7, 8, 1), 1u);
+  // At or under the core count: ~4 chunks per worker.
+  EXPECT_EQ(E::ChunkSize(64, 2, 8), 8u);
+  EXPECT_EQ(E::ChunkSize(100, 4, 8), 6u);
+  // Small batches and single workers degenerate to one claim each.
+  EXPECT_EQ(E::ChunkSize(12, 4, 8), 1u);
+  EXPECT_EQ(E::ChunkSize(12, 1, 1), 12u);
+  EXPECT_EQ(E::ChunkSize(1, 8, 8), 1u);
+  EXPECT_EQ(E::ChunkSize(0, 8, 8), 1u);
+  // A zero hardware report (the standard allows it) counts as one core.
+  EXPECT_EQ(E::ChunkSize(16, 4, 0), 4u);
+}
+
+TEST(ParallelExecutor, ChunkedDispatchStaysBitIdentical) {
+  // Chunk size is pure dispatch granularity: uneven batch sizes that
+  // exercise ragged final chunks across thread counts must still give
+  // byte-identical results (including more workers than tasks).
+  for (std::size_t tasks : {3u, 13u, 61u}) {
+    std::vector<std::vector<std::uint64_t>> runs;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      sim::ParallelExecutor executor(threads);
+      runs.push_back(BitPatterns(executor.Map(tasks, 0xFEEDu, Workload)));
+    }
+    EXPECT_EQ(runs[0], runs[1]) << tasks << " tasks, 1 vs 2 threads";
+    EXPECT_EQ(runs[0], runs[2]) << tasks << " tasks, 1 vs 8 threads";
+  }
+}
+
 TEST(ParallelExecutor, TaskSeedsAreDistinct) {
   // SplitMix64 over (base_seed, index): no collisions across a large
   // index range, and adjacent base seeds do not alias adjacent indices.

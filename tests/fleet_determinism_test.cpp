@@ -1,0 +1,166 @@
+// Fleet campaign engine determinism (protocol/fleet.h): a campaign's
+// rollup is a pure function of its spec - never of the thread count,
+// the shard size, or the order shard sinks merge. Fixed host timing is
+// armed so modeled compute times cannot absorb scheduler noise, which
+// makes the gate a byte-diff (the same discipline as the telemetry
+// gate in tools/ci.sh).
+//
+// Regenerate the golden after an intentional protocol/model change with
+//   WEARLOCK_REGEN_FLEET_GOLDEN=1 ./tests/fleet_determinism_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "protocol/fleet.h"
+#include "sim/device.h"
+
+namespace wearlock {
+namespace {
+
+using protocol::CampaignResult;
+using protocol::CampaignSpec;
+using protocol::MakeShards;
+using protocol::PlanSession;
+using protocol::RunCampaign;
+using protocol::RunShard;
+using protocol::SessionPlan;
+using protocol::ShardRange;
+using protocol::ShardResult;
+
+/// The mini-campaign every determinism check replays: all five cohort
+/// axes populated (including a faulted and an attacked cell), small
+/// enough for sanitizer legs.
+CampaignSpec MiniSpec() {
+  CampaignSpec spec;
+  spec.sessions = 96;
+  spec.seed = 20260808;
+  spec.fault_specs = {"", "drop=0.3"};
+  spec.attack_specs = {"", "replay@0.5"};
+  spec.sessions_per_shard = 32;
+  return spec;
+}
+
+std::string RollupBytes(const CampaignResult& result) {
+  std::ostringstream os;
+  result.sink.WriteJson(os);
+  return os.str();
+}
+
+class FleetDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::SetFixedHostTimingMs(1.25); }
+  void TearDown() override { sim::SetFixedHostTimingMs(-1.0); }
+};
+
+TEST_F(FleetDeterminismTest, PlanSessionIsAPureFunctionOfTheIndex) {
+  const CampaignSpec spec = MiniSpec();
+  ASSERT_EQ(spec.CellCount(), 48u);
+
+  // Consecutive indices cycle every cell before any repeats, seeds are
+  // all distinct, and the impostor cadence lands where it should.
+  std::set<std::string> cohort_shapes;
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < spec.CellCount(); ++i) {
+    const SessionPlan plan = PlanSession(spec, i);
+    std::ostringstream shape;
+    shape << plan.scenario.label << "|"
+          << audio::ToString(plan.scenario.scene.environment) << "|"
+          << plan.scenario.scene.distance_m << "|"
+          << plan.scenario.faults.spec << "|" << plan.attack.spec;
+    cohort_shapes.insert(shape.str());
+    seeds.insert(plan.scenario.seed);
+    EXPECT_EQ(plan.scenario.same_body,
+              i % spec.impostor_every != spec.impostor_every - 1);
+  }
+  EXPECT_EQ(cohort_shapes.size(), spec.CellCount());
+  EXPECT_EQ(seeds.size(), spec.CellCount());
+
+  // Replaying any index gives the identical plan (sharding never feeds
+  // into it).
+  for (std::size_t i : {0u, 7u, 47u, 48u, 95u}) {
+    const SessionPlan a = PlanSession(spec, i);
+    const SessionPlan b = PlanSession(spec, i);
+    EXPECT_EQ(a.scenario.seed, b.scenario.seed);
+    EXPECT_EQ(a.scenario.label, b.scenario.label);
+    EXPECT_EQ(a.attack.spec, b.attack.spec);
+  }
+}
+
+TEST_F(FleetDeterminismTest, RollupBytesIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = MiniSpec();
+  const CampaignResult serial = RunCampaign(spec, 1);
+  EXPECT_EQ(serial.sessions, spec.sessions);
+  EXPECT_EQ(serial.shards, 3u);
+  EXPECT_GT(serial.queue_events, serial.sessions)
+      << "multiplexed sessions must each contribute multiple slices";
+
+  const std::string golden = RollupBytes(serial);
+  for (std::size_t threads : {2u, 8u}) {
+    const CampaignResult wide = RunCampaign(spec, threads);
+    EXPECT_EQ(RollupBytes(wide), golden) << threads << " threads";
+    EXPECT_EQ(wide.sessions, serial.sessions);
+    EXPECT_EQ(wide.queue_events, serial.queue_events);
+  }
+}
+
+TEST_F(FleetDeterminismTest, RollupBytesIdenticalAcrossShardSizes) {
+  // Shard boundaries only decide which queue multiplexes a session,
+  // never what the session does - including the ragged-final-shard and
+  // one-session-per-shard extremes.
+  CampaignSpec spec = MiniSpec();
+  const std::string golden = RollupBytes(RunCampaign(spec, 2));
+  for (std::size_t per_shard : {7u, 96u, 1u}) {
+    spec.sessions_per_shard = per_shard;
+    EXPECT_EQ(RollupBytes(RunCampaign(spec, 2)), golden)
+        << per_shard << " sessions per shard";
+  }
+}
+
+TEST_F(FleetDeterminismTest, ShardMergeOrderIsIrrelevant) {
+  const CampaignSpec spec = MiniSpec();
+  const std::vector<ShardRange> shards =
+      MakeShards(spec.sessions, spec.sessions_per_shard);
+  ASSERT_EQ(shards.size(), 3u);
+
+  // Merge the shard sinks forward and reversed; same bytes.
+  std::vector<ShardResult> results;
+  for (const ShardRange& range : shards) {
+    results.push_back(RunShard(spec, range));
+  }
+  CampaignResult forward;
+  for (ShardResult& shard : results) forward.sink.Merge(shard.sink);
+  CampaignResult reversed;
+  for (std::size_t i = results.size(); i > 0; --i) {
+    reversed.sink.Merge(results[i - 1].sink);
+  }
+  EXPECT_EQ(RollupBytes(forward), RollupBytes(reversed));
+  EXPECT_EQ(RollupBytes(forward), RollupBytes(RunCampaign(spec, 1)));
+}
+
+TEST_F(FleetDeterminismTest, MatchesCommittedGoldenRollup) {
+  const std::string bytes = RollupBytes(RunCampaign(MiniSpec(), 2));
+  const std::string golden_path =
+      std::string(WEARLOCK_FLEET_GOLDEN_DIR) + "/fleet_rollup.json";
+  if (std::getenv("WEARLOCK_REGEN_FLEET_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << bytes;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path
+                         << " (regen with WEARLOCK_REGEN_FLEET_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(bytes, golden.str())
+      << "campaign rollup drifted from the committed golden; if the "
+         "change is intentional, regen with WEARLOCK_REGEN_FLEET_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace wearlock

@@ -26,11 +26,17 @@
 #      --threads 1 and 8 whose session logs, rollups and
 #      wearlock_telemetry --diff against the committed golden rollup
 #      must all be byte-clean (docs/observability.md)
-#   8. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#   8. fleet gate: the `fleet` ctest label (state-machine vs blocking
+#      equivalence, campaign determinism, golden fleet rollup), then a
+#      seeded mini-campaign through the wearlock_fleet CLI whose rollup
+#      must byte-match between --threads 1 and 8 and against the
+#      committed golden (docs/architecture.md), plus the fleet
+#      throughput report (BENCH_fleet.json)
+#   9. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
 #      leg gets real cross-thread traffic from concurrency_stress_test,
-#      executor_test, fft_plan_test, fault_matrix_test and
-#      security_matrix_test at WEARLOCK_THREADS=8, and a parallel
-#      bench sweep)
+#      executor_test, fft_plan_test, fault_matrix_test,
+#      security_matrix_test and the fleet multiplexer at
+#      WEARLOCK_THREADS=8, and a parallel bench sweep)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -174,6 +180,41 @@ build/tools/wearlock_telemetry --diff tests/golden/telemetry_rollup.json \
     build/telemetry-rollup-t8.json --threshold 0.02
 echo "mini-campaign rollup matches the committed golden"
 
+banner "fleet gate: ctest -L fleet + campaign rollup byte-diff"
+# The event-driven multiplexer's contract (docs/architecture.md): a
+# campaign rollup is a pure function of the spec - never of the thread
+# count or shard layout - and the blocking Attempt path stays byte-
+# equivalent to the multiplexed one. Fixed host timing is armed so
+# modeled compute cannot absorb scheduler noise.
+ctest --test-dir build -L fleet --output-on-failure
+run_fleet() {  # $1 = thread count, $2 = output rollup json
+  WEARLOCK_FIXED_HOST_MS=1.25 build/tools/wearlock_fleet \
+      --sessions 96 --seed 20260808 --threads "$1" --shard-size 32 \
+      --faults '|drop=0.3' --attacks '|replay@0.5' --out "$2"
+}
+run_fleet 1 build/fleet-t1.json
+run_fleet 8 build/fleet-t8.json
+diff build/fleet-t1.json build/fleet-t8.json
+echo "campaign rollups byte-identical across thread counts"
+diff build/fleet-t1.json tests/golden/fleet_rollup.json
+echo "campaign rollup matches the committed golden"
+
+banner "bench report: fleet throughput JSON (BENCH_fleet.json)"
+# Min-of-3 campaign rounds per thread count; the bench itself verifies
+# every round rolls up byte-identically before reporting sessions/sec.
+build/bench/fleet_throughput --threads 1 \
+    --json build/fleet-bench-t1.json >/dev/null
+build/bench/fleet_throughput --threads 8 \
+    --json build/fleet-bench-t8.json >/dev/null
+{
+  printf '{"bench_suite":"fleet","reports":[\n'
+  cat build/fleet-bench-t1.json
+  printf ',\n'
+  cat build/fleet-bench-t8.json
+  printf ']}\n'
+} >BENCH_fleet.json
+echo "wrote BENCH_fleet.json"
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "skipping sanitizer builds (--skip-sanitizers): ${SANITIZERS[*]}"
   exit 0
@@ -202,6 +243,11 @@ for san in "${SANITIZERS[@]}"; do
     # The security matrix's attack agents on the same wide pool.
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/tests/security_matrix_test"
+    # The fleet multiplexer: shards fanned across 8 real workers, each
+    # draining its own event queue of interleaved sessions.
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        WEARLOCK_FIXED_HOST_MS=1.25 \
+        "build-$san/tests/fleet_determinism_test"
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/bench/fig7_ber_distance" --quick >/dev/null
   fi

@@ -243,6 +243,15 @@ TEST(SharedStateTest, ConstAtomicThreadLocalAndSyncTypesPass) {
   EXPECT_FALSE(HasRule(diags, "shared-state")) << diags[0].message;
 }
 
+TEST(SharedStateTest, DefaultedAndDeletedFunctionsPass) {
+  const auto diags = RunAllOn(
+      "src/protocol/x.cpp",
+      "UnlockSession::~UnlockSession() = default;\n"
+      "Widget::Widget(const Widget&) = delete;\n"
+      "Widget& Widget::operator=(Widget&&) = default;\n");
+  EXPECT_FALSE(HasRule(diags, "shared-state")) << diags[0].message;
+}
+
 TEST(SharedStateTest, MutablePointerToConstIsStillFlagged) {
   // West const qualifies the pointee, not the pointer.
   const auto diags =
@@ -813,6 +822,34 @@ TEST(DiscardedOutcomeTest, QualifiedParseIsCoveredUnqualifiedIsNot) {
                                 "  c.Parse(s);\n"
                                 "}\n"),
                        "discarded-outcome"));
+}
+
+TEST(DiscardedOutcomeTest, EventQueueSchedulingIsCovered) {
+  // A dropped EventId (or Cancel verdict) discards the only handle on
+  // the scheduled event - the multiplexer's version of an ignored Try*.
+  EXPECT_TRUE(HasRule(RunAllOn("src/sim/x.cpp",
+                               "void F(sim::EventQueue& q, Cb fn) {\n"
+                               "  q.ScheduleAfter(5.0, fn);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_TRUE(HasRule(RunAllOn("src/sim/x.cpp",
+                               "void F(sim::EventQueue& q, Cb fn) {\n"
+                               "  q.ScheduleAt(10.0, fn);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_TRUE(HasRule(RunAllOn("src/sim/x.cpp",
+                               "void F(sim::EventQueue& q, EventId id) {\n"
+                               "  q.Cancel(id);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/sim/x.cpp",
+               "void F(sim::EventQueue& q, Cb fn, EventId id) {\n"
+               "  auto pending = q.ScheduleAfter(5.0, fn);\n"
+               "  (void)q.ScheduleAt(10.0, fn);\n"
+               "  if (q.Cancel(id)) { Use(); }\n"
+               "}\n"),
+      "discarded-outcome"));
 }
 
 TEST(DiscardedOutcomeTest, NolintSuppresses) {

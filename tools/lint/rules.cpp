@@ -455,6 +455,13 @@ class SharedStateScanner {
     const std::size_t eq = TopLevelAssign(stmt);
     std::string decl =
         eq == std::string::npos ? stmt : stmt.substr(0, eq);
+    // `T::~T() = default;` / `T(const T&) = delete;` define or remove
+    // functions: a ')' declarator with an '=' is never a variable (a
+    // parens-declarator variable cannot also carry an '=' initializer).
+    if (eq != std::string::npos &&
+        PrevSignificant(decl, decl.size()) == ')') {
+      return;
+    }
     const bool has_init = eq != std::string::npos ||
                           decl.find('{') != std::string::npos;
     if (!has_init) {
@@ -1068,6 +1075,13 @@ constexpr OutcomeApi kOutcomeApis[] = {
     {"", "TrySendFileDelay"},
     {"", "TrySendRoundTrip"},
     {"FaultPlan", "Parse"},
+    // EventQueue scheduling: a dropped EventId usually means the caller
+    // meant to track or cancel the event; a dropped Cancel result hides
+    // cancel-after-fire races. Member calls cannot be qualified, but the
+    // names are unique to EventQueue across the tree.
+    {"", "ScheduleAt"},
+    {"", "ScheduleAfter"},
+    {"", "Cancel"},
 };
 
 }  // namespace
