@@ -1,6 +1,8 @@
 #include "audio/scene.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "dsp/filter.h"
 #include "dsp/hilbert.h"
@@ -14,6 +16,24 @@ NoiseSource MakeAmbient(const SceneConfig& config, sim::Rng rng) {
   return NoiseSource(config.environment, std::move(rng));
 }
 
+/// The Tg-vs-reverberation bound (paper SIII): the speaker keeps
+/// radiating for ringing_tail_s after the input stops, and the frame's
+/// guard interval must exceed that "largest reverberation length" or
+/// the tail smears into the first OFDM symbol. Before this check the
+/// bound lived only in a speaker.h comment and an oversized tail was
+/// silently absorbed into the symbols.
+void ValidateGuardBudget(const SceneConfig& config) {
+  const std::size_t tail =
+      SamplesFromSeconds(config.phone_speaker.spec().ringing_tail_s);
+  if (tail > config.guard_budget_samples) {
+    throw std::invalid_argument(
+        "TwoMicScene: speaker ringing tail (" + std::to_string(tail) +
+        " samples) exceeds the guard interval Tg (" +
+        std::to_string(config.guard_budget_samples) +
+        " samples); lengthen the guard or shorten the tail");
+  }
+}
+
 }  // namespace
 
 TwoMicScene::TwoMicScene(SceneConfig config, sim::Rng rng)
@@ -21,7 +41,20 @@ TwoMicScene::TwoMicScene(SceneConfig config, sim::Rng rng)
       propagation_(config.propagation),
       shared_ambient_(MakeAmbient(config, rng.Fork())),
       watch_ambient_(MakeAmbient(config, rng.Fork())),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)) {
+  ValidateGuardBudget(config_);
+}
+
+void TwoMicScene::ArmImpairments(const ImpairmentPlan& plan, sim::Rng rng,
+                                 std::size_t rx_guard_samples) {
+  impairments_.emplace(plan, std::move(rng), rx_guard_samples);
+}
+
+void TwoMicScene::AdvanceTimeMs(double ms) {
+  if (impairments_ && ms > 0.0) {
+    impairments_->AdvanceCursor(SamplesFromSeconds(ms / 1000.0));
+  }
+}
 
 void TwoMicScene::set_propagation(const PropagationSpec& spec) {
   config_.propagation = spec;
@@ -54,14 +87,32 @@ SceneReception TwoMicScene::TransmitFromPhone(const Samples& signal,
   // Watch side: propagate, jitter, then sit it in ambient noise.
   Samples at_watch =
       ApplyPhaseJitter(propagation_.Propagate(emitted, config_.distance_m));
-  const std::size_t total =
-      config_.lead_in_samples + at_watch.size() + config_.lead_out_samples;
+  if (impairments_) {
+    // SRO/Doppler warp + room late field, as the watch's clock hears it.
+    at_watch = impairments_->ApplyWatchPath(std::move(at_watch));
+  }
+  const std::size_t total = config_.lead_in_samples + at_watch.size() +
+                            config_.lead_out_samples +
+                            (impairments_ ? impairments_->rx_guard_samples() : 0);
 
   Samples shared = SharedAmbient(total);
   Samples watch_pressure =
       config_.co_located ? shared : IndependentAmbient(total);
   if (jammer_) MixInto(watch_pressure, jammer_->Generate(total));
   MixInto(watch_pressure, MicNoise(total, config_.watch_mic));
+  // Contending neighbors and noise bursts are environmental events:
+  // both co-located mics hear the same waveform (the ambient-similarity
+  // filter must keep working under contention).
+  Samples neighbor;
+  Samples burst;
+  if (impairments_) {
+    if (impairments_->has_neighbors()) {
+      neighbor = impairments_->NeighborWaveform(total);
+      MixInto(watch_pressure, neighbor);
+    }
+    burst = impairments_->MaybeBurst(total, wearlock::dsp::Rms(watch_pressure));
+    if (!burst.empty()) MixInto(watch_pressure, burst);
+  }
   const double watch_noise_spl = wearlock::dsp::SplOf(watch_pressure);
   MixIntoAt(watch_pressure, at_watch, config_.lead_in_samples);
 
@@ -72,7 +123,17 @@ SceneReception TwoMicScene::TransmitFromPhone(const Samples& signal,
   Samples phone_pressure = std::move(shared);
   phone_pressure.resize(total, 0.0);
   MixInto(phone_pressure, MicNoise(total, config_.phone_mic));
+  if (!neighbor.empty()) MixInto(phone_pressure, neighbor);
+  if (!burst.empty()) MixInto(phone_pressure, burst);
   MixIntoAt(phone_pressure, at_phone, config_.lead_in_samples);
+
+  if (impairments_) {
+    // The watch's capture window opened early by the accumulated clock
+    // offset: content slides later, the tail past the window is lost.
+    watch_pressure = impairments_->ShiftCaptureWindow(
+        std::move(watch_pressure), config_.lead_in_samples);
+    impairments_->AdvanceCursor(total);
+  }
 
   SceneReception r;
   r.signal_start = config_.lead_in_samples;
@@ -91,6 +152,20 @@ std::pair<Samples, Samples> TwoMicScene::RecordAmbientPair(std::size_t n) {
                                               : IndependentAmbient(n);
   if (jammer_) MixInto(watch_pressure, jammer_->Generate(n));
   MixInto(watch_pressure, MicNoise(n, config_.watch_mic));
+  if (impairments_) {
+    if (impairments_->has_neighbors()) {
+      const Samples neighbor = impairments_->NeighborWaveform(n);
+      MixInto(phone_pressure, neighbor);
+      MixInto(watch_pressure, neighbor);
+    }
+    const Samples burst =
+        impairments_->MaybeBurst(n, wearlock::dsp::Rms(watch_pressure));
+    if (!burst.empty()) {
+      MixInto(phone_pressure, burst);
+      MixInto(watch_pressure, burst);
+    }
+    impairments_->AdvanceCursor(n);
+  }
   return {config_.phone_mic.Capture(phone_pressure),
           config_.watch_mic.Capture(watch_pressure)};
 }

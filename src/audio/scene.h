@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "audio/impairments.h"
 #include "audio/microphone.h"
 #include "audio/noise.h"
 #include "audio/propagation.h"
@@ -39,6 +40,12 @@ struct SceneConfig {
   /// Receive-chain phase jitter (see ChannelConfig docs).
   double phase_noise_rad = 0.04;
   double phase_noise_bw_hz = 600.0;
+  /// The frame's guard interval Tg (samples). The paper sizes Tg to
+  /// exceed the speaker's "largest reverberation length"; the scene
+  /// enforces that at build time (a ringing tail longer than the guard
+  /// would silently smear into the first OFDM symbol). Matches
+  /// modem::FrameSpec::preamble_guard_samples by default.
+  std::size_t guard_budget_samples = 1024;
 };
 
 /// What both mics captured for one transmission.
@@ -52,6 +59,9 @@ struct SceneReception {
 
 class TwoMicScene {
  public:
+  /// @throws std::invalid_argument if the speaker's ringing tail
+  /// exceeds config.guard_budget_samples (the Tg-vs-reverberation
+  /// bound the paper sizes the guard interval around).
   TwoMicScene(SceneConfig config, sim::Rng rng);
 
   /// Phone plays `signal` at `volume`; both mics record.
@@ -75,6 +85,24 @@ class TwoMicScene {
   void SetJammer(std::optional<ToneJammer> jammer) { jammer_ = std::move(jammer); }
   const SceneConfig& config() const { return config_; }
 
+  /// Arm a channel-impairment plan. The rng must be forked from the
+  /// session seed *after* every pre-existing fork (the doctrine in
+  /// impairments.h): an unarmed scene never consults it, so unimpaired
+  /// sessions replay byte-identically. `rx_guard_samples` extends the
+  /// watch's capture window (hardened receiver's drift margin).
+  void ArmImpairments(const ImpairmentPlan& plan, sim::Rng rng,
+                      std::size_t rx_guard_samples);
+
+  /// Armed impairment state, or nullptr for the clean scene.
+  ChannelImpairments* impairments() { return impairments_ ? &*impairments_ : nullptr; }
+  const ChannelImpairments* impairments() const {
+    return impairments_ ? &*impairments_ : nullptr;
+  }
+
+  /// Advance the acoustic timeline without capturing (MAC backoff
+  /// waits): neighbors' duty cycles progress while the phone holds off.
+  void AdvanceTimeMs(double ms);
+
  private:
   Samples SharedAmbient(std::size_t n);
   Samples IndependentAmbient(std::size_t n);
@@ -86,6 +114,7 @@ class TwoMicScene {
   NoiseSource shared_ambient_;
   NoiseSource watch_ambient_;  // used when not co-located
   std::optional<ToneJammer> jammer_;
+  std::optional<ChannelImpairments> impairments_;
   sim::Rng rng_;
 };
 

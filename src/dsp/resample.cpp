@@ -94,4 +94,37 @@ std::vector<double> WarpTimeLinear(const std::vector<double>& x, double rate) {
   return out;
 }
 
+std::vector<double> WarpTimeSinc(const std::vector<double>& x, double rate,
+                                 std::size_t taps) {
+  if (rate <= 0.0) throw std::invalid_argument("WarpTimeSinc: rate <= 0");
+  if (taps == 0 || taps % 2 == 0) {
+    throw std::invalid_argument("WarpTimeSinc: taps must be odd and nonzero");
+  }
+  if (x.empty()) return {};
+  const std::size_t out_len =
+      static_cast<std::size_t>(static_cast<double>(x.size()) / rate);
+  std::vector<double> out(out_len, 0.0);
+  const long long half = static_cast<long long>(taps / 2);
+  const long long n = static_cast<long long>(x.size());
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * rate;
+    const long long centre = static_cast<long long>(std::floor(pos));
+    double acc = 0.0;
+    double norm = 0.0;
+    for (long long k = centre - half; k <= centre + half; ++k) {
+      const double d = pos - static_cast<double>(k);
+      // Hann window centred on the (fractional) sample position.
+      const double w =
+          0.5 + 0.5 * std::cos(kPi * d / (static_cast<double>(half) + 1.0));
+      const double h = Sinc(d) * w;
+      norm += h;
+      if (k >= 0 && k < n) acc += x[static_cast<std::size_t>(k)] * h;
+    }
+    // Normalize the truncated kernel's DC gain so warps don't change
+    // signal level.
+    out[i] = std::abs(norm) > 1e-12 ? acc / norm : 0.0;
+  }
+  return out;
+}
+
 }  // namespace wearlock::dsp

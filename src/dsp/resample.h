@@ -29,4 +29,13 @@ std::vector<double> DelayFractional(const std::vector<double>& x,
 /// floor(x.size() / rate). @throws std::invalid_argument for rate <= 0.
 std::vector<double> WarpTimeLinear(const std::vector<double>& x, double rate);
 
+/// Windowed-sinc version of WarpTimeLinear: output[i] = x(i * rate)
+/// interpolated with `taps` sinc coefficients per output sample. Keeps
+/// OFDM constellations clean where linear interpolation's high-band
+/// droop would not (sample-rate-offset / Doppler compensation in the
+/// hardened receiver). Output length is floor(x.size() / rate).
+/// @throws std::invalid_argument for rate <= 0 or even/zero taps.
+std::vector<double> WarpTimeSinc(const std::vector<double>& x, double rate,
+                                 std::size_t taps = 17);
+
 }  // namespace wearlock::dsp

@@ -1,6 +1,8 @@
 #include "modem/streaming.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 
 namespace wearlock::modem {
 
@@ -50,12 +52,68 @@ void StreamingReceiver::Reset() {
   preamble_start_ = 0;
   state_ = StreamState::kSearching;
   result_.reset();
+  audio::Samples().swap(warp_pending_);
+  warp_base_ = 0;
+  warp_out_ = 0;
 }
 
-StreamState StreamingReceiver::Push(const audio::Samples& chunk) {
+audio::Samples StreamingReceiver::WarpIngest(const audio::Samples& chunk) {
+  // Same kernel as dsp::WarpTimeSinc (Hann-windowed sinc, DC-normalized),
+  // run incrementally: an output sample is emitted only once its whole
+  // kernel support has arrived, and the phase accumulator carries the
+  // fractional position across chunks - so a given input stream yields
+  // the same compensated stream for any chunking.
+  constexpr double kPi = std::numbers::pi;
+  const double step = 1.0 / (1.0 + config_.compensate_rate_ppm * 1e-6);
+  const long long half = static_cast<long long>(config_.resample_taps / 2);
+  warp_pending_.insert(warp_pending_.end(), chunk.begin(), chunk.end());
+  const auto available = static_cast<long long>(warp_base_) +
+                         static_cast<long long>(warp_pending_.size());
+  audio::Samples out;
+  while (true) {
+    const double pos = static_cast<double>(warp_out_) * step;
+    const long long centre = static_cast<long long>(std::floor(pos));
+    if (centre + half >= available) break;  // kernel not fully covered yet
+    double acc = 0.0;
+    double norm = 0.0;
+    for (long long k = centre - half; k <= centre + half; ++k) {
+      const double d = pos - static_cast<double>(k);
+      const double w =
+          0.5 + 0.5 * std::cos(kPi * d / (static_cast<double>(half) + 1.0));
+      const double s = std::abs(d) < 1e-12
+                           ? 1.0
+                           : std::sin(kPi * d) / (kPi * d);
+      const double h = s * w;
+      norm += h;
+      const long long rel = k - static_cast<long long>(warp_base_);
+      if (k >= 0 && rel >= 0 &&
+          rel < static_cast<long long>(warp_pending_.size())) {
+        acc += warp_pending_[static_cast<std::size_t>(rel)] * h;
+      }
+    }
+    out.push_back(std::abs(norm) > 1e-12 ? acc / norm : 0.0);
+    ++warp_out_;
+  }
+  // Drop input the next output's kernel can no longer reach.
+  const long long next_centre = static_cast<long long>(
+      std::floor(static_cast<double>(warp_out_) * step));
+  const long long keep_from = std::max<long long>(0, next_centre - half);
+  if (keep_from > static_cast<long long>(warp_base_)) {
+    const std::size_t drop =
+        static_cast<std::size_t>(keep_from - static_cast<long long>(warp_base_));
+    warp_pending_.erase(warp_pending_.begin(),
+                        warp_pending_.begin() + static_cast<long>(drop));
+    warp_base_ = static_cast<std::uint64_t>(keep_from);
+  }
+  return out;
+}
+
+StreamState StreamingReceiver::Push(const audio::Samples& raw) {
   if (state_ == StreamState::kDone || state_ == StreamState::kFailed) {
     return state_;
   }
+  const audio::Samples chunk =
+      config_.compensate_rate_ppm != 0.0 ? WarpIngest(raw) : raw;
   // Compact the discarded prefix before growing, so the backing store
   // never holds more than the retained tail plus this chunk. This is a
   // bounded memmove; with warm capacity the insert below cannot

@@ -46,6 +46,15 @@ struct StreamingConfig {
   std::size_t search_retain_samples = 16384;
   /// Extra samples past the nominal frame end to tolerate sync slack.
   std::size_t guard_tail_samples = 512;
+  /// Timing-drift compensation (modem/drift.h): when nonzero, every
+  /// pushed chunk runs through a stateful windowed-sinc fractional-delay
+  /// resampler that undoes a capture recorded at rate
+  /// (1 + compensate_rate_ppm * 1e-6) - the sync-driven drift estimate
+  /// feeds this. The resampler keeps interpolation phase across chunk
+  /// boundaries, so chunking does not affect the compensated stream.
+  double compensate_rate_ppm = 0.0;
+  /// Interpolation kernel width for the drift resampler (odd).
+  std::size_t resample_taps = 17;
 };
 
 class StreamingReceiver {
@@ -83,6 +92,9 @@ class StreamingReceiver {
 
   void TrySearch();
   void TryDecode();
+  /// Drift compensation: fold `chunk` into the resampler and return the
+  /// output samples that became computable (kernel fully covered).
+  audio::Samples WarpIngest(const audio::Samples& chunk);
 
   FrameSpec spec_;
   StreamingConfig config_;
@@ -101,6 +113,12 @@ class StreamingReceiver {
   std::size_t preamble_start_ = 0;  ///< absolute index once detected
   StreamState state_ = StreamState::kSearching;
   std::optional<DemodResult> result_;
+  /// Fractional-delay resampler state (compensate_rate_ppm != 0):
+  /// pending raw input, the absolute input index of its first sample,
+  /// and the index of the next compensated output sample.
+  audio::Samples warp_pending_;
+  std::uint64_t warp_base_ = 0;
+  std::uint64_t warp_out_ = 0;
 };
 
 }  // namespace wearlock::modem

@@ -20,8 +20,13 @@ std::string SessionRecord::ToJsonl() const {
      << ",\"environment\":" << str(environment)
      << ",\"distance_m\":" << JsonNumber(distance_m)
      << ",\"fault_spec\":" << str(fault_spec)
-     << ",\"attack_spec\":" << str(attack_spec)
-     << ",\"activity\":" << str(activity)
+     << ",\"attack_spec\":" << str(attack_spec);
+  // Emitted only when armed, so records from impairment-free sessions
+  // stay byte-identical to the pre-channel-pack schema.
+  if (!impairment_spec.empty()) {
+    os << ",\"impairment_spec\":" << str(impairment_spec);
+  }
+  os << ",\"activity\":" << str(activity)
      << ",\"same_body\":" << (same_body ? "true" : "false")
      << ",\"outcome\":" << str(outcome)
      << ",\"unlocked\":" << (unlocked ? "true" : "false")
@@ -77,6 +82,7 @@ std::optional<SessionRecord> SessionRecord::FromJson(const JsonValue& v,
   r.distance_m = num("distance_m", 0.0);
   r.fault_spec = str("fault_spec");
   r.attack_spec = str("attack_spec");
+  r.impairment_spec = str("impairment_spec");
   r.activity = str("activity");
   r.same_body = flag("same_body", true);
   r.outcome = str("outcome");

@@ -30,6 +30,9 @@ struct SessionRecord {
   double distance_m = 0.0;  ///< phone -> watch distance
   std::string fault_spec;   ///< CLI fault grammar, "" when fault-free
   std::string attack_spec;  ///< CLI attack grammar, "" when unattacked
+  /// CLI impairment grammar, "" for a clean channel. Serialized only
+  /// when non-empty so clean-channel records keep their old byte shape.
+  std::string impairment_spec;
   std::string activity;     ///< user activity during the attempt
   bool same_body = true;    ///< devices on the same person?
 

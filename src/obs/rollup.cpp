@@ -36,6 +36,11 @@ std::string DefaultCohortKey(const SessionRecord& record) {
   // The attack axis only appears when armed, so unattacked cohorts keep
   // their historical keys (the committed golden rollup pins them).
   if (!record.attack_spec.empty()) key += ";attack=" + record.attack_spec;
+  // Same contract for the channel axis: clean-channel cohorts keep
+  // their historical keys, impaired cells get their own cohorts.
+  if (!record.impairment_spec.empty()) {
+    key += ";chan=" + record.impairment_spec;
+  }
   return key;
 }
 

@@ -8,9 +8,11 @@
 
 #include "dsp/spl.h"
 #include "modem/coding.h"
+#include "modem/drift.h"
 #include "modem/snr.h"
 #include "obs/instrument.h"
 #include "obs/log.h"
+#include "protocol/acoustic_mac.h"
 
 namespace wearlock::protocol {
 namespace {
@@ -188,6 +190,19 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
   OffloadPlanner effective = offload;
   int link_faults = 0;
 
+  // --- Crowded-world hardening state (docs/channels.md) ---------------
+  // Every hardening branch is gated on the scene actually having channel
+  // impairments armed, so clean scenes take the exact pre-existing path
+  // and consume the exact pre-existing scene draws (the PR-3/4/5/8
+  // goldens pin this).
+  audio::ChannelImpairments* const chan = scene.impairments();
+  const ChannelHardeningConfig& hard = config_.channel;
+  const bool hardened = hard.enable && chan != nullptr;
+  std::optional<CarrierSenseReport> sense;  // latest, feeds reselection
+  modem::DriftEstimate drift;               // latest probe-frame estimate
+  double compensate_ppm = 0.0;              // warp undone on captures
+  int sync_failures = 0;
+
   auto trace = [&](const std::string& step, const std::string& detail) {
     report.trace.push_back({step, detail, clock.now()});
   };
@@ -348,6 +363,49 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
     }
   };
 
+  // Listen-before-talk (the acoustic MAC): sense the band through the
+  // phone's own mic and defer the emission with bounded-exponential
+  // backoff while a neighbor holds it. All waits are modeled time, and
+  // the scene's acoustic cursor advances with them, so a re-listen sees
+  // every neighbor's duty cycle progressed. Returns false when the band
+  // never cleared within the attempt budget.
+  auto mac_acquire = [&](const char* stage, sim::Millis& audio_ms)
+      -> sim::CoTask<bool> {
+    if (!hardened || !chan->has_neighbors()) co_return true;
+    for (int attempt = 0; attempt <= hard.mac.max_attempts; ++attempt) {
+      const std::size_t n = hard.mac.sense_window_samples;
+      const auto [phone_sense, watch_sense] = scene.RecordAmbientPair(n);
+      (void)watch_sense;
+      const sim::Millis sense_ms = AudioMs(n);
+      audio_ms += sense_ms;
+      co_await charge(sense_ms);
+      sense = SenseChannel(config_.frame, phone_sense,
+                           hard.mac.busy_over_floor_db);
+      if (!sense->busy) {
+        chan->RecordEvent("mac-clear",
+                          std::string(stage) + ": in-band " +
+                              fmt(sense->inband_db, 1) + " dB, floor " +
+                              fmt(sense->floor_db, 1) + " dB",
+                          clock.now());
+        co_return true;
+      }
+      if (attempt == hard.mac.max_attempts || total_left() <= 0.0) break;
+      const sim::Millis backoff = hard.mac.BackoffMs(attempt);
+      WL_COUNT("protocol.mac.defer");
+      chan->RecordEvent("mac-defer",
+                        std::string(stage) + ": busy, backoff " +
+                            fmt(backoff, 0) + " ms",
+                        clock.now());
+      trace("mac-defer", std::string(stage) + " deferred " + fmt(backoff, 0) +
+                             " ms: band busy");
+      scene.AdvanceTimeMs(backoff);
+      co_await charge(backoff);
+    }
+    WL_COUNT("protocol.mac.unusable");
+    chan->RecordEvent("mac-unusable", stage, clock.now());
+    co_return false;
+  };
+
   if (!keyguard_->CanAttemptWearlock()) {
     report.outcome = UnlockOutcome::kLockedOut;
     co_return report;
@@ -423,6 +481,11 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
   Phase1Report phase1;
   int probe_rounds = 0;
   while (true) {
+    if (!co_await mac_acquire("probe", report.timings.phase1_audio_ms)) {
+      report.outcome = UnlockOutcome::kChannelUnusable;
+      trace("mac", "band never cleared for the probe: channel unusable");
+      co_return report;
+    }
     WL_SPAN_V(probe_tx_span, "phase1.probe_tx");
     const audio::SceneReception probe_rx =
         scene.TransmitFromPhone(probe_tx.samples, report.probe_volume);
@@ -499,10 +562,24 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
     WL_SPAN_END(probe_span);
 
     if (probe) break;
-    if (!resilient || probe_rounds >= res.max_probe_retransmits ||
-        total_left() <= 0.0) {
-      report.outcome = UnlockOutcome::kNoPreamble;
-      trace("probe-analysis", "no preamble found in the watch recording");
+    ++sync_failures;
+    if (hardened) {
+      chan->RecordEvent("sync-failure", "probe analysis found no preamble",
+                        clock.now());
+    }
+    // A hardened receiver on an impaired channel retries sync like the
+    // fault-resilient path does; past the budget it fails closed with
+    // the channel verdict rather than blaming range.
+    if ((!resilient && !hardened) ||
+        probe_rounds >= res.max_probe_retransmits || total_left() <= 0.0) {
+      if (hardened) {
+        report.outcome = UnlockOutcome::kChannelUnusable;
+        trace("probe-analysis",
+              "no sync on the impaired channel: failing closed");
+      } else {
+        report.outcome = UnlockOutcome::kNoPreamble;
+        trace("probe-analysis", "no preamble found in the watch recording");
+      }
       co_return report;
     }
     WL_COUNT("protocol.retransmit.probe");
@@ -510,6 +587,46 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
     co_await backoff_pause(probe_rounds, report.timings.phase1_comm_ms);
     ++probe_rounds;
   }
+  // Sync-driven drift tracking on the probe capture (modem/drift.h): the
+  // preamble offset recovers the accumulated clock shift, the pilot
+  // spacing the ongoing warp rate. On a detected warp the capture is run
+  // through the fractional resampler and the probe analysis - pilot
+  // equalizer included - re-estimated on the de-warped audio.
+  if (hardened) {
+    std::optional<modem::ProbeAnalysis> reprobe;
+    const sim::Millis drift_host_ms = sim::TimeHostMs([&] {
+      drift = modem::EstimateDrift(phase1.recording, config_.frame,
+                                   scene.config().lead_in_samples, hard.drift);
+      if (drift.valid && std::abs(drift.rate_ppm) >= hard.min_compensate_ppm) {
+        reprobe = modem.AnalyzeProbe(
+            modem::CompensateRate(phase1.recording, drift.rate_ppm));
+      }
+    });
+    report.timings.phase1_compute_ms += drift_host_ms;
+    co_await Wait(drift_host_ms);
+    if (drift.valid) {
+      chan->RecordEvent("drift-estimate",
+                        "shift " + std::to_string(drift.shift_samples) +
+                            " samples (" + fmt(drift.sro_ppm, 1) +
+                            " ppm SRO), warp " + fmt(drift.rate_ppm, 0) +
+                            " ppm at score " + fmt(drift.rate_score, 2),
+                        clock.now());
+      WL_HIST("protocol.drift.sro_ppm", drift.sro_ppm);
+    }
+    if (reprobe) {
+      compensate_ppm = drift.rate_ppm;
+      probe = reprobe;
+      WL_COUNT("protocol.drift.compensated");
+      chan->RecordEvent(
+          "drift-compensate",
+          "probe re-equalized at " + fmt(compensate_ppm, 0) + " ppm",
+          clock.now());
+      trace("drift-compensate", "warp " + fmt(compensate_ppm, 0) +
+                                    " ppm compensated; equalizer "
+                                    "re-estimated");
+    }
+  }
+
   report.preamble_score = probe->preamble_score;
   trace("probe-analysis",
         "score " + fmt(probe->preamble_score) + ", pilot SNR " +
@@ -662,8 +779,19 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
     WL_SPAN_V(select_span, "phase1.subchannel_select");
     report.plan = config_.frame.plan;
     if (config_.enable_subchannel_selection) {
-      report.plan = modem::SelectSubchannels(config_.frame.plan,
-                                             probe->noise_power);
+      std::vector<double> noise = probe->noise_power;
+      // Carrier-sense reselection: a neighbor quiet during the probe's
+      // own airtime still showed up in the MAC's sense window; merging
+      // the per-bin sense power (element-wise max) steers the data bins
+      // away from every bin any co-channel transmitter touched.
+      if (hardened && sense && !sense->bin_power.empty()) {
+        const std::size_t n = std::min(noise.size(), sense->bin_power.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          noise[i] = std::max(noise[i], sense->bin_power[i]);
+        }
+        trace("carrier-sense", "sense spectrum merged into sub-band ranking");
+      }
+      report.plan = modem::SelectSubchannels(config_.frame.plan, noise);
       modem = modem.WithPlan(report.plan);
     }
     WL_SPAN_ATTR(select_span, "data_bins",
@@ -683,6 +811,17 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
   adaptive.max_ber = required_ber;
   if (report.nlos) {
     adaptive.modes = {modem::Modulation::kQpsk, modem::Modulation::kQask};
+  }
+  // Extended degrade ladder: repeated sync losses mean the channel
+  // estimate cannot be trusted at dense constellations - restrict the
+  // candidate set to the robust low-rate modes before adapting.
+  if (hardened && sync_failures >= hard.robust_after_sync_failures) {
+    adaptive.modes = {modem::Modulation::kBpsk, modem::Modulation::kQpsk};
+    chan->RecordEvent("degrade-robust",
+                      std::to_string(sync_failures) +
+                          " sync failures: robust low-rate modes only",
+                      clock.now());
+    trace("degrade", "repeated sync failures: robust low-rate modes only");
   }
   auto mode =
       modem::SelectModeFromSnr(modem.spec(), report.pilot_snr_db, adaptive);
@@ -745,6 +884,11 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
   modem::SoftCombiner combiner;
   int p2_round = 0;
   while (true) {
+    if (!co_await mac_acquire("phase2", report.timings.phase2_audio_ms)) {
+      report.outcome = UnlockOutcome::kChannelUnusable;
+      trace("mac", "band never cleared for phase 2: channel unusable");
+      co_return report;
+    }
     WL_SPAN_V(data_tx_span, "phase2.data_tx");
     const audio::SceneReception data_rx =
         scene.TransmitFromPhone(data_tx.samples, report.probe_volume);
@@ -797,6 +941,18 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
     }
 
     if (faults != nullptr) faults->MutateRecording("p2-data", &phase2_recording);
+
+    // Timing-drift compensation carried over from the probe: the same
+    // warp rate holds for this capture (one walker, one clock pair), so
+    // the receiver resamples before demodulating.
+    if (hardened && compensate_ppm != 0.0) {
+      const sim::Millis comp_host_ms = sim::TimeHostMs([&] {
+        phase2_recording =
+            modem::CompensateRate(phase2_recording, compensate_ppm);
+      });
+      report.timings.phase2_compute_ms += comp_host_ms;
+      co_await Wait(comp_host_ms);
+    }
 
     // Demodulation at the offload site (post-degrade-ladder site).
     WL_SPAN_V(demod_span, "phase2.demod");
@@ -928,8 +1084,24 @@ sim::CoTask<UnlockReport> AttemptMachine::RunInner() {
     }
     // Failed round. One keyguard strike per *attempt*, charged at final
     // failure only - in-protocol retransmissions are not user mistakes.
-    if (!resilient || p2_round >= res.max_phase2_retransmits ||
-        total_left() <= 0.0) {
+    const bool synced = bits.size() == phase2_config.payload_bits;
+    if (!synced) {
+      ++sync_failures;
+      if (hardened) {
+        chan->RecordEvent("sync-failure", "phase-2 frame did not demodulate",
+                          clock.now());
+      }
+    }
+    if ((!resilient && !hardened) ||
+        p2_round >= res.max_phase2_retransmits || total_left() <= 0.0) {
+      if (hardened && !synced) {
+        // The channel, not the token, is at fault: fail closed with the
+        // channel verdict and no strike (an environmental condition, not
+        // a user mistake).
+        report.outcome = UnlockOutcome::kChannelUnusable;
+        trace("phase2", "no frame sync on the impaired channel: failing closed");
+        co_return report;
+      }
       keyguard_->ReportFailure();
       report.outcome = UnlockOutcome::kTokenRejected;
       co_return report;

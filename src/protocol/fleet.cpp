@@ -22,16 +22,20 @@ ScenarioConfig BaseConfig(int config_id) {
 
 std::size_t CampaignSpec::CellCount() const {
   return configs.size() * environments.size() * distances_m.size() *
-         fault_specs.size() * attack_specs.size();
+         fault_specs.size() * attack_specs.size() * impairment_specs.size();
 }
 
 SessionPlan PlanSession(const CampaignSpec& spec, std::size_t index) {
   // Cell axes unroll row-major with the attack axis fastest, so
   // consecutive indices cycle attacks before environments - every cell
-  // fills at the same rate.
+  // fills at the same rate. The impairment axis sits between attack and
+  // fault; its default size of 1 keeps the arithmetic (and therefore
+  // every historical cell assignment) unchanged for clean campaigns.
   std::size_t cell = index % spec.CellCount();
   const std::size_t attack_i = cell % spec.attack_specs.size();
   cell /= spec.attack_specs.size();
+  const std::size_t impair_i = cell % spec.impairment_specs.size();
+  cell /= spec.impairment_specs.size();
   const std::size_t fault_i = cell % spec.fault_specs.size();
   cell /= spec.fault_specs.size();
   const std::size_t dist_i = cell % spec.distances_m.size();
@@ -57,6 +61,14 @@ SessionPlan PlanSession(const CampaignSpec& spec, std::size_t index) {
   if (!attack_spec.empty()) {
     plan.attack = sim::AttackSpec::Parse(attack_spec);
     plan.scenario.attack = plan.attack;
+  }
+  std::string impairment_spec = spec.impairment_specs[impair_i];
+  if (spec.contention_pairs > 0) {
+    if (!impairment_spec.empty()) impairment_spec += ',';
+    impairment_spec += "pairs=" + std::to_string(spec.contention_pairs);
+  }
+  if (!impairment_spec.empty()) {
+    plan.scenario.impairments = audio::ImpairmentPlan::Parse(impairment_spec);
   }
   return plan;
 }

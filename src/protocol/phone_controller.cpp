@@ -26,11 +26,18 @@ std::string ToString(UnlockOutcome outcome) {
     case UnlockOutcome::kRetriesExhausted: return "retries-exhausted";
     case UnlockOutcome::kDistanceBoundViolation:
       return "distance-bound-violation";
+    case UnlockOutcome::kChannelUnusable: return "channel-unusable";
   }
   return "?";
 }
 
 sim::Millis ResilienceConfig::BackoffMs(int attempt) const {
+  sim::Millis backoff = backoff_base_ms;
+  for (int i = 0; i < attempt && backoff < backoff_max_ms; ++i) backoff *= 2.0;
+  return std::min(backoff, backoff_max_ms);
+}
+
+sim::Millis AcousticMacConfig::BackoffMs(int attempt) const {
   sim::Millis backoff = backoff_base_ms;
   for (int i = 0; i < attempt && backoff < backoff_max_ms; ++i) backoff *= 2.0;
   return std::min(backoff, backoff_max_ms);

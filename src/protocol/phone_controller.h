@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "audio/scene.h"
+#include "modem/drift.h"
 #include "modem/modem.h"
 #include "protocol/ambient.h"
 #include "protocol/distance_bounding.h"
@@ -46,6 +47,11 @@ enum class UnlockOutcome {
   /// Acoustic ranging put the watch beyond the secure bound (or heard
   /// no chirp at all): relay/wormhole suspected. Fails closed.
   kDistanceBoundViolation,
+  /// The acoustic channel itself is unusable - the MAC never found the
+  /// band clear, or the hardened receiver kept losing sync past the
+  /// degrade ladder's robust mode. Fails closed with no keyguard strike
+  /// (an environmental condition, not a user mistake).
+  kChannelUnusable,
 };
 
 std::string ToString(UnlockOutcome outcome);
@@ -81,6 +87,50 @@ struct ResilienceConfig {
 
   /// min(backoff_max_ms, backoff_base_ms * 2^attempt).
   sim::Millis BackoffMs(int attempt) const;
+};
+
+/// Listen-before-talk on the acoustic band (docs/channels.md). Before
+/// emitting the probe or a Phase-2 frame in a contended scene, the phone
+/// senses the band through its own mic; a busy verdict defers the
+/// emission with bounded-exponential backoff on modeled time. Engages
+/// only when channel impairments are armed with contending pairs, so
+/// clean-scene sessions never consult it (or the scene's draws).
+struct AcousticMacConfig {
+  /// Sense-window length (samples of self-recorded ambient).
+  std::size_t sense_window_samples = 1024;
+  /// Busy when the loudest in-band data bin exceeds the robust floor
+  /// (lower-quartile bin) by this many dB.
+  double busy_over_floor_db = 9.0;
+  /// Bounded exponential backoff between sense attempts:
+  /// min(backoff_max_ms, backoff_base_ms * 2^attempt).
+  sim::Millis backoff_base_ms = 80.0;
+  sim::Millis backoff_max_ms = 1280.0;
+  /// Sense attempts before declaring the channel unusable.
+  int max_attempts = 6;
+
+  [[nodiscard]] sim::Millis BackoffMs(int attempt) const;
+};
+
+/// Receiver hardening against crowded-world channel impairments
+/// (audio/impairments.h; model and math in docs/channels.md). Every
+/// branch is gated on the scene actually having impairments armed, so
+/// the clean-channel protocol path - and all its goldens - is
+/// byte-identical whether hardening is enabled or not.
+struct ChannelHardeningConfig {
+  bool enable = true;
+  /// Extra capture the watch tacks onto its nominal window so a
+  /// drift-shifted frame keeps its tail (covers the accumulated clock
+  /// offset of ~130 ppm SRO at the default clock age).
+  std::size_t rx_window_guard_samples = 8192;
+  /// Sync-driven drift estimation over the probe frame (modem/drift.h).
+  modem::DriftConfig drift{};
+  /// Measured warp below this is left uncompensated (resampling a clean
+  /// capture only adds interpolation noise).
+  double min_compensate_ppm = 200.0;
+  AcousticMacConfig mac{};
+  /// After this many sync failures in one attempt, mode adaptation is
+  /// restricted to the most robust low-rate constellations.
+  int robust_after_sync_failures = 2;
 };
 
 /// What to do when the motion filter reports strong co-location
@@ -161,6 +211,10 @@ struct PhoneConfig {
   /// Ambient window the phone self-records before probing (seconds).
   double ambient_window_s = 0.10;
   ResilienceConfig resilience{};
+  /// Crowded-world hardening: drift tracking, acoustic MAC, carrier-
+  /// sense sub-band reselection, extended degrade ladder. Inert unless
+  /// the scene has channel impairments armed.
+  ChannelHardeningConfig channel{};
 };
 
 struct PhaseTimings {

@@ -66,6 +66,17 @@ UnlockSession::UnlockSession(ScenarioConfig config)
   if (!config_.faults.empty() || config_.arm_resilience) {
     fault_injector_.emplace(config_.faults, std::move(fault_rng), &clock_);
   }
+  // The impairment stream forks AFTER the fault fork - last in the
+  // session's fork order - so arming (or clearing) a channel plan never
+  // shifts any other subsystem's draws (docs/channels.md). An unarmed
+  // scene never consults the fork.
+  sim::Rng impairment_rng = rng_.Fork();
+  if (!config_.impairments.empty()) {
+    scene_.ArmImpairments(config_.impairments, std::move(impairment_rng),
+                          config_.phone.channel.enable
+                              ? config_.phone.channel.rx_window_guard_samples
+                              : 0);
+  }
   tracer_.BindClock([this] { return clock_.now(); });
 }
 
@@ -211,6 +222,7 @@ obs::SessionRecord UnlockSession::BuildRecord(const UnlockReport& report,
   r.distance_m = config_.scene.distance_m;
   r.fault_spec = config_.faults.spec;
   r.attack_spec = config_.attack.spec;
+  r.impairment_spec = config_.impairments.spec;
   r.activity = sensors::ToString(config_.activity);
   r.same_body = config_.same_body;
   r.outcome = ToString(report.outcome);

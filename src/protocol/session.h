@@ -58,6 +58,11 @@ struct ScenarioConfig {
   /// attack agents (attack_agents.h) execute it; the session itself
   /// only carries it as a cohort axis into every SessionRecord.
   sim::AttackSpec attack{};
+  /// Channel impairments to arm on the scene (default: none). The
+  /// impairment RNG forks from the session seed *after* every other
+  /// fork, so a clean plan replays byte-identically with or without
+  /// this field existing (docs/channels.md).
+  audio::ImpairmentPlan impairments{};
 
   /// The paper's three delay configurations (Fig. 12).
   static ScenarioConfig Config1();  ///< WiFi offload to Nexus 6 (fastest)

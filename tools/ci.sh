@@ -32,10 +32,19 @@
 #      must byte-match between --threads 1 and 8 and against the
 #      committed golden (docs/architecture.md), plus the fleet
 #      throughput report (BENCH_fleet.json)
-#   9. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
+#   9. channel gate: the `channel` ctest label (impairment matrix,
+#      hardening properties, golden impaired trace), a CLI
+#      --impairments replay of the golden impaired unlock, malformed-
+#      spec rejection on both CLIs, a channel_sweep stdout byte-diff
+#      across thread counts, a >=10k-session contention campaign whose
+#      rollup must byte-match across --threads 1/2/8 and shard sizes,
+#      and BENCH_channel.json (min-of-3 per thread count)
+#      (docs/channels.md)
+#  10. one build+test leg per sanitizer: ASan, UBSan, TSan (the TSan
 #      leg gets real cross-thread traffic from concurrency_stress_test,
 #      executor_test, fft_plan_test, fault_matrix_test,
-#      security_matrix_test and the fleet multiplexer at
+#      security_matrix_test, channel_matrix_test - the shared-scene
+#      mixer under contention - and the fleet multiplexer at
 #      WEARLOCK_THREADS=8, and a parallel bench sweep)
 #
 # Usage: tools/ci.sh [--skip-sanitizers]
@@ -215,6 +224,86 @@ build/bench/fleet_throughput --threads 8 \
 } >BENCH_fleet.json
 echo "wrote BENCH_fleet.json"
 
+banner "channel gate: ctest -L channel + CLI impaired replay"
+# The crowded-world contract (docs/channels.md): every impaired cell
+# terminates with a defined outcome, hardening earns its keep on the
+# pinned differential seeds, past-envelope channels fail closed, and
+# the whole matrix replays bit-identically across thread counts.
+ctest --test-dir build -L channel --output-on-failure
+# The committed golden impaired trace must be reproducible from the
+# command line with one seed (the repro path for a red matrix cell).
+build/tools/wearlock_unlock_cli \
+    --impairments sro=60,reverb=250,pairs=2,burst=0.6x10 --seed 7 \
+    --channel-trace build/channel-trace.jsonl >/dev/null
+diff <(sed 's/"at_ms":[0-9.eE+-]*/"at_ms":0/' build/channel-trace.jsonl) \
+     tests/golden/impaired_unlock_trace.jsonl
+echo "CLI impaired replay matches the committed golden trace"
+# Malformed specs must fail closed with a usage error on both CLIs.
+if build/tools/wearlock_unlock_cli --impairments bogus 2>/dev/null; then
+  echo "malformed --impairments spec was accepted by wearlock_unlock_cli" >&2
+  exit 1
+fi
+if build/tools/wearlock_fleet --sessions 3 --impairments '|sro=900' \
+    --out build/never.json 2>/dev/null; then
+  echo "malformed --impairments spec was accepted by wearlock_fleet" >&2
+  exit 1
+fi
+echo "malformed --impairments specs rejected"
+# The hardened-vs-naive sweep is a pure function of the seed. Fixed
+# host timing is armed because the table quotes stage quantiles.
+WEARLOCK_FIXED_HOST_MS=1.25 build/bench/channel_sweep --quick \
+    --threads 1 >build/channel-t1.out
+WEARLOCK_FIXED_HOST_MS=1.25 build/bench/channel_sweep --quick \
+    --threads 8 >build/channel-t8.out
+diff build/channel-t1.out build/channel-t8.out
+echo "channel_sweep output byte-identical across thread counts"
+# Contention campaign: >= 10k sessions cycling clean / drifted /
+# 2-pair-contended cells. The rollup is a pure function of the spec -
+# never of the thread count or shard layout.
+run_contention() {  # $1 = thread count, $2 = shard size, $3 = out json
+  WEARLOCK_FIXED_HOST_MS=1.25 build/tools/wearlock_fleet \
+      --sessions 10080 --seed 424242 --threads "$1" --shard-size "$2" \
+      --impairments '|sro=50|pairs=2' --out "$3"
+}
+run_contention 1 72 build/contention-t1.json
+run_contention 2 72 build/contention-t2.json
+run_contention 8 72 build/contention-t8.json
+run_contention 8 504 build/contention-t8-wide.json
+diff build/contention-t1.json build/contention-t2.json
+diff build/contention-t1.json build/contention-t8.json
+diff build/contention-t1.json build/contention-t8-wide.json
+echo "contention campaign rollups byte-identical across threads + shards"
+
+banner "bench report: channel sweep JSON (BENCH_channel.json)"
+# Min-of-3 rounds per thread count: keep the report whose wall_ms is
+# smallest, so the archived numbers reflect steady-state, not cache
+# warmup or scheduler noise.
+channel_bench_min3() {  # $1 = thread count, $2 = output json
+  local best_ms="" best_file="" f ms
+  for round in 1 2 3; do
+    f="build/channel-bench-t$1-r$round.json"
+    WEARLOCK_FIXED_HOST_MS=1.25 build/bench/channel_sweep --quick \
+        --threads "$1" --json "$f" >/dev/null
+    ms=$(sed -n 's/.*"wall_ms":\([0-9.]*\).*/\1/p' "$f")
+    if [[ -z "$best_ms" ]] || \
+        awk -v a="$ms" -v b="$best_ms" 'BEGIN { exit !(a < b) }'; then
+      best_ms="$ms"
+      best_file="$f"
+    fi
+  done
+  cp "$best_file" "$2"
+}
+channel_bench_min3 1 build/channel-bench-t1.json
+channel_bench_min3 8 build/channel-bench-t8.json
+{
+  printf '{"bench_suite":"channel","reports":[\n'
+  cat build/channel-bench-t1.json
+  printf ',\n'
+  cat build/channel-bench-t8.json
+  printf ']}\n'
+} >BENCH_channel.json
+echo "wrote BENCH_channel.json"
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "skipping sanitizer builds (--skip-sanitizers): ${SANITIZERS[*]}"
   exit 0
@@ -243,6 +332,11 @@ for san in "${SANITIZERS[@]}"; do
     # The security matrix's attack agents on the same wide pool.
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
         "build-$san/tests/security_matrix_test"
+    # The channel matrix: impaired scenes (neighbor mixing, bursts,
+    # MAC sensing) fanned across the wide pool - the shared-scene
+    # mixer's cross-thread determinism leg.
+    TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \
+        "build-$san/tests/channel_matrix_test"
     # The fleet multiplexer: shards fanned across 8 real workers, each
     # draining its own event queue of interleaved sessions.
     TSAN_OPTIONS="halt_on_error=1" WEARLOCK_THREADS=8 \

@@ -852,6 +852,41 @@ TEST(DiscardedOutcomeTest, EventQueueSchedulingIsCovered) {
       "discarded-outcome"));
 }
 
+TEST(DiscardedOutcomeTest, ChannelHardeningApisAreCovered) {
+  // The channel pack's outcome carriers: a dropped parse result, sense
+  // report, drift estimate or backoff delay silently skips hardening.
+  EXPECT_TRUE(HasRule(RunAllOn("src/audio/x.cpp",
+                               "void F(const std::string& spec) {\n"
+                               "  audio::ImpairmentPlan::Parse(spec);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_TRUE(HasRule(RunAllOn("src/protocol/x.cpp",
+                               "void F(const Spec& s, const Samples& c) {\n"
+                               "  SenseChannel(s, c, 9.0);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_TRUE(HasRule(RunAllOn("src/protocol/x.cpp",
+                               "void F(Rec& r, const Spec& s) {\n"
+                               "  modem::EstimateDrift(r, s, 2048);\n"
+                               "  modem::CompensateRate(r, 300.0);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_TRUE(HasRule(RunAllOn("src/protocol/x.cpp",
+                               "void F(const AcousticMacConfig& mac) {\n"
+                               "  mac.BackoffMs(2);\n"
+                               "}\n"),
+                      "discarded-outcome"));
+  EXPECT_FALSE(HasRule(
+      RunAllOn("src/protocol/x.cpp",
+               "void F(const Spec& s, const Samples& c, Rec& r) {\n"
+               "  const auto sense = SenseChannel(s, c, 9.0);\n"
+               "  if (modem::EstimateDrift(r, s, 2048).valid) { Use(); }\n"
+               "  auto fixed = modem::CompensateRate(r, 300.0);\n"
+               "  const auto plan = audio::ImpairmentPlan::Parse(\"sro=50\");\n"
+               "}\n"),
+      "discarded-outcome"));
+}
+
 TEST(DiscardedOutcomeTest, NolintSuppresses) {
   EXPECT_FALSE(HasRule(
       RunAllOn("src/protocol/x.cpp",

@@ -1075,6 +1075,18 @@ constexpr OutcomeApi kOutcomeApis[] = {
     {"", "TrySendFileDelay"},
     {"", "TrySendRoundTrip"},
     {"FaultPlan", "Parse"},
+    {"ImpairmentPlan", "Parse"},
+    // Channel-hardening outcome carriers: a dropped carrier-sense
+    // report defeats the MAC's busy decision; a dropped drift estimate
+    // or compensated recording silently skips the hardening it paid
+    // for; a dropped backoff leaves the MAC retrying with no delay.
+    {"", "SenseChannel"},
+    {"", "EstimateDrift"},
+    {"", "CompensateRate"},
+    // Matches both backoff ladders (resilience + acoustic MAC); member
+    // calls cannot be qualified, and every legitimate call needs the
+    // returned delay.
+    {"", "BackoffMs"},
     // EventQueue scheduling: a dropped EventId usually means the caller
     // meant to track or cancel the event; a dropped Cancel result hides
     // cancel-after-fire races. Member calls cannot be qualified, but the

@@ -8,14 +8,18 @@
 //                  [--configs 1,2,3] [--envs quiet,office]
 //                  [--distances 0.3,0.6] [--impostor-every N]
 //                  [--faults SPEC|SPEC...] [--attacks SPEC|SPEC...]
+//                  [--impairments SPEC|SPEC...] [--pairs N]
 //                  [--shard-size N] [--out rollup.json] [--summary]
 //
 // Every session's scenario and seed derive from the global session
 // index before sharding, so the rollup bytes are identical at any
 // --threads and --shard-size - the property tools/ci.sh pins with a
-// byte-diff against tests/golden/fleet_rollup.json. --faults/--attacks
-// take '|'-separated spec lists (specs contain commas); an empty
-// element means "none", and cells cross-product over every element.
+// byte-diff against tests/golden/fleet_rollup.json. --faults/--attacks/
+// --impairments take '|'-separated spec lists (specs contain commas);
+// an empty element means "none", and cells cross-product over every
+// element. --impairments elements are validated up front (exit 2 on a
+// malformed or out-of-range spec); --pairs N adds N contending WearLock
+// pairs to every impaired cell (docs/channels.md).
 //
 // --out writes the rollup document ("-" or unset = stdout). --summary
 // prints per-cohort unlock/false-accept Wilson CIs and campaign
@@ -28,9 +32,11 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "audio/impairments.h"
 #include "protocol/fleet.h"
 #include "sim/executor.h"
 
@@ -46,8 +52,10 @@ int Usage() {
       "                      [--retries R] [--configs 1,2,3]\n"
       "                      [--envs quiet,office] [--distances 0.3,0.6]\n"
       "                      [--impostor-every N] [--faults SPEC|SPEC...]\n"
-      "                      [--attacks SPEC|SPEC...] [--shard-size N]\n"
-      "                      [--out rollup.json] [--summary]\n");
+      "                      [--attacks SPEC|SPEC...]\n"
+      "                      [--impairments SPEC|SPEC...] [--pairs N]\n"
+      "                      [--shard-size N] [--out rollup.json]\n"
+      "                      [--summary]\n");
   return 2;
 }
 
@@ -138,6 +146,25 @@ int main(int argc, char** argv) {
       spec.fault_specs = Split(next(), '|');
     } else if (arg == "--attacks") {
       spec.attack_specs = Split(next(), '|');
+    } else if (arg == "--impairments") {
+      spec.impairment_specs = Split(next(), '|');
+      // Validate eagerly: a malformed spec should be a usage error at
+      // the shell, not an exception mid-campaign on a worker thread.
+      for (const std::string& item : spec.impairment_specs) {
+        if (item.empty()) continue;
+        try {
+          const audio::ImpairmentPlan parsed =
+              audio::ImpairmentPlan::Parse(item);
+          (void)parsed;
+        } catch (const std::invalid_argument& e) {
+          std::fprintf(stderr, "bad --impairments element \"%s\": %s\n",
+                       item.c_str(), e.what());
+          return Usage();
+        }
+      }
+    } else if (arg == "--pairs") {
+      if (!ParseU64(next(), &u) || u > 64) return Usage();
+      spec.contention_pairs = static_cast<int>(u);
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--summary") {
@@ -148,7 +175,8 @@ int main(int argc, char** argv) {
   }
   if (spec.sessions == 0 || spec.configs.empty() ||
       spec.environments.empty() || spec.distances_m.empty() ||
-      spec.fault_specs.empty() || spec.attack_specs.empty()) {
+      spec.fault_specs.empty() || spec.attack_specs.empty() ||
+      spec.impairment_specs.empty()) {
     return Usage();
   }
 

@@ -9,9 +9,11 @@
 //                       [--activity sitting|walking|running]
 //                       [--attempts N] [--seed S] [--retries R]
 //                       [--threads T] [--faults SPEC] [--attack SPEC]
+//                       [--impairments SPEC]
 //                       [--trace out.json] [--metrics out.json]
 //                       [--fault-trace out.jsonl]
 //                       [--attack-trace out.jsonl]
+//                       [--channel-trace out.jsonl]
 //                       [--session-log out.jsonl] [--verbose]
 //
 // --trace writes a Chrome trace_event JSON of every span the attempts
@@ -36,6 +38,15 @@
 // JSONL (the committed-golden format in tests/golden/; tools/ci.sh
 // replays it). See docs/security.md for the threat model.
 //
+// --impairments arms deterministic channel impairments on the scene
+// (audio::ImpairmentPlan grammar, e.g. "sro=50,reverb=300,pairs=2") and
+// lets the phone's channel hardening (drift tracking, acoustic MAC,
+// robust degrade ladder) fight them; see docs/channels.md. A malformed
+// or out-of-range spec exits 2. --channel-trace writes the channel
+// event log - impairment arming plus the receiver's drift/MAC/degrade
+// decisions - as JSONL (the committed-golden format; sequential mode
+// only, like --fault-trace).
+//
 // --session-log writes one telemetry SessionRecord per attempt as JSONL
 // (the wearlock_telemetry CLI's input format). Works in both modes; in
 // parallel mode records land in attempt order, and the record *set* is
@@ -50,6 +61,7 @@
 // CI telemetry gate pins. Omitting --threads keeps the classic
 // sequential behavior of one session attempted repeatedly, which
 // --trace/--metrics/--fault-trace require.
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -57,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "audio/impairments.h"
 #include "obs/log.h"
 #include "protocol/attack_agents.h"
 #include "protocol/session.h"
@@ -73,6 +86,24 @@ audio::Environment ParseEnv(const char* s) {
   if (std::strcmp(s, "cafe") == 0) return audio::Environment::kCafe;
   if (std::strcmp(s, "grocery") == 0) return audio::Environment::kGroceryStore;
   return audio::Environment::kQuietRoom;
+}
+
+// atoi/atof-shaped wrappers over std::from_chars (the banned-api lint
+// rejects the real thing): any malformed value yields 0, like the
+// functions they replace, except trailing junk is rejected rather than
+// silently truncated.
+long long ParseIntFlag(const char* s) {
+  long long value = 0;
+  const char* end = s + std::strlen(s);
+  const auto result = std::from_chars(s, end, value);
+  return result.ec == std::errc() && result.ptr == end ? value : 0;
+}
+
+double ParseDoubleFlag(const char* s) {
+  double value = 0.0;
+  const char* end = s + std::strlen(s);
+  const auto result = std::from_chars(s, end, value);
+  return result.ec == std::errc() && result.ptr == end ? value : 0.0;
 }
 
 sensors::Activity ParseActivity(const char* s) {
@@ -114,8 +145,10 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string fault_trace_path;
   std::string attack_trace_path;
+  std::string channel_trace_path;
   std::string session_log_path;
   std::string attack_spec_str;
+  std::string impairment_spec_str;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,7 +158,7 @@ int main(int argc, char** argv) {
     if (arg == "--env") {
       config.scene.environment = ParseEnv(next());
     } else if (arg == "--distance") {
-      config.scene.distance_m = std::atof(next());
+      config.scene.distance_m = ParseDoubleFlag(next());
     } else if (arg == "--same-hand") {
       config.scene.distance_m = 0.15;
       config.scene.propagation = audio::PropagationSpec::BodyBlockedNlos();
@@ -137,23 +170,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-link") {
       config.wireless_connected = false;
     } else if (arg == "--config") {
-      const int n = std::atoi(next());
+      const int n = static_cast<int>(ParseIntFlag(next()));
       if (n == 2) config = ScenarioConfig::Config2();
       if (n == 3) config = ScenarioConfig::Config3();
     } else if (arg == "--activity") {
       config.activity = ParseActivity(next());
     } else if (arg == "--attempts") {
-      attempts = std::atoi(next());
+      attempts = static_cast<int>(ParseIntFlag(next()));
     } else if (arg == "--retries") {
-      retries = std::atoi(next());
+      retries = static_cast<int>(ParseIntFlag(next()));
     } else if (arg == "--threads") {
       threads_set = true;
-      threads = static_cast<std::size_t>(std::atoi(next()));
+      threads = static_cast<std::size_t>(ParseIntFlag(next()));
       if (threads == 0) threads = sim::ParallelExecutor::DefaultThreadCount();
     } else if (arg == "--session-log") {
       session_log_path = next();
     } else if (arg == "--seed") {
-      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      config.seed = static_cast<std::uint64_t>(ParseIntFlag(next()));
     } else if (arg == "--faults") {
       try {
         config.faults = sim::FaultPlan::Parse(next());
@@ -171,6 +204,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --attack spec: %s\n", error.what());
         return 2;
       }
+    } else if (arg == "--impairments") {
+      impairment_spec_str = next();
+      try {
+        // Validate now for fast-fail flag feedback; the plan is applied
+        // after the loop so a later --config reset cannot drop it.
+        const audio::ImpairmentPlan parsed =
+            audio::ImpairmentPlan::Parse(impairment_spec_str);
+        (void)parsed;
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "bad --impairments spec: %s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--channel-trace") {
+      channel_trace_path = next();
     } else if (arg == "--attack-trace") {
       attack_trace_path = next();
     } else if (arg == "--fault-trace") {
@@ -193,6 +240,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--attack-trace needs --attack\n");
     return 2;
   }
+  if (channel_trace_path.empty() == false && impairment_spec_str.empty()) {
+    std::fprintf(stderr, "--channel-trace needs --impairments\n");
+    return 2;
+  }
+  if (!impairment_spec_str.empty()) {
+    config.impairments = audio::ImpairmentPlan::Parse(impairment_spec_str);
+  }
 
   int unlocked = 0;
   std::string session_log;
@@ -204,10 +258,10 @@ int main(int argc, char** argv) {
     config.attack = sim::AttackSpec::Parse(attack_spec_str);
     config.phone.distance_bounding.enable = true;
     if (threads_set || !trace_path.empty() || !metrics_path.empty() ||
-        !fault_trace_path.empty()) {
+        !fault_trace_path.empty() || !channel_trace_path.empty()) {
       std::fprintf(stderr,
-                   "--threads/--trace/--metrics/--fault-trace are ignored in "
-                   "attack mode\n");
+                   "--threads/--trace/--metrics/--fault-trace/--channel-trace "
+                   "are ignored in attack mode\n");
     }
     int breaches = 0;
     std::string attack_trace;
@@ -260,13 +314,14 @@ int main(int argc, char** argv) {
     // Explicit --threads 1 runs the identical plan on one thread, so
     // the telemetry gate can diff it byte-for-byte against --threads N.
     if (!trace_path.empty() || !metrics_path.empty() ||
-        !fault_trace_path.empty()) {
+        !fault_trace_path.empty() || !channel_trace_path.empty()) {
       std::fprintf(stderr,
-                   "--trace/--metrics/--fault-trace need sequential mode; "
-                   "ignoring (drop --threads to keep them)\n");
+                   "--trace/--metrics/--fault-trace/--channel-trace need "
+                   "sequential mode; ignoring (drop --threads to keep them)\n");
       trace_path.clear();
       metrics_path.clear();
       fault_trace_path.clear();
+      channel_trace_path.clear();
     }
     sim::ParallelExecutor executor(threads);
     struct AttemptResult {
@@ -364,6 +419,19 @@ int main(int argc, char** argv) {
     os << sim::FaultTraceJsonl(session.faults()->events());
     std::printf("wrote %zu fault events to %s\n",
                 session.faults()->events().size(), fault_trace_path.c_str());
+  }
+  if (!channel_trace_path.empty()) {
+    // Guarded above: --channel-trace without --impairments already
+    // exited, so the scene is armed here.
+    const audio::ChannelImpairments* chan = session.scene().impairments();
+    std::ofstream os(channel_trace_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", channel_trace_path.c_str());
+      return 2;
+    }
+    os << audio::ChannelTraceJsonl(chan->events());
+    std::printf("wrote %zu channel events to %s\n", chan->events().size(),
+                channel_trace_path.c_str());
   }
   std::printf("unlocked %d/%d\n", unlocked, attempts);
   return unlocked > 0 ? 0 : 1;
